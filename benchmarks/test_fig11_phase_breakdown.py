@@ -1,0 +1,84 @@
+"""Fig. 11 -- three-part computation-time split of Full vs RTC.
+
+The paper divides response time into ``Shared_Data`` (building the shared
+closure structure), ``PreG ⋈ R+G`` (the closure join) and ``Remainder``
+(identical work in both methods: ``Pre_G``, ``R_G``, the Post join).
+
+Shapes asserted:
+
+* RTC's Shared_Data is cheaper than Full's wherever the degree is >= 1
+  (paper: 7.78x - 9013x);
+* the Shared_Data advantage grows along the synthetic degree sweep.
+"""
+
+from bench_common import emit, record_rows
+from repro.bench.formatting import format_seconds, format_table
+from repro.core.engines import FullSharingEngine, RTCSharingEngine
+
+
+def _phase_table(rows, title):
+    headers = [
+        "dataset",
+        "degree",
+        "Shared_Data Full",
+        "Shared_Data RTC",
+        "PreG⋈R+G Full",
+        "PreG⋈R+G RTC",
+        "Remainder Full",
+        "Remainder RTC",
+    ]
+    body = []
+    for row in rows:
+        body.append(
+            [
+                row["dataset"],
+                f"{row['degree']:.2f}",
+                format_seconds(row["shared_data_Full"]),
+                format_seconds(row["shared_data_RTC"]),
+                format_seconds(row["pre_join_Full"]),
+                format_seconds(row["pre_join_RTC"]),
+                format_seconds(row["remainder_Full"]),
+                format_seconds(row["remainder_RTC"]),
+            ]
+        )
+    return f"{title}\n" + format_table(headers, body)
+
+
+def test_fig11a_synthetic_phases(benchmark, exp1_synthetic_rows, rmat3_graph):
+    rows = exp1_synthetic_rows
+    record_rows("fig11a", rows)
+    emit("fig11a", _phase_table(rows, "Fig. 11(a): phase split (synthetic)"))
+
+    # Benchmark one Shared_Data computation on the median graph: the
+    # quantity this figure is about.
+    def shared_data_once():
+        engine = RTCSharingEngine(rmat3_graph)
+        engine.evaluate("l0.(l1)+.l2")
+        return engine.timer.get("shared_data")
+
+    benchmark.pedantic(shared_data_once, rounds=1, iterations=1)
+
+    top = rows[-1]
+    assert top["shared_data_RTC"] < top["shared_data_Full"]
+    low = rows[0]
+    low_ratio = low["shared_data_Full"] / max(low["shared_data_RTC"], 1e-12)
+    top_ratio = top["shared_data_Full"] / max(top["shared_data_RTC"], 1e-12)
+    assert top_ratio > low_ratio
+
+
+def test_fig11b_real_phases(benchmark, exp1_real_rows, advogato_graph):
+    rows = exp1_real_rows
+    record_rows("fig11b", rows)
+    emit("fig11b", _phase_table(rows, "Fig. 11(b): phase split (real stand-ins)"))
+
+    def full_shared_data_once():
+        engine = FullSharingEngine(advogato_graph)
+        engine.evaluate("l0.(l1)+.l2")
+        return engine.timer.get("shared_data")
+
+    benchmark.pedantic(full_shared_data_once, rounds=1, iterations=1)
+
+    by_name = {row["dataset"]: row for row in rows}
+    # Dense real datasets: RTC computes the shared data faster.
+    for name in ("advogato", "youtube"):
+        assert by_name[name]["shared_data_RTC"] < by_name[name]["shared_data_Full"]

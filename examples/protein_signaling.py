@@ -1,0 +1,103 @@
+"""Signal-path detection in a protein interaction network.
+
+The paper's introduction motivates RPQs with "signal path detection in
+protein networks".  This example models a small signalling network whose
+edges are labeled with interaction types (``activates``, ``inhibits``,
+``binds``, ``phosphorylates``) and asks classic pathway questions:
+
+* activation cascades:        ``activates+``
+* signal relay with binding:  ``binds.(activates)+``
+* ultimate inhibition target: ``activates*.inhibits``
+* phospho-relay:              ``(phosphorylates.activates)+``
+
+It also demonstrates the relational-algebra view: the batch unit
+``binds.(activates)+.inhibits`` is evaluated both by Algorithm 2 and by
+the paper's Eq. (6)-(10) expression, and the two results are compared.
+
+Run:  python examples/protein_signaling.py
+"""
+
+import random
+
+from repro import LabeledMultigraph, RTCSharingEngine, compute_rtc, edge_level_reduce
+from repro.relalg import batch_unit_expression
+from repro.rpq import eval_rpq
+
+INTERACTIONS = ("activates", "inhibits", "binds", "phosphorylates")
+
+
+def build_network(seed: int = 21) -> LabeledMultigraph:
+    """A layered kinase cascade with feedback loops and side complexes."""
+    rng = random.Random(seed)
+    graph = LabeledMultigraph()
+    proteins = [f"P{i:03d}" for i in range(160)]
+    for protein in proteins:
+        graph.add_vertex(protein)
+
+    # Forward cascade: activation flows to higher indices; feedback loops
+    # close cycles so activation SCCs are non-trivial.
+    for index, protein in enumerate(proteins[:-1]):
+        for _ in range(rng.randint(1, 3)):
+            target = proteins[min(index + rng.randint(1, 8), len(proteins) - 1)]
+            if target != protein:
+                graph.add_edge_if_absent(protein, "activates", target)
+        if rng.random() < 0.25 and index > 5:
+            back = proteins[index - rng.randint(1, 5)]
+            graph.add_edge_if_absent(protein, "activates", back)
+
+    for _ in range(80):
+        a, b = rng.sample(proteins, 2)
+        graph.add_edge_if_absent(a, "binds", b)
+    for _ in range(60):
+        a, b = rng.sample(proteins, 2)
+        graph.add_edge_if_absent(a, "inhibits", b)
+    for _ in range(70):
+        a, b = rng.sample(proteins, 2)
+        graph.add_edge_if_absent(a, "phosphorylates", b)
+    return graph
+
+
+def main() -> None:
+    graph = build_network()
+    print(f"protein network: {graph.num_vertices} proteins, "
+          f"{graph.num_edges} interactions")
+
+    engine = RTCSharingEngine(graph, collect_counters=True)
+    queries = {
+        "activation cascades": "activates+",
+        "relay after binding": "binds.(activates)+",
+        "ultimate inhibition": "activates*.inhibits",
+        "phospho-relay": "(phosphorylates.activates)+",
+    }
+    for description, query in queries.items():
+        pairs = engine.evaluate(query)
+        print(f"  {description:<22} {query:<32} -> {len(pairs):5d} pairs")
+
+    stats = engine.rtc_cache.stats
+    print(f"\nRTC cache: {stats.entries} entries, hit rate "
+          f"{stats.hit_rate:.0%} across the query batch")
+
+    # -- the relational-algebra view of one batch unit --------------------
+    pre_pairs = eval_rpq(graph, "binds")
+    post_pairs = eval_rpq(graph, "inhibits")
+    rtc = compute_rtc(edge_level_reduce(graph, "activates"))
+    expression = batch_unit_expression(pre_pairs, rtc, post_pairs, "+")
+    declarative = expression.evaluate().to_pairs()
+    imperative = engine.evaluate("binds.(activates)+.inhibits")
+    assert declarative == imperative
+    print(f"\nEq.(6)-(10) expression and Algorithm 2 agree: "
+          f"{len(imperative)} pairs for binds.(activates)+.inhibits")
+    print("expression:", expression.to_algebra()[:100], "...")
+
+    # A concrete biological question: pick a protein that actually starts
+    # such a pathway and list what its signal eventually inhibits.
+    source = min(source for source, _target in imperative)
+    targets = sorted(
+        target for start, target in imperative if start == source
+    )[:8]
+    print(f"\nproteins inhibited downstream of {source} "
+          f"(via binding+cascade): {targets}")
+
+
+if __name__ == "__main__":
+    main()

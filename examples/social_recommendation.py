@@ -1,0 +1,123 @@
+"""Friend recommendation over a social network with shared closures.
+
+The paper's introduction motivates RPQs with "recommending friends in
+social networks".  This example builds a synthetic social graph with
+``follows``, ``blocks`` and ``member_of`` edges and runs a *batch* of
+recommendation queries that share the expensive ``follows+`` closure:
+
+* reachable accounts:       ``follows+``
+* friend-of-friend reach:   ``follows.(follows)+``
+* community suggestion:     ``follows+.member_of``
+* moderation view:          ``follows+.blocks``
+
+Evaluating the batch with all three engines shows the sharing effect the
+paper measures in Experiment 2: NoSharing re-walks the closure per query,
+RTCSharing computes one reduced transitive closure and reuses it.
+
+Run:  python examples/social_recommendation.py
+"""
+
+import random
+import time
+
+from repro import (
+    FullSharingEngine,
+    LabeledMultigraph,
+    NoSharingEngine,
+    RTCSharingEngine,
+)
+
+NUM_PEOPLE = 400
+NUM_GROUPS = 25
+FOLLOW_EDGES = 1600
+BLOCK_EDGES = 120
+MEMBERSHIPS = 500
+
+QUERIES = [
+    "follows+",
+    "follows.(follows)+",
+    "follows+.member_of",
+    "follows+.blocks",
+]
+
+
+def build_social_graph(seed: int = 7) -> LabeledMultigraph:
+    """A skewed follower graph plus group memberships and blocks.
+
+    Preferential attachment-ish skew: earlier accounts attract more
+    followers, giving the large SCCs that make the vertex-level reduction
+    bite (the paper's high-degree regime).
+    """
+    rng = random.Random(seed)
+    graph = LabeledMultigraph()
+    people = [f"user{i}" for i in range(NUM_PEOPLE)]
+    groups = [f"group{i}" for i in range(NUM_GROUPS)]
+    for person in people:
+        graph.add_vertex(person)
+
+    def popular_index() -> int:
+        return min(rng.randrange(NUM_PEOPLE), rng.randrange(NUM_PEOPLE))
+
+    placed = 0
+    while placed < FOLLOW_EDGES:
+        follower = people[rng.randrange(NUM_PEOPLE)]
+        followee = people[popular_index()]
+        if follower != followee and graph.add_edge_if_absent(
+            follower, "follows", followee
+        ):
+            placed += 1
+    placed = 0
+    while placed < BLOCK_EDGES:
+        blocker = people[rng.randrange(NUM_PEOPLE)]
+        blocked = people[rng.randrange(NUM_PEOPLE)]
+        if blocker != blocked and graph.add_edge_if_absent(
+            blocker, "blocks", blocked
+        ):
+            placed += 1
+    placed = 0
+    while placed < MEMBERSHIPS:
+        member = people[rng.randrange(NUM_PEOPLE)]
+        group = groups[rng.randrange(NUM_GROUPS)]
+        if graph.add_edge_if_absent(member, "member_of", group):
+            placed += 1
+    return graph
+
+
+def main() -> None:
+    graph = build_social_graph()
+    print(f"social graph: {graph.num_vertices} vertices, {graph.num_edges} "
+          f"edges, degree/label = {graph.average_degree_per_label():.2f}")
+
+    results = {}
+    for engine_class in (NoSharingEngine, FullSharingEngine, RTCSharingEngine):
+        engine = engine_class(graph)
+        started = time.perf_counter()
+        answers = engine.evaluate_many(QUERIES)
+        elapsed = time.perf_counter() - started
+        results[engine.name] = answers
+        shared = engine.shared_data_size()
+        print(f"{engine.name:>4}: batch of {len(QUERIES)} queries in "
+              f"{elapsed:.3f}s, shared data = {shared} pairs")
+
+    assert results["No"] == results["Full"] == results["RTC"]
+
+    # A concrete recommendation: groups reachable through the follow graph
+    # that user0 is not already a member of.
+    rtc_engine = RTCSharingEngine(graph)
+    reachable_groups = {
+        target
+        for source, target in rtc_engine.evaluate("follows+.member_of")
+        if source == "user0"
+    }
+    own_groups = {target for _label, target in graph.out_edges("user0")
+                  if _label == "member_of"}
+    suggestions = sorted(reachable_groups - own_groups)[:5]
+    print(f"\ngroup suggestions for user0: {suggestions}")
+
+    # The RTC doubles as a reachability index: can user0 reach user1?
+    print(f"user0 reaches user1 via follows+: "
+          f"{rtc_engine.reaches('follows', 'user0', 'user1')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Streaming edge insertions with incremental RTC maintenance.
+
+The paper's pipeline is batch: any change to the graph invalidates the
+shared RTC.  The library's streaming extension
+(:class:`repro.core.incremental.IncrementalRTC`) repairs ``R_G``, ``G_R``
+and the RTC per inserted edge instead, falling back to a full
+``Compute_RTC`` only when an insertion merges SCCs.
+
+This example simulates a growing follower network: edges stream in, and
+after every batch the application asks reachability questions through
+``follows+`` that are answered from the incrementally maintained RTC.
+At the end, the incremental state is checked against a from-scratch
+batch evaluation, and the incremental-vs-rebuild counters are printed.
+
+Run:  python examples/streaming_updates.py
+"""
+
+import random
+import time
+
+from repro import LabeledMultigraph
+from repro.core import IncrementalRTC, compute_rtc
+from repro.rpq import eval_rpq
+
+NUM_PEOPLE = 150
+NUM_STREAMED_EDGES = 600
+BATCH = 100
+
+
+def main() -> None:
+    rng = random.Random(99)
+    graph = LabeledMultigraph()
+    people = [f"user{i}" for i in range(NUM_PEOPLE)]
+    for person in people:
+        graph.add_vertex(person)
+
+    incremental = IncrementalRTC(graph, "follows")
+    print(f"streaming {NUM_STREAMED_EDGES} 'follows' edges into a "
+          f"{NUM_PEOPLE}-account network...\n")
+
+    streamed = 0
+    while streamed < NUM_STREAMED_EDGES:
+        follower = people[rng.randrange(NUM_PEOPLE)]
+        followee = people[min(rng.randrange(NUM_PEOPLE), rng.randrange(NUM_PEOPLE))]
+        if follower == followee or graph.has_edge(follower, "follows", followee):
+            continue
+        incremental.add_edge(follower, "follows", followee)
+        streamed += 1
+        if streamed % BATCH == 0:
+            snapshot = incremental.snapshot()
+            reachable_of_user0 = sum(
+                1 for _ in snapshot.ends_from("user0")
+            )
+            print(f"after {streamed:4d} edges: "
+                  f"|V_R|={snapshot.num_gr_vertices:3d} "
+                  f"SCCs={snapshot.num_sccs:3d} "
+                  f"RTC pairs={snapshot.num_pairs:5d} "
+                  f"user0 reaches {reachable_of_user0:3d} accounts")
+
+    print(f"\nmaintenance profile: {incremental.incremental_updates} "
+          f"incremental updates, {incremental.full_rebuilds} full rebuilds")
+
+    # Validate against the batch pipeline.
+    started = time.perf_counter()
+    batch_pairs = compute_rtc(eval_rpq(graph, "follows")).expand()
+    batch_time = time.perf_counter() - started
+    assert incremental.plus_pairs() == batch_pairs
+    print(f"state equals a from-scratch batch computation "
+          f"({len(batch_pairs)} closure pairs; batch recompute took "
+          f"{batch_time * 1000:.1f}ms -- the incremental path amortises "
+          f"this across the stream)")
+
+    # The maintained RTC answers queries instantly.
+    sample = people[:5]
+    for source in sample:
+        reachable = incremental.reaches(source, "user0")
+        print(f"  {source} -follows+-> user0: {reachable}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot run the PEP 517
+editable-install path; this shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` fall back to ``setup.py develop``.  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

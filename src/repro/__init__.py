@@ -1,0 +1,76 @@
+"""repro -- Regular Path Query evaluation sharing a Reduced Transitive Closure.
+
+A from-scratch Python reproduction of
+
+    Na, Moon, Yi, Whang, Hyun:
+    "Regular Path Query Evaluation Sharing a Reduced Transitive Closure
+    Based on Graph Reduction", ICDE 2022 (arXiv:2111.06918).
+
+Quickstart::
+
+    from repro import LabeledMultigraph, RTCSharingEngine
+
+    g = LabeledMultigraph.from_edges([
+        (0, "d", 1), (1, "b", 2), (2, "c", 1), (2, "c", 3),
+    ])
+    engine = RTCSharingEngine(g)
+    pairs = engine.evaluate("d.(b.c)+.c")
+
+The top-level package re-exports the most commonly used names; the full
+surface lives in the subpackages:
+
+* :mod:`repro.graph`    -- graph data model, SCC, transitive closures;
+* :mod:`repro.regex`    -- RPQ syntax, automata, language equality;
+* :mod:`repro.rpq`      -- automaton / join evaluation primitives;
+* :mod:`repro.core`     -- graph reduction, the RTC, the three engines;
+* :mod:`repro.relalg`   -- the paper's relational-algebra expressions;
+* :mod:`repro.datasets` -- R-MAT and Table-IV dataset stand-ins;
+* :mod:`repro.workloads`-- the Section V-A multiple-RPQ-set generator;
+* :mod:`repro.bench`    -- the experiment harness behind ``benchmarks/``.
+"""
+
+from repro.core.batch_unit import BatchUnitOptions
+from repro.core.engines import (
+    FullSharingEngine,
+    NoSharingEngine,
+    RTCSharingEngine,
+    make_engine,
+)
+from repro.core.reduction import edge_level_reduce, reduce_graph, vertex_level_reduce
+from repro.core.rtc import ReducedTransitiveClosure, compute_rtc
+from repro.errors import (
+    EvaluationError,
+    GraphError,
+    ReproError,
+    RPQSyntaxError,
+    UnknownLabelError,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.multigraph import LabeledMultigraph
+from repro.regex.parser import parse
+from repro.rpq.evaluate import eval_rpq
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LabeledMultigraph",
+    "DiGraph",
+    "parse",
+    "eval_rpq",
+    "RTCSharingEngine",
+    "FullSharingEngine",
+    "NoSharingEngine",
+    "make_engine",
+    "BatchUnitOptions",
+    "ReducedTransitiveClosure",
+    "compute_rtc",
+    "edge_level_reduce",
+    "vertex_level_reduce",
+    "reduce_graph",
+    "ReproError",
+    "GraphError",
+    "RPQSyntaxError",
+    "EvaluationError",
+    "UnknownLabelError",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Benchmark harness: measurement, experiment drivers and table output."""
+
+from repro.bench.experiments import (
+    DEFAULT_DEGREE_EXPONENTS,
+    DEFAULT_FRACTIONS,
+    REAL_DATASETS,
+    dataset_statistics,
+    experiment1_real,
+    experiment1_synthetic,
+    experiment2,
+    sharing_statistics,
+)
+from repro.bench.formatting import banner, format_ratio, format_seconds, format_table
+from repro.bench.harness import (
+    METHODS,
+    MethodMeasurement,
+    SetMeasurement,
+    run_rpq_set,
+    run_workload,
+)
+
+__all__ = [
+    "METHODS",
+    "MethodMeasurement",
+    "SetMeasurement",
+    "run_rpq_set",
+    "run_workload",
+    "experiment1_synthetic",
+    "experiment1_real",
+    "experiment2",
+    "sharing_statistics",
+    "dataset_statistics",
+    "REAL_DATASETS",
+    "DEFAULT_DEGREE_EXPONENTS",
+    "DEFAULT_FRACTIONS",
+    "format_table",
+    "format_seconds",
+    "format_ratio",
+    "banner",
+]

@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five subcommands cover the interactive workflow a downstream user wants
+before writing any code:
+
+* ``query``  -- evaluate one or more RPQs against an edge-list file with a
+  chosen engine; prints result pairs (or just counts) and timing;
+* ``reduce`` -- show the two-level reduction statistics of a closure body
+  on a graph (the Fig. 12/13 quantities for your own data);
+* ``stats``  -- Table-IV style statistics of an edge-list file;
+* ``explain``-- show the static RTCSharing evaluation plan of a query
+  (DNF clauses, batch-unit decomposition, cache keys);
+* ``dot``    -- render the graph, a reduction, or a query automaton as
+  Graphviz DOT text.
+
+Examples::
+
+    python -m repro stats graph.txt
+    python -m repro query graph.txt "a.(b.c)+.c" --engine rtc --show-pairs
+    python -m repro reduce graph.txt "b.c"
+    python -m repro dot graph.txt --query "b.c" --view condensation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.formatting import format_seconds, format_table
+from repro.core.engines import make_engine
+from repro.core.reduction import reduce_graph
+from repro.core.stats import reduction_stats
+from repro.errors import ReproError
+from repro.graph.io import load_edge_list
+from repro.regex.nfa import compile_nfa
+from repro.regex.parser import parse as parse_query
+from repro import viz
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regular path queries with a shared reduced transitive closure",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser("query", help="evaluate RPQs against a graph")
+    query.add_argument("graph", help="edge-list file (source label target)")
+    query.add_argument("queries", nargs="+", help="one or more RPQ strings")
+    query.add_argument(
+        "--engine",
+        choices=["no", "full", "rtc"],
+        default="rtc",
+        help="evaluation method (default: rtc)",
+    )
+    query.add_argument(
+        "--show-pairs",
+        action="store_true",
+        help="print every result pair instead of just the count",
+    )
+    query.add_argument(
+        "--semantic-cache",
+        action="store_true",
+        help="share RTCs between language-equal closure bodies",
+    )
+
+    reduce = commands.add_parser(
+        "reduce", help="show two-level reduction statistics for a closure body"
+    )
+    reduce.add_argument("graph", help="edge-list file")
+    reduce.add_argument("body", help="the closure body R (as in (R)+)")
+
+    stats = commands.add_parser("stats", help="dataset statistics of a graph")
+    stats.add_argument("graph", help="edge-list file")
+
+    explain = commands.add_parser(
+        "explain", help="show the RTCSharing evaluation plan of a query"
+    )
+    explain.add_argument("graph", help="edge-list file")
+    explain.add_argument("query", help="the RPQ to plan")
+
+    dot = commands.add_parser("dot", help="emit Graphviz DOT")
+    dot.add_argument("graph", help="edge-list file")
+    dot.add_argument(
+        "--query", help="closure body / query for reduction or automaton views"
+    )
+    dot.add_argument(
+        "--view",
+        choices=["graph", "reduced", "condensation", "nfa"],
+        default="graph",
+        help="what to render (default: the input graph)",
+    )
+    return parser
+
+
+def _cmd_query(args) -> int:
+    graph = load_edge_list(args.graph)
+    kwargs = {}
+    if args.semantic_cache and args.engine == "rtc":
+        kwargs["cache_mode"] = "semantic"
+    engine = make_engine(args.engine, graph, **kwargs)
+    rows = []
+    for query in args.queries:
+        started = time.perf_counter()
+        result = engine.evaluate(query)
+        elapsed = time.perf_counter() - started
+        rows.append([query, len(result), format_seconds(elapsed)])
+        if args.show_pairs:
+            for source, target in sorted(result, key=lambda p: (str(p[0]), str(p[1]))):
+                print(f"{source}\t{target}")
+    print(format_table(["query", "pairs", "time"], rows))
+    shared = engine.shared_data_size()
+    if shared:
+        print(f"shared data: {shared} pairs")
+    return 0
+
+
+def _cmd_reduce(args) -> int:
+    graph = load_edge_list(args.graph)
+    stats = reduction_stats(graph, args.body)
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["|V| (G)", stats.num_graph_vertices],
+                ["|E| (G)", stats.num_graph_edges],
+                ["|V_R|", stats.num_gr_vertices],
+                ["|E_R|", stats.num_gr_edges],
+                ["|V̄_R|", stats.num_condensed_vertices],
+                ["|Ē_R|", stats.num_condensed_edges],
+                ["RTC pairs", stats.rtc_pairs],
+                ["R+_G pairs", stats.full_closure_pairs],
+                ["avg SCC size", f"{stats.average_scc_size:.2f}"],
+                ["shared-size ratio", f"{stats.shared_size_ratio:.2f}"],
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    graph = load_edge_list(args.graph)
+    print(
+        format_table(
+            ["|V|", "|E|", "|Σ|", "|E|/(|V||Σ|)"],
+            [
+                [
+                    graph.num_vertices,
+                    graph.num_edges,
+                    graph.num_labels,
+                    f"{graph.average_degree_per_label():.4f}",
+                ]
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.core.explain import explain as build_plan
+
+    graph = load_edge_list(args.graph)
+    print(build_plan(graph, args.query).describe())
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    graph = load_edge_list(args.graph)
+    if args.view == "graph":
+        print(viz.multigraph_to_dot(graph))
+        return 0
+    if not args.query:
+        print("error: --query is required for this view", file=sys.stderr)
+        return 2
+    if args.view == "nfa":
+        print(viz.nfa_to_dot(compile_nfa(parse_query(args.query))))
+        return 0
+    reduction = reduce_graph(graph, args.query)
+    if args.view == "reduced":
+        print(viz.digraph_to_dot(reduction.gr))
+    else:
+        print(viz.condensation_to_dot(reduction.condensation))
+    return 0
+
+
+_COMMANDS = {
+    "query": _cmd_query,
+    "reduce": _cmd_reduce,
+    "stats": _cmd_stats,
+    "explain": _cmd_explain,
+    "dot": _cmd_dot,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,110 @@
+"""Core of the reproduction: graph reduction, the RTC, and the engines.
+
+Public surface:
+
+* reductions: :func:`edge_level_reduce`, :func:`vertex_level_reduce`,
+  :func:`reduce_graph`, :class:`ReductionResult`;
+* the RTC: :class:`ReducedTransitiveClosure`, :func:`compute_rtc`;
+* DNF machinery: :func:`to_dnf`, :class:`ClosureLiteral`,
+  :func:`clause_to_regex`, :func:`decompose_clause`, :class:`BatchUnit`;
+* Algorithm 2: :func:`eval_batch_unit`, :class:`BatchUnitOptions`;
+* engines: :class:`RTCSharingEngine`, :class:`FullSharingEngine`,
+  :class:`NoSharingEngine`, :func:`make_engine`;
+* caches (:class:`RTCCache`, :class:`ClosureCache`), phase timing, the
+  batch planner and reduction statistics.
+"""
+
+from repro.core.batch_unit import (
+    BatchUnitOptions,
+    apply_post,
+    eval_batch_unit,
+    join_pre_with_rtc,
+)
+from repro.core.cache import CacheStats, ClosureCache, RTCCache, SharedDataCache
+from repro.core.decompose import BatchUnit, decompose_clause
+from repro.core.dnf import ClosureLiteral, clause_to_regex, dnf_to_regex, to_dnf
+from repro.core.explain import ClausePlan, QueryPlan, explain
+from repro.core.incremental import IncrementalRTC
+from repro.core.engines import (
+    FullSharingEngine,
+    NoSharingEngine,
+    RPQEngine,
+    RTCSharingEngine,
+    make_engine,
+)
+from repro.core.planner import PlannedUnit, estimate_cost, plan_order
+from repro.core.reduction import (
+    ReductionResult,
+    edge_level_reduce,
+    reduce_graph,
+    vertex_level_reduce,
+)
+from repro.core.rtc import ReducedTransitiveClosure, compute_rtc
+from repro.core.serialize import (
+    load_cache,
+    load_rtc,
+    rtc_from_dict,
+    rtc_to_dict,
+    save_cache,
+    save_rtc,
+)
+from repro.core.sharing_analysis import SharedBody, SharingReport, analyse_sharing
+from repro.core.stats import ReductionStats, reduction_stats
+from repro.core.timing import (
+    ALL_PHASES,
+    PHASE_PRE_JOIN,
+    PHASE_REMAINDER,
+    PHASE_SHARED_DATA,
+    PhaseTimer,
+)
+
+__all__ = [
+    "edge_level_reduce",
+    "vertex_level_reduce",
+    "reduce_graph",
+    "ReductionResult",
+    "ReducedTransitiveClosure",
+    "compute_rtc",
+    "to_dnf",
+    "ClosureLiteral",
+    "clause_to_regex",
+    "dnf_to_regex",
+    "decompose_clause",
+    "BatchUnit",
+    "eval_batch_unit",
+    "join_pre_with_rtc",
+    "apply_post",
+    "BatchUnitOptions",
+    "RPQEngine",
+    "NoSharingEngine",
+    "FullSharingEngine",
+    "RTCSharingEngine",
+    "make_engine",
+    "RTCCache",
+    "ClosureCache",
+    "SharedDataCache",
+    "CacheStats",
+    "PhaseTimer",
+    "ALL_PHASES",
+    "PHASE_SHARED_DATA",
+    "PHASE_PRE_JOIN",
+    "PHASE_REMAINDER",
+    "PlannedUnit",
+    "estimate_cost",
+    "plan_order",
+    "ReductionStats",
+    "reduction_stats",
+    "rtc_to_dict",
+    "rtc_from_dict",
+    "save_rtc",
+    "load_rtc",
+    "save_cache",
+    "load_cache",
+    "SharedBody",
+    "SharingReport",
+    "analyse_sharing",
+    "IncrementalRTC",
+    "explain",
+    "QueryPlan",
+    "ClausePlan",
+]

@@ -1,0 +1,133 @@
+"""Shared-data caches keyed by (sub-)query identity.
+
+Both sharing engines keep a cache of "the expensive thing computed for a
+closure body ``R``":
+
+* :class:`RTCCache` for RTCSharing -- stores
+  :class:`~repro.core.rtc.ReducedTransitiveClosure` objects;
+* :class:`ClosureCache` for FullSharing -- stores the materialised
+  ``R+_G`` as a start-vertex index ``v -> frozenset(ends)``.
+
+Keys are computed by a pluggable canonicaliser:
+
+* ``"syntactic"`` -- the normalised ``to_string`` of the AST.  Cheap;
+  shares between textually equal sub-queries (the paper's setting: the
+  workload reuses the same ``R`` strings).
+* ``"semantic"``  -- the minimal-DFA :func:`~repro.regex.dfa.canonical_key`.
+  Shares between *language-equal* bodies such as ``a.b|a.c`` and
+  ``a.(b|c)`` -- an extension beyond the paper, costing one
+  determinise+minimise per distinct body.
+
+Hit/miss statistics feed the Experiment-2 analysis (amortisation of
+``Shared_Data`` across RPQs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from repro.core.rtc import ReducedTransitiveClosure
+from repro.regex.ast import RegexNode
+from repro.regex.dfa import canonical_key
+
+__all__ = ["CacheStats", "SharedDataCache", "RTCCache", "ClosureCache", "make_key_function"]
+
+Value = TypeVar("Value")
+
+
+def make_key_function(mode: str):
+    """Return the canonicaliser for ``mode`` (``syntactic``/``semantic``)."""
+    if mode == "syntactic":
+        return lambda node: node.to_string()
+    if mode == "semantic":
+        return canonical_key
+    raise ValueError(f"unknown cache mode {mode!r}; use 'syntactic' or 'semantic'")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/entry statistics of one shared-data cache."""
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class SharedDataCache(Generic[Value]):
+    """A keyed cache with stats; the common machinery of both caches."""
+
+    mode: str = "syntactic"
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._key_function = make_key_function(self.mode)
+        self._entries: dict[str, Value] = {}
+
+    def key_for(self, node: RegexNode) -> str:
+        """The cache key of a closure body."""
+        return self._key_function(node)
+
+    def lookup(self, node: RegexNode) -> tuple[str, Value | None]:
+        """Return ``(key, value-or-None)`` and record the hit/miss."""
+        key = self.key_for(node)
+        value = self._entries.get(key)
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return key, value
+
+    def store(self, key: str, value: Value) -> None:
+        """Insert a freshly computed entry."""
+        self._entries[key] = value
+        self.stats.entries = len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries (stats are kept)."""
+        self._entries.clear()
+        self.stats.entries = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node: RegexNode) -> bool:
+        return self.key_for(node) in self._entries
+
+
+class RTCCache(SharedDataCache[ReducedTransitiveClosure]):
+    """RTCSharing's cache: closure body -> reduced transitive closure.
+
+    The shared-data *size* of an entry is ``rtc.num_pairs`` -- the number
+    of SCC pairs in ``TC(Ḡ_R)`` (Fig. 12's RTC series).
+    """
+
+    def total_shared_pairs(self) -> int:
+        """Sum of ``num_pairs`` over all cached RTCs."""
+        return sum(rtc.num_pairs for rtc in self._entries.values())
+
+
+class ClosureCache(SharedDataCache[dict]):
+    """FullSharing's cache: closure body -> ``R+_G`` indexed by start vertex.
+
+    Entries map ``v -> frozenset(ends)``; the shared-data size of an entry
+    is the pair count ``sum(len(ends))`` (Fig. 12's Full series).
+    """
+
+    @staticmethod
+    def entry_size(entry: dict) -> int:
+        """Number of vertex pairs in one materialised closure."""
+        return sum(len(ends) for ends in entry.values())
+
+    def total_shared_pairs(self) -> int:
+        """Sum of pair counts over all cached closures."""
+        return sum(self.entry_size(entry) for entry in self._entries.values())

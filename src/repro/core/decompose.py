@@ -1,0 +1,96 @@
+"""``DecomposeCL`` -- split a DNF clause into ``(Pre, R, Type, Post)``.
+
+Algorithm 1 (line 4) decomposes every clause around its **rightmost**
+closure literal:
+
+* ``Pre``  -- everything left of it (may contain further closures; the
+  engine evaluates it by a recursive RTCSharing call);
+* ``R``    -- the closure body whose RTC is shared;
+* ``Type`` -- ``"+"``, ``"*"``, or ``None`` when the clause has no closure;
+* ``Post`` -- everything right of it; guaranteed closure-free because the
+  split point is the *rightmost* closure.  In a clause, literals right of
+  the last closure are all labels, so ``Post`` is a label sequence.
+
+When the clause has no closure at all, the convention of the paper holds:
+``Pre = R = epsilon``, ``Type = NULL``, ``Post =`` the entire clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dnf import Clause, ClosureLiteral, clause_to_regex
+from repro.regex.ast import EPSILON, Label, RegexNode, concat
+
+__all__ = ["BatchUnit", "decompose_clause"]
+
+
+@dataclass(frozen=True)
+class BatchUnit:
+    """One batch unit ``Pre . R{+,*} . Post`` (or a closure-free clause).
+
+    Attributes
+    ----------
+    pre:
+        AST of ``Pre`` (``EPSILON`` when empty); may contain closures.
+    r:
+        AST of the closure body ``R``; ``None`` for closure-free clauses.
+    type:
+        ``"+"``, ``"*"``, or ``None``.
+    post:
+        AST of ``Post``; closure-free by construction.
+    post_labels:
+        ``Post`` as a plain label list (always available: Post is a label
+        sequence in a clause); empty list for ``Post = epsilon``.
+    """
+
+    pre: RegexNode
+    r: RegexNode | None
+    type: str | None
+    post: RegexNode
+    post_labels: tuple[str, ...]
+
+    @property
+    def has_closure(self) -> bool:
+        """True for genuine ``Pre.R+.Post`` units, False for plain clauses."""
+        return self.type is not None
+
+    def __str__(self) -> str:
+        if not self.has_closure:
+            return f"BatchUnit(Post={self.post})"
+        return (
+            f"BatchUnit(Pre={self.pre}, R={self.r}, Type={self.type}, "
+            f"Post={self.post})"
+        )
+
+
+def decompose_clause(clause: Clause) -> BatchUnit:
+    """Split ``clause`` at its rightmost closure literal (Algorithm 1 line 4)."""
+    split = None
+    for index in range(len(clause) - 1, -1, -1):
+        if isinstance(clause[index], ClosureLiteral):
+            split = index
+            break
+
+    if split is None:
+        post = clause_to_regex(clause)
+        labels = tuple(literal.name for literal in clause)
+        return BatchUnit(
+            pre=EPSILON, r=None, type=None, post=post, post_labels=labels
+        )
+
+    closure: ClosureLiteral = clause[split]
+    pre_literals = clause[:split]
+    post_literals = clause[split + 1 :]
+    # Right of the rightmost closure there can only be labels.
+    post_labels = tuple(literal.name for literal in post_literals)
+
+    pre = clause_to_regex(pre_literals) if pre_literals else EPSILON
+    post = concat(*(Label(name) for name in post_labels)) if post_labels else EPSILON
+    return BatchUnit(
+        pre=pre,
+        r=closure.body,
+        type=closure.kind,
+        post=post,
+        post_labels=post_labels,
+    )

@@ -1,0 +1,463 @@
+"""The three multiple-RPQ evaluation engines the paper compares.
+
+* :class:`RTCSharingEngine` -- Algorithms 1 + 2: DNF, batch units, the
+  shared reduced transitive closure, and the useless/redundant-operation
+  eliminations (the paper's contribution);
+* :class:`FullSharingEngine` -- Abul-Basher [8]: shares the materialised
+  closure ``R+_G`` between RPQs but joins it naively;
+* :class:`NoSharingEngine` -- Yakovets-style [5] per-query automaton
+  evaluation, sharing nothing.
+
+All engines evaluate the same queries to the same result sets (cross-
+checked by the test suite and asserted by the benchmark harness) and
+expose the same metrics surface:
+
+* ``timer``   -- per-phase wall-clock (:mod:`repro.core.timing`);
+* ``counters``-- optional operation tallies (:mod:`repro.rpq.counters`);
+* ``shared_data_size()`` -- pairs held in the shared structure (Fig. 12).
+
+Engines are bound to one graph; caches persist across ``evaluate`` calls,
+which is what "sharing among multiple RPQs" means operationally.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from repro.core.batch_unit import (
+    BatchUnitOptions,
+    DEFAULT_OPTIONS,
+    apply_post,
+    join_pre_with_rtc,
+)
+from repro.core.cache import ClosureCache, RTCCache
+from repro.core.decompose import BatchUnit, decompose_clause
+from repro.core.dnf import to_dnf
+from repro.core.rtc import ReducedTransitiveClosure, compute_rtc
+from repro.core.timing import (
+    PHASE_PRE_JOIN,
+    PHASE_REMAINDER,
+    PHASE_SHARED_DATA,
+    PhaseTimer,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.multigraph import LabeledMultigraph
+from repro.regex.ast import Epsilon, RegexNode
+from repro.regex.parser import parse
+from repro.rpq.counters import OpCounters
+from repro.rpq.evaluate import eval_rpq
+from repro.rpq.label_join import eval_label_sequence
+from repro.rpq.restricted import RestrictedEvaluator, as_label_sequence
+
+__all__ = [
+    "RPQEngine",
+    "NoSharingEngine",
+    "FullSharingEngine",
+    "RTCSharingEngine",
+    "make_engine",
+]
+
+Pairs = set  # set[tuple[vertex, vertex]]
+
+
+class RPQEngine:
+    """Common surface of the three evaluation methods.
+
+    Subclasses implement :meth:`_evaluate_node`; this base class provides
+    parsing, total-time accounting, batch evaluation and metric reset.
+
+    ``simplify_queries=True`` runs the language-preserving rewriter of
+    :mod:`repro.regex.simplify` on every incoming query before
+    evaluation -- an opt-in extension (the paper evaluates queries as
+    given); results are guaranteed unchanged.
+    """
+
+    #: Short method name used by the benchmark tables ("No", "Full", "RTC").
+    name = "base"
+
+    def __init__(
+        self,
+        graph: LabeledMultigraph,
+        collect_counters: bool = False,
+        strict_labels: bool = False,
+        simplify_queries: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.timer = PhaseTimer()
+        self.counters: OpCounters | None = OpCounters() if collect_counters else None
+        self.strict_labels = strict_labels
+        self.simplify_queries = simplify_queries
+        self.total_time = 0.0
+        self.queries_evaluated = 0
+
+    # -- public API ----------------------------------------------------
+    def evaluate(self, query: str | RegexNode) -> Pairs:
+        """Evaluate one RPQ; returns the set of ``(start, end)`` pairs."""
+        node = parse(query)
+        if self.simplify_queries:
+            from repro.regex.simplify import simplify
+
+            node = simplify(node)
+        start = time.perf_counter()
+        result = self._evaluate_node(node)
+        self.total_time += time.perf_counter() - start
+        self.queries_evaluated += 1
+        return result
+
+    def evaluate_many(self, queries) -> list[Pairs]:
+        """Evaluate a multiple-RPQ set sequentially (shared caches persist)."""
+        return [self.evaluate(query) for query in queries]
+
+    def shared_data_size(self) -> int:
+        """Pairs currently held in the shared structure (0 for NoSharing)."""
+        return 0
+
+    def reset_metrics(self) -> None:
+        """Zero timers/counters (caches are kept; use ``reset_cache``)."""
+        self.timer.reset()
+        self.total_time = 0.0
+        self.queries_evaluated = 0
+        if self.counters is not None:
+            self.counters = OpCounters()
+
+    def reset_cache(self) -> None:
+        """Drop shared data so the next query recomputes it."""
+
+    # -- to implement ----------------------------------------------------
+    def _evaluate_node(self, node: RegexNode) -> Pairs:
+        raise NotImplementedError
+
+
+class NoSharingEngine(RPQEngine):
+    """Evaluate every RPQ independently with the automaton evaluator [5].
+
+    The Kleene closure is part of the query automaton, so every query
+    re-walks the closure -- the repeated work the sharing methods avoid.
+    """
+
+    name = "No"
+
+    def _evaluate_node(self, node: RegexNode) -> Pairs:
+        with self.timer.measure(PHASE_REMAINDER):
+            return eval_rpq(
+                self.graph,
+                node,
+                counters=self.counters,
+                strict_labels=self.strict_labels,
+            )
+
+
+class _SharingEngine(RPQEngine):
+    """Common machinery of the two sharing methods.
+
+    Both convert the query to DNF, decompose clauses into batch units,
+    evaluate ``Pre`` recursively, and differ only in (a) what shared
+    structure they build for the closure body ``R`` and (b) how they join
+    ``Pre_G`` with it.
+    """
+
+    def __init__(
+        self,
+        graph: LabeledMultigraph,
+        collect_counters: bool = False,
+        strict_labels: bool = False,
+        max_clauses: int = 4096,
+        clause_evaluator: str = "auto",
+        simplify_queries: bool = False,
+    ) -> None:
+        super().__init__(graph, collect_counters, strict_labels, simplify_queries)
+        self.max_clauses = max_clauses
+        if clause_evaluator not in ("auto", "automaton", "label-join"):
+            raise ValueError(f"unknown clause evaluator {clause_evaluator!r}")
+        self.clause_evaluator = clause_evaluator
+
+    # -- shared skeleton (Algorithm 1) -----------------------------------
+    def _evaluate_node(self, node: RegexNode) -> Pairs:
+        result: Pairs = set()
+        for clause in to_dnf(node, self.max_clauses):
+            unit = decompose_clause(clause)
+            if unit.type is None:
+                result |= self._eval_without_closure(unit.post, unit.post_labels)
+            else:
+                result |= self._eval_batch_unit(unit)
+        return result
+
+    def _eval_without_closure(self, post: RegexNode, labels: tuple) -> Pairs:
+        """``EvalRPQwithoutKC`` (Algorithm 1 line 6)."""
+        with self.timer.measure(PHASE_REMAINDER):
+            use_join = self.clause_evaluator == "label-join" or (
+                self.clause_evaluator == "auto" and len(labels) > 0
+            )
+            if use_join and not isinstance(post, Epsilon):
+                sequence = as_label_sequence(post)
+                if sequence:
+                    return eval_label_sequence(
+                        self.graph, sequence, counters=self.counters
+                    )
+            return eval_rpq(
+                self.graph,
+                post,
+                counters=self.counters,
+                strict_labels=self.strict_labels,
+            )
+
+    def _eval_pre(self, unit: BatchUnit) -> Pairs:
+        """``Pre_G`` -- recursive engine call (Algorithm 1 line 8)."""
+        if isinstance(unit.pre, Epsilon):
+            with self.timer.measure(PHASE_REMAINDER):
+                return self._identity_pre(unit)
+        return self._evaluate_node(unit.pre)
+
+    def _identity_pre(self, unit: BatchUnit) -> Pairs:
+        """``Pre = epsilon``: the identity relation driving the closure.
+
+        For ``R*`` the zero-repetition case makes *every* graph vertex a
+        result start, so the identity spans ``V``.  For ``R+`` only
+        vertices of ``V_R`` can start a satisfying path; the smaller
+        identity is an engine-side useless-1 elimination that both
+        sharing methods apply symmetrically.
+        """
+        if unit.type == "*":
+            return {(vertex, vertex) for vertex in self.graph.vertices()}
+        return {(vertex, vertex) for vertex in self._closure_vertices(unit.r)}
+
+    def _post_evaluator(self, unit: BatchUnit) -> RestrictedEvaluator | None:
+        if not unit.post_labels:
+            return None
+        return RestrictedEvaluator(unit.post)
+
+    # -- to implement ----------------------------------------------------
+    def _eval_batch_unit(self, unit: BatchUnit) -> Pairs:
+        raise NotImplementedError
+
+    def _closure_vertices(self, r: RegexNode):
+        """Vertices of ``V_R`` (the edge-level reduced graph of ``R``)."""
+        raise NotImplementedError
+
+
+class RTCSharingEngine(_SharingEngine):
+    """The paper's method: share the RTC, evaluate batch units optimised.
+
+    Parameters
+    ----------
+    graph:
+        The edge-labeled multigraph ``G``.
+    cache_mode:
+        ``"syntactic"`` (default) keys the RTC cache on the normalised
+        query text; ``"semantic"`` keys on the minimal DFA so that
+        language-equal closure bodies share one RTC (extension).
+    options:
+        :class:`BatchUnitOptions` ablation switches (all on by default).
+    collect_counters:
+        Tally operation counts into ``self.counters``.
+
+    >>> from repro.graph import paper_figure1_graph
+    >>> engine = RTCSharingEngine(paper_figure1_graph())
+    >>> sorted(engine.evaluate("d.(b.c)+.c"))
+    [(7, 3), (7, 5)]
+    """
+
+    name = "RTC"
+
+    def __init__(
+        self,
+        graph: LabeledMultigraph,
+        cache_mode: str = "syntactic",
+        options: BatchUnitOptions = DEFAULT_OPTIONS,
+        collect_counters: bool = False,
+        strict_labels: bool = False,
+        max_clauses: int = 4096,
+        clause_evaluator: str = "auto",
+        simplify_queries: bool = False,
+    ) -> None:
+        super().__init__(
+            graph,
+            collect_counters,
+            strict_labels,
+            max_clauses,
+            clause_evaluator,
+            simplify_queries,
+        )
+        self.rtc_cache = RTCCache(mode=cache_mode)
+        self.options = options
+
+    def rtc_for(self, r: str | RegexNode) -> ReducedTransitiveClosure:
+        """The (cached) RTC of closure body ``R`` (Algorithm 1 lines 9-11)."""
+        node = parse(r)
+        key, rtc = self.rtc_cache.lookup(node)
+        if rtc is not None:
+            return rtc
+        # Line 10: R_G by recursive evaluation (time lands in Remainder).
+        rg_pairs = self._evaluate_node(node)
+        # Line 11: Compute_RTC (time lands in Shared_Data).
+        with self.timer.measure(PHASE_SHARED_DATA):
+            rtc = compute_rtc(rg_pairs)
+        self.rtc_cache.store(key, rtc)
+        return rtc
+
+    def explain(self, query: str | RegexNode):
+        """Static evaluation plan of ``query`` against this engine's cache.
+
+        Returns a :class:`~repro.core.explain.QueryPlan`; nothing is
+        evaluated and the cache is not touched.
+        """
+        from repro.core.explain import explain
+
+        return explain(
+            self.graph, query, rtc_cache=self.rtc_cache, max_clauses=self.max_clauses
+        )
+
+    def reaches(self, r: str | RegexNode, source: object, target: object) -> bool:
+        """Extension: answer ``(source, target) in (R+)_G`` from the RTC.
+
+        A reachability query on ``G_R`` (related work, Section VI), free
+        once the RTC is cached.
+        """
+        return self.rtc_for(r).reaches(source, target)
+
+    def _closure_vertices(self, r: RegexNode):
+        return self.rtc_for(r).condensation.scc_of.keys()
+
+    def _eval_batch_unit(self, unit: BatchUnit) -> Pairs:
+        rtc = self.rtc_for(unit.r)
+        pre_pairs = self._eval_pre(unit)
+        post = self._post_evaluator(unit)
+        with self.timer.measure(PHASE_PRE_JOIN):
+            seed = pre_pairs if unit.type == "*" else ()
+            joined = join_pre_with_rtc(
+                pre_pairs,
+                rtc,
+                seed=seed,
+                options=self.options,
+                counters=self.counters,
+            )
+        with self.timer.measure(PHASE_REMAINDER):
+            return apply_post(self.graph, joined, post, self.counters)
+
+    def shared_data_size(self) -> int:
+        return self.rtc_cache.total_shared_pairs()
+
+    def reset_cache(self) -> None:
+        self.rtc_cache.clear()
+
+
+class FullSharingEngine(_SharingEngine):
+    """Abul-Basher's method [8]: share the materialised ``R+_G``.
+
+    The shared structure is the full vertex-pair closure, indexed by start
+    vertex.  Batch units join ``Pre_G`` against it pair by pair with
+    duplicate checks -- performing exactly the useless-1 (closure computed
+    from *every* vertex of ``G_R``) and redundant-1/redundant-2 (repeated
+    end-set enumeration per SCC) operations RTCSharing eliminates.
+    """
+
+    name = "Full"
+
+    def __init__(
+        self,
+        graph: LabeledMultigraph,
+        cache_mode: str = "syntactic",
+        collect_counters: bool = False,
+        strict_labels: bool = False,
+        max_clauses: int = 4096,
+        clause_evaluator: str = "auto",
+        simplify_queries: bool = False,
+    ) -> None:
+        super().__init__(
+            graph,
+            collect_counters,
+            strict_labels,
+            max_clauses,
+            clause_evaluator,
+            simplify_queries,
+        )
+        self.closure_cache = ClosureCache(mode=cache_mode)
+
+    def closure_for(self, r: str | RegexNode) -> dict:
+        """The (cached) materialised ``R+_G`` indexed by start vertex."""
+        node = parse(r)
+        key, entry = self.closure_cache.lookup(node)
+        if entry is not None:
+            return entry
+        rg_pairs = self._evaluate_node(node)  # R_G: Remainder
+        with self.timer.measure(PHASE_SHARED_DATA):
+            entry = self._materialise_closure(rg_pairs)
+        self.closure_cache.store(key, entry)
+        return entry
+
+    def _materialise_closure(self, rg_pairs: Pairs) -> dict:
+        """``R+_G`` by per-vertex BFS over ``G_R`` -- O(|V_R| * |E_R|).
+
+        Every vertex of ``G_R`` seeds a walk (the useless-1 work), and the
+        result stores one end-set per vertex.
+        """
+        graph = DiGraph.from_pairs(rg_pairs)
+        closure: dict[object, frozenset] = {}
+        counters = self.counters
+        for start in graph.vertices():
+            if counters is not None:
+                counters.closure_walk_starts += 1
+            seen: set = set()
+            queue: deque = deque(graph.successors(start))
+            while queue:
+                vertex = queue.popleft()
+                if vertex in seen:
+                    continue
+                seen.add(vertex)
+                for successor in graph.successors(vertex):
+                    if counters is not None:
+                        counters.edges_scanned += 1
+                    if successor not in seen:
+                        queue.append(successor)
+            closure[start] = frozenset(seen)
+        return closure
+
+    def _closure_vertices(self, r: RegexNode):
+        return self.closure_for(r).keys()
+
+    def _eval_batch_unit(self, unit: BatchUnit) -> Pairs:
+        entry = self.closure_for(unit.r)
+        pre_pairs = self._eval_pre(unit)
+        post = self._post_evaluator(unit)
+        counters = self.counters
+        with self.timer.measure(PHASE_PRE_JOIN):
+            joined: Pairs = set(pre_pairs) if unit.type == "*" else set()
+            for vi, vj in pre_pairs:
+                if counters is not None:
+                    counters.join_probes += 1
+                ends = entry.get(vj)
+                if not ends:
+                    continue
+                if counters is not None:
+                    # Every insert performs a duplicate check; repeated for
+                    # Pre pairs sharing a start vertex (redundant-1/2 work).
+                    counters.dup_checks += len(ends)
+                for vk in ends:
+                    joined.add((vi, vk))
+        with self.timer.measure(PHASE_REMAINDER):
+            return apply_post(self.graph, joined, post, counters)
+
+    def shared_data_size(self) -> int:
+        return self.closure_cache.total_shared_pairs()
+
+    def reset_cache(self) -> None:
+        self.closure_cache.clear()
+
+
+_ENGINES = {
+    "no": NoSharingEngine,
+    "full": FullSharingEngine,
+    "rtc": RTCSharingEngine,
+}
+
+
+def make_engine(name: str, graph: LabeledMultigraph, **kwargs) -> RPQEngine:
+    """Engine factory: ``name`` in ``{"no", "full", "rtc"}`` (case-blind)."""
+    try:
+        engine_class = _ENGINES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; expected one of {sorted(_ENGINES)}"
+        ) from None
+    return engine_class(graph, **kwargs)

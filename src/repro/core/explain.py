@@ -1,0 +1,143 @@
+"""``explain(query)`` -- show how RTCSharing will evaluate a query.
+
+A textual evaluation plan in the spirit of SQL ``EXPLAIN``: the DNF
+clauses, each clause's ``(Pre, R, Type, Post)`` decomposition, the RTC
+cache key and its current hit/miss status, the chosen ``Post`` fast path,
+and the relational-algebra expression of the batch unit (Eq. (6)-(10)).
+
+Purely *static*: nothing is evaluated and no RTC is computed, so
+explaining a query is always cheap and side-effect-free (cache stats are
+not touched either).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.decompose import BatchUnit, decompose_clause
+from repro.core.dnf import clause_to_regex, to_dnf
+from repro.core.planner import estimate_cost
+from repro.graph.multigraph import LabeledMultigraph
+from repro.regex.ast import Epsilon, RegexNode
+from repro.regex.parser import parse
+
+__all__ = ["ClausePlan", "QueryPlan", "explain"]
+
+
+@dataclass(frozen=True)
+class ClausePlan:
+    """The plan of one DNF clause."""
+
+    clause: str
+    pre: str | None
+    r: str | None
+    closure_type: str | None
+    post: str | None
+    post_strategy: str  # "epsilon" | "label-sequence" | "automaton" | "whole-clause"
+    rtc_key: str | None
+    rtc_cached: bool
+    estimated_cost: float
+
+    @property
+    def is_batch_unit(self) -> bool:
+        return self.closure_type is not None
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The plan of a whole query: one entry per DNF clause."""
+
+    query: str
+    clauses: tuple[ClausePlan, ...]
+
+    def describe(self) -> str:
+        """Readable multi-line rendering (what the CLI prints)."""
+        lines = [f"query: {self.query}", f"clauses: {len(self.clauses)}"]
+        for index, plan in enumerate(self.clauses):
+            lines.append(f"  clause {index}: {plan.clause}")
+            if not plan.is_batch_unit:
+                lines.append(
+                    f"    EvalRPQwithoutKC via {plan.post_strategy} "
+                    f"(est. cost {plan.estimated_cost:.0f})"
+                )
+                continue
+            lines.append(f"    Pre  = {plan.pre}")
+            lines.append(
+                f"    R    = {plan.r}   [closure {plan.closure_type}, "
+                f"RTC key {'HIT' if plan.rtc_cached else 'miss'}: {plan.rtc_key}]"
+            )
+            lines.append(f"    Post = {plan.post} via {plan.post_strategy}")
+            lines.append(
+                "    pipeline: Pre_G ⋈ SCC ⋈ R̄+_G ⋈ SCC ⋈ Post_G "
+                f"(Eq. 6-10; est. cost {plan.estimated_cost:.0f})"
+            )
+        return "\n".join(lines)
+
+
+def _post_strategy(unit: BatchUnit) -> str:
+    if unit.type is None:
+        if isinstance(unit.post, Epsilon):
+            return "epsilon"
+        if unit.post_labels:
+            return "label-sequence"
+        return "whole-clause"
+    if isinstance(unit.post, Epsilon):
+        return "epsilon"
+    return "label-sequence"
+
+
+def explain(
+    graph: LabeledMultigraph,
+    query: str | RegexNode,
+    rtc_cache=None,
+    cache_key=None,
+    max_clauses: int = 4096,
+) -> QueryPlan:
+    """Build the static evaluation plan of ``query``.
+
+    ``rtc_cache`` (an :class:`~repro.core.cache.RTCCache`) and its key
+    function are optional; when given, each batch unit reports whether its
+    RTC is already cached.  :meth:`RTCSharingEngine.explain` passes the
+    engine's own cache.
+    """
+    node = parse(query)
+    clause_plans: list[ClausePlan] = []
+    for clause in to_dnf(node, max_clauses):
+        unit = decompose_clause(clause)
+        clause_text = clause_to_regex(clause).to_string()
+        if unit.type is None:
+            clause_plans.append(
+                ClausePlan(
+                    clause=clause_text,
+                    pre=None,
+                    r=None,
+                    closure_type=None,
+                    post=unit.post.to_string(),
+                    post_strategy=_post_strategy(unit),
+                    rtc_key=None,
+                    rtc_cached=False,
+                    estimated_cost=estimate_cost(graph, unit.post),
+                )
+            )
+            continue
+        key = None
+        cached = False
+        if rtc_cache is not None:
+            key = rtc_cache.key_for(unit.r)
+            cached = unit.r in rtc_cache
+        elif cache_key is not None:
+            key = cache_key(unit.r)
+        clause_plans.append(
+            ClausePlan(
+                clause=clause_text,
+                pre=unit.pre.to_string(),
+                r=unit.r.to_string(),
+                closure_type=unit.type,
+                post=unit.post.to_string(),
+                post_strategy=_post_strategy(unit),
+                rtc_key=key,
+                rtc_cached=cached,
+                estimated_cost=estimate_cost(graph, unit.r),
+            )
+        )
+    return QueryPlan(query=node.to_string(), clauses=tuple(clause_plans))

@@ -1,0 +1,162 @@
+"""The reduced transitive closure (RTC) -- paper Section III-C.
+
+The RTC is the paper's lightweight shareable structure: instead of
+materialising the full closure result ``R+_G`` (up to ``|V_R|^2`` vertex
+pairs), share
+
+* the SCC membership of the edge-level reduced graph ``G_R`` (the relation
+  ``SCC(V, S)`` of Section IV-B), and
+* the transitive closure of the condensation ``Ḡ_R`` (the relation
+  ``R̄+_G(START_S, END_S)``).
+
+Theorem 1 reconstructs ``R+_G`` as the union of Cartesian products
+``s_k x s_l`` over closed SCC pairs ``(v̄_k, v̄_l)``;
+:meth:`ReducedTransitiveClosure.expand` implements it verbatim and the test
+suite checks it against four independent closure algorithms.
+
+:func:`compute_rtc` is ``Compute_RTC`` of Algorithm 1 (line 11): build
+``G_R`` from the evaluation result ``R_G`` (which *is* the edge set
+``E_R``), run Tarjan, and close the condensation with the bitset DP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import Condensation, condense
+from repro.graph.transitive_closure import dag_closure_bitsets, iter_bits
+
+__all__ = ["ReducedTransitiveClosure", "compute_rtc"]
+
+
+@dataclass(frozen=True)
+class ReducedTransitiveClosure:
+    """``R̄+_G`` plus the SCC bookkeeping needed to interpret it.
+
+    Attributes
+    ----------
+    condensation:
+        The vertex-level reduction of ``G_R`` (SCC map + condensed DAG).
+    closure:
+        ``scc_id -> frozenset(scc_id)``: the transitive closure of
+        ``Ḡ_R``.  ``s`` appears in ``closure[s]`` iff the SCC is cyclic.
+    num_gr_vertices / num_gr_edges:
+        ``|V_R|`` and ``|E_R|`` of the edge-level reduced graph, kept for
+        the statistics of Figs. 12-13 and Table III.
+    """
+
+    condensation: Condensation
+    closure: dict[int, frozenset[int]]
+    num_gr_vertices: int
+    num_gr_edges: int
+
+    # ------------------------------------------------------------------
+    # structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def scc_of(self) -> dict:
+        """Vertex of ``G_R`` -> SCC id (the relation ``SCC(V, S)``)."""
+        return self.condensation.scc_of
+
+    def members(self, scc_id: int) -> tuple:
+        """Vertices of the SCC ``s_i`` (the set the paper also calls s_i)."""
+        return self.condensation.members[scc_id]
+
+    @property
+    def num_sccs(self) -> int:
+        """``|V̄_R|`` -- vertex count of the two-level reduced graph."""
+        return self.condensation.num_sccs
+
+    @property
+    def num_pairs(self) -> int:
+        """Size of the shared data: number of pairs in ``TC(Ḡ_R)``.
+
+        This is the quantity Fig. 12 plots for RTCSharing.
+        """
+        return sum(len(targets) for targets in self.closure.values())
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """Iterate the SCC-id pairs of ``TC(Ḡ_R)``."""
+        for source_id, targets in self.closure.items():
+            for target_id in targets:
+                yield (source_id, target_id)
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+    def reaches(self, source: object, target: object) -> bool:
+        """Membership test ``(source, target) in R+_G`` without expansion.
+
+        Two dictionary lookups and one set test -- the RTC doubling as a
+        reachability index over ``G_R`` (related-work Section VI).
+        """
+        scc_of = self.condensation.scc_of
+        source_id = scc_of.get(source)
+        target_id = scc_of.get(target)
+        if source_id is None or target_id is None:
+            return False
+        return target_id in self.closure[source_id]
+
+    def ends_from(self, vertex: object) -> Iterator[object]:
+        """All ``w`` with ``(vertex, w) in R+_G``, lazily (Theorem 1 row)."""
+        scc_id = self.condensation.scc_of.get(vertex)
+        if scc_id is None:
+            return
+        members = self.condensation.members
+        for target_id in self.closure[scc_id]:
+            yield from members[target_id]
+
+    def expand(self) -> set[tuple[object, object]]:
+        """Theorem 1: materialise ``R+_G`` from the RTC.
+
+        ``R+_G = {(v_i, v_j) | (v̄_k, v̄_l) in TC(Ḡ_R), (v_i, v_j) in
+        s_k x s_l}``.
+        """
+        result: set[tuple[object, object]] = set()
+        members = self.condensation.members
+        for source_id, targets in self.closure.items():
+            source_members = members[source_id]
+            for target_id in targets:
+                target_members = members[target_id]
+                for source in source_members:
+                    for target in target_members:
+                        result.add((source, target))
+        return result
+
+    @property
+    def num_expanded_pairs(self) -> int:
+        """``|R+_G|`` computed without materialising it (sum of products)."""
+        members = self.condensation.members
+        total = 0
+        for source_id, targets in self.closure.items():
+            source_size = len(members[source_id])
+            for target_id in targets:
+                total += source_size * len(members[target_id])
+        return total
+
+
+def compute_rtc(rg: Iterable[tuple[object, object]] | DiGraph) -> ReducedTransitiveClosure:
+    """``Compute_RTC(R_G)`` of Algorithm 1: ``R_G -> G_R -> Ḡ_R -> TC(Ḡ_R)``.
+
+    ``rg`` is the evaluation result of ``R`` on ``G`` -- by definition the
+    edge set of the edge-level reduced graph ``G_R`` (Lemma 1's setup) --
+    either as an iterable of vertex pairs or as an already-built
+    :class:`DiGraph`.
+    """
+    if isinstance(rg, DiGraph):
+        graph = rg
+    else:
+        graph = DiGraph.from_pairs(rg)
+    condensation = condense(graph)
+    bitsets = dag_closure_bitsets(condensation)
+    closure = {
+        scc_id: frozenset(iter_bits(mask)) for scc_id, mask in bitsets.items()
+    }
+    return ReducedTransitiveClosure(
+        condensation=condensation,
+        closure=closure,
+        num_gr_vertices=graph.num_vertices,
+        num_gr_edges=graph.num_edges,
+    )

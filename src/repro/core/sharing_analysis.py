@@ -1,0 +1,153 @@
+"""Common-sub-query analysis across a multiple-RPQ set.
+
+FullSharing's origin paper (Abul-Basher [8]) *finds* the common sub-query
+of a query set before sharing it; our engines share opportunistically
+through the cache.  This module makes the sharing structure explicit and
+inspectable before execution:
+
+* which closure bodies occur in the set, under syntactic or semantic
+  (language-level) keys;
+* how often each would be recomputed without sharing;
+* a cost-model estimate of the work sharing saves.
+
+Used by the linked-data example and the planner benchmarks; also a handy
+workload-debugging tool ("why is nothing shared?" -> distinct Rs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cache import make_key_function
+from repro.core.decompose import decompose_clause
+from repro.core.dnf import to_dnf
+from repro.core.planner import estimate_cost
+from repro.graph.multigraph import LabeledMultigraph
+from repro.regex.parser import parse
+
+__all__ = ["SharedBody", "SharingReport", "analyse_sharing"]
+
+
+@dataclass(frozen=True)
+class SharedBody:
+    """One distinct closure body and where it occurs."""
+
+    key: str
+    representative: str  # a human-readable spelling of the body
+    occurrences: int
+    query_indexes: tuple[int, ...]
+    estimated_cost: float
+
+    @property
+    def is_shared(self) -> bool:
+        """True when at least two batch units would reuse this body."""
+        return self.occurrences > 1
+
+    @property
+    def estimated_saving(self) -> float:
+        """Cost-model estimate of the recomputation sharing avoids."""
+        return self.estimated_cost * (self.occurrences - 1)
+
+
+@dataclass
+class SharingReport:
+    """The sharing structure of a multiple-RPQ set."""
+
+    bodies: list[SharedBody] = field(default_factory=list)
+    num_queries: int = 0
+    num_batch_units: int = 0
+
+    @property
+    def shared_bodies(self) -> list[SharedBody]:
+        """Bodies occurring in more than one batch unit."""
+        return [body for body in self.bodies if body.is_shared]
+
+    @property
+    def total_estimated_saving(self) -> float:
+        """Summed cost-model saving across all shared bodies."""
+        return sum(body.estimated_saving for body in self.bodies)
+
+    def describe(self) -> str:
+        """A short human-readable summary."""
+        lines = [
+            f"{self.num_queries} queries, {self.num_batch_units} batch units, "
+            f"{len(self.bodies)} distinct closure bodies, "
+            f"{len(self.shared_bodies)} shared"
+        ]
+        for body in sorted(
+            self.bodies, key=lambda item: -item.estimated_saving
+        ):
+            marker = "*" if body.is_shared else " "
+            lines.append(
+                f" {marker} ({body.representative})+ x{body.occurrences} "
+                f"in queries {list(body.query_indexes)}"
+            )
+        return "\n".join(lines)
+
+
+def analyse_sharing(
+    graph: LabeledMultigraph,
+    queries,
+    cache_mode: str = "syntactic",
+) -> SharingReport:
+    """Analyse which closure bodies a query set would share.
+
+    ``cache_mode`` mirrors the engines: ``"semantic"`` identifies
+    language-equal bodies spelled differently (they *would* share under a
+    semantic cache), ``"syntactic"`` matches textual reuse only.  Nested
+    closures are walked recursively, exactly as Algorithm 1 would visit
+    them (the body of ``( (a)+ . b )+`` contributes both bodies).
+    """
+    key_function = make_key_function(cache_mode)
+    found: dict[str, dict] = {}
+    num_batch_units = 0
+
+    def visit(node, query_index: int) -> None:
+        nonlocal num_batch_units
+        for clause in to_dnf(node):
+            unit = decompose_clause(clause)
+            num_batch_units += 1
+            if unit.r is None:
+                continue
+            key = key_function(unit.r)
+            entry = found.setdefault(
+                key,
+                {
+                    "representative": unit.r.to_string(),
+                    "occurrences": 0,
+                    "queries": [],
+                    "cost": estimate_cost(graph, unit.r),
+                },
+            )
+            entry["occurrences"] += 1
+            entry["queries"].append(query_index)
+            # Recurse like Algorithm 1: Pre may hide more closures, and
+            # the body itself may nest closures.
+            visit_sub(unit.pre, query_index)
+            visit_sub(unit.r, query_index)
+
+    def visit_sub(node, query_index: int) -> None:
+        from repro.regex.ast import contains_closure
+
+        if contains_closure(node):
+            visit(node, query_index)
+
+    queries = list(queries)
+    for query_index, query in enumerate(queries):
+        visit(parse(query), query_index)
+
+    bodies = [
+        SharedBody(
+            key=key,
+            representative=entry["representative"],
+            occurrences=entry["occurrences"],
+            query_indexes=tuple(entry["queries"]),
+            estimated_cost=entry["cost"],
+        )
+        for key, entry in found.items()
+    ]
+    return SharingReport(
+        bodies=bodies,
+        num_queries=len(queries),
+        num_batch_units=num_batch_units,
+    )

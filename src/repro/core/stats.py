@@ -1,0 +1,74 @@
+"""Reduction and sharing statistics -- the quantities of Figs. 12-13.
+
+:func:`reduction_stats` measures, for a graph and a closure body ``R``:
+
+* ``|V_R|``, ``|E_R|``      -- the edge-level reduced graph (what
+  FullSharing's closure runs on, Fig. 13's Full series);
+* ``|V̄_R|``, ``|Ē_R|``     -- the condensation (Fig. 13's RTC series);
+* ``full_closure_pairs``    -- ``|R+_G|`` (Fig. 12's Full series);
+* ``rtc_pairs``             -- ``|TC(Ḡ_R)|`` (Fig. 12's RTC series);
+* ``average_scc_size``      -- the paper's Yago2s diagnostic (1.00 means
+  vertex-level reduction buys nothing).
+
+``full_closure_pairs`` is computed from the RTC by the sum-of-products
+formula of Theorem 1, so the statistic is exact without materialising the
+closure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.reduction import reduce_graph
+from repro.graph.multigraph import LabeledMultigraph
+from repro.regex.ast import RegexNode
+
+__all__ = ["ReductionStats", "reduction_stats"]
+
+
+@dataclass(frozen=True)
+class ReductionStats:
+    """All size statistics of a two-level reduction for one ``R``."""
+
+    query: str
+    num_graph_vertices: int
+    num_graph_edges: int
+    num_gr_vertices: int
+    num_gr_edges: int
+    num_condensed_vertices: int
+    num_condensed_edges: int
+    rtc_pairs: int
+    full_closure_pairs: int
+    average_scc_size: float
+
+    @property
+    def vertex_reduction_ratio(self) -> float:
+        """``|V_R| / |V̄_R|`` -- how much the vertex level shrinks (Fig. 13)."""
+        if self.num_condensed_vertices == 0:
+            return 1.0
+        return self.num_gr_vertices / self.num_condensed_vertices
+
+    @property
+    def shared_size_ratio(self) -> float:
+        """``|R+_G| / |TC(Ḡ_R)|`` -- shared-data saving (Fig. 12)."""
+        if self.rtc_pairs == 0:
+            return 1.0
+        return self.full_closure_pairs / self.rtc_pairs
+
+
+def reduction_stats(graph: LabeledMultigraph, query: str | RegexNode) -> ReductionStats:
+    """Measure the reduction of ``graph`` for closure body ``query``."""
+    result = reduce_graph(graph, query)
+    rtc = result.rtc
+    return ReductionStats(
+        query=str(query),
+        num_graph_vertices=graph.num_vertices,
+        num_graph_edges=graph.num_edges,
+        num_gr_vertices=result.num_gr_vertices,
+        num_gr_edges=result.num_gr_edges,
+        num_condensed_vertices=result.num_condensed_vertices,
+        num_condensed_edges=result.num_condensed_edges,
+        rtc_pairs=rtc.num_pairs,
+        full_closure_pairs=rtc.num_expanded_pairs,
+        average_scc_size=result.average_scc_size,
+    )

@@ -1,0 +1,38 @@
+"""Dataset generation: R-MAT synthetics and Table-IV real-data stand-ins.
+
+Public surface:
+
+* :func:`rmat_graph` / :func:`rmat_n` -- the paper's TrillionG-generated
+  ``RMAT_N`` family, re-implemented from the R-MAT model;
+* :data:`TABLE4_SPECS` and the per-dataset factories
+  (:func:`yago2s_like`, :func:`robots_like`, :func:`advogato_like`,
+  :func:`youtube_like`, :func:`load_standin`) -- synthetic graphs matching
+  the published |V| / |E| / |Sigma| statistics of Table IV.
+"""
+
+from repro.datasets.rmat import default_labels, rmat_edges, rmat_graph, rmat_n
+from repro.datasets.standins import (
+    TABLE4_SPECS,
+    DatasetSpec,
+    advogato_like,
+    load_standin,
+    make_standin,
+    robots_like,
+    yago2s_like,
+    youtube_like,
+)
+
+__all__ = [
+    "rmat_edges",
+    "rmat_graph",
+    "rmat_n",
+    "default_labels",
+    "DatasetSpec",
+    "TABLE4_SPECS",
+    "make_standin",
+    "yago2s_like",
+    "robots_like",
+    "advogato_like",
+    "youtube_like",
+    "load_standin",
+]

@@ -1,0 +1,131 @@
+"""R-MAT synthetic graph generation (the paper's TrillionG stand-in).
+
+The paper generates its synthetic graphs with TrillionG [18], a
+trillion-scale implementation of the R-MAT recursive-matrix model [17],
+then assigns a uniformly random label to every edge.  This module
+re-implements the R-MAT model directly (numpy-vectorised: one quadrant
+draw per adjacency-matrix bit for the whole edge batch at once) and the
+same random labeling.
+
+:func:`rmat_n` mirrors the paper's ``RMAT_N`` family: ``|V| = 2^scale``
+vertices and ``2^{N+scale}`` edges over ``|Sigma| = 4`` labels, i.e. an
+average vertex degree per label of ``2^{N-2}``.  The paper uses
+``scale = 13``; the Python benchmarks default to smaller scales with the
+*same degree sweep*, which is the variable Figs. 10-13 study (see
+DESIGN.md, substitutions).
+
+Duplicate ``(source, label, target)`` triples are dropped (the data model
+requires distinct labels between a vertex pair); the generator oversamples
+in rounds until the requested edge count is reached or the space is
+saturated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.graph.multigraph import LabeledMultigraph
+
+__all__ = ["rmat_edges", "rmat_graph", "rmat_n", "default_labels"]
+
+#: The classic R-MAT quadrant probabilities [17].
+DEFAULT_PROBABILITIES = (0.57, 0.19, 0.19, 0.05)
+
+
+def default_labels(num_labels: int) -> list[str]:
+    """Label alphabet ``l0, l1, ...`` used by the synthetic datasets."""
+    return [f"l{i}" for i in range(num_labels)]
+
+
+def rmat_edges(
+    scale: int,
+    num_edges: int,
+    rng: np.random.Generator,
+    probabilities: tuple[float, float, float, float] = DEFAULT_PROBABILITIES,
+) -> np.ndarray:
+    """Sample ``num_edges`` R-MAT edges over ``2^scale`` vertices.
+
+    Returns an ``(num_edges, 2)`` int64 array of (source, target) pairs,
+    duplicates included (the caller dedups at the labeled-edge level).
+    Each of the ``scale`` recursion levels picks one quadrant per edge:
+    quadrant a keeps both coordinate bits 0, b sets the target bit,
+    c the source bit, d both.
+    """
+    a, b, c, _d = probabilities
+    sources = np.zeros(num_edges, dtype=np.int64)
+    targets = np.zeros(num_edges, dtype=np.int64)
+    thresholds = (a, a + b, a + b + c)
+    for level in range(scale):
+        draws = rng.random(num_edges)
+        quadrant_b = (draws >= thresholds[0]) & (draws < thresholds[1])
+        quadrant_c = (draws >= thresholds[1]) & (draws < thresholds[2])
+        quadrant_d = draws >= thresholds[2]
+        bit = np.int64(1 << level)
+        targets += bit * (quadrant_b | quadrant_d)
+        sources += bit * (quadrant_c | quadrant_d)
+    return np.stack([sources, targets], axis=1)
+
+
+def rmat_graph(
+    scale: int,
+    num_edges: int,
+    num_labels: int,
+    seed: int = 0,
+    probabilities: tuple[float, float, float, float] = DEFAULT_PROBABILITIES,
+    max_rounds: int = 16,
+    include_all_vertices: bool = True,
+) -> LabeledMultigraph:
+    """An edge-labeled R-MAT multigraph with ``2^scale`` vertices.
+
+    Labels are assigned uniformly at random (the paper's procedure for
+    making TrillionG output edge-labeled).  Oversamples for up to
+    ``max_rounds`` rounds to replace deduplicated triples; raises
+    :class:`~repro.errors.WorkloadError` if the requested count cannot be
+    reached (label space saturated).
+    """
+    if num_labels < 1:
+        raise WorkloadError("num_labels must be >= 1")
+    rng = np.random.default_rng(seed)
+    labels = default_labels(num_labels)
+    graph = LabeledMultigraph()
+    if include_all_vertices:
+        for vertex in range(1 << scale):
+            graph.add_vertex(vertex)
+
+    remaining = num_edges
+    for _round in range(max_rounds):
+        if remaining <= 0:
+            break
+        batch = max(remaining + remaining // 4 + 16, 64)
+        pairs = rmat_edges(scale, batch, rng, probabilities)
+        label_ids = rng.integers(0, num_labels, size=batch)
+        for (source, target), label_id in zip(pairs.tolist(), label_ids.tolist()):
+            if remaining <= 0:
+                break
+            if graph.add_edge_if_absent(source, labels[label_id], target):
+                remaining -= 1
+    if remaining > 0:
+        raise WorkloadError(
+            f"could not place {num_edges} distinct labeled edges in a "
+            f"2^{scale}-vertex, {num_labels}-label R-MAT graph"
+        )
+    return graph
+
+
+def rmat_n(
+    n: int,
+    scale: int = 10,
+    num_labels: int = 4,
+    seed: int = 0,
+) -> LabeledMultigraph:
+    """The paper's ``RMAT_N``: ``2^scale`` vertices, ``2^{n+scale}`` edges.
+
+    Average vertex degree per label is ``2^{n - log2(num_labels)}``
+    (``2^{n-2}`` with the default 4 labels), matching the x-axis of
+    Figs. 10-13.  The paper uses ``scale=13``; the default 10 keeps the
+    sweep Python-feasible with identical degrees.
+    """
+    if n < 0:
+        raise WorkloadError("n must be >= 0")
+    return rmat_graph(scale, 1 << (n + scale), num_labels, seed=seed)

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so downstream users can catch one base class.  The
+sub-classes are split along the package boundaries: graph-model violations,
+RPQ syntax problems, and evaluation-time failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Violation of the graph data model (Section II-A of the paper).
+
+    Raised, for example, when adding a duplicate ``(source, label, target)``
+    edge to a :class:`~repro.graph.LabeledMultigraph` -- the paper's data
+    model allows parallel edges between two vertices only when their labels
+    differ.
+    """
+
+
+class VertexNotFoundError(GraphError):
+    """An operation referenced a vertex that is not part of the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class GraphFormatError(GraphError):
+    """A serialized graph (edge list / adjacency file) could not be parsed."""
+
+
+class RPQSyntaxError(ReproError):
+    """The textual form of a regular path query could not be parsed.
+
+    Carries the offending ``position`` (character offset into the query
+    string) when it is known, so callers can point at the error.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class EvaluationError(ReproError):
+    """An RPQ could not be evaluated against the given graph."""
+
+
+class UnknownLabelError(EvaluationError):
+    """The query references an edge label absent from the graph's alphabet.
+
+    Evaluating such a query is still well defined (the label simply matches
+    no edge); this error is raised only when the caller explicitly requests
+    strict alphabet checking.
+    """
+
+    def __init__(self, label: str) -> None:
+        super().__init__(f"label {label!r} does not occur in the graph")
+        self.label = label
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload could not be generated with the given settings."""

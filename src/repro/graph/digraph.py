@@ -1,0 +1,180 @@
+"""Unlabeled simple directed graph -- the target of the paper's reductions.
+
+Both reduction products of Section III are plain directed graphs:
+
+* ``G_R``  (edge-level reduction): one unlabeled edge per vertex pair
+  connected by a path satisfying ``R`` -- a *simple* graph because parallel
+  paths collapse onto one edge;
+* ``Ḡ_R`` (vertex-level reduction): the condensation of ``G_R`` where each
+  SCC becomes one vertex; self-loops mark cyclic SCCs.
+
+:class:`DiGraph` keeps successor and predecessor adjacency sets.  Vertices
+are arbitrary hashable objects (the library uses ints for ``G_R`` and SCC
+ids for ``Ḡ_R``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import VertexNotFoundError
+
+__all__ = ["DiGraph"]
+
+
+class DiGraph:
+    """A simple directed graph with O(1) edge insertion and membership.
+
+    >>> g = DiGraph.from_pairs([(0, 1), (1, 2), (2, 0)])
+    >>> sorted(g.successors(0))
+    [1]
+    >>> g.has_edge(2, 0)
+    True
+    """
+
+    __slots__ = ("_succ", "_pred", "_vertices", "_num_edges")
+
+    def __init__(self) -> None:
+        self._succ: dict[object, set[object]] = {}
+        self._pred: dict[object, set[object]] = {}
+        self._vertices: set[object] = set()
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: object) -> None:
+        """Add an isolated vertex (no-op when present)."""
+        self._vertices.add(vertex)
+
+    def add_edge(self, source: object, target: object) -> bool:
+        """Add the edge ``source -> target``; return True when it was new.
+
+        Duplicate insertions are silently ignored (the graph is simple),
+        which is exactly the collapse behaviour the edge-level reduction
+        needs: many satisfying paths map onto one reduced edge.
+        """
+        successors = self._succ.setdefault(source, set())
+        if target in successors:
+            return False
+        successors.add(target)
+        self._pred.setdefault(target, set()).add(source)
+        self._vertices.add(source)
+        self._vertices.add(target)
+        self._num_edges += 1
+        return True
+
+    def add_edges(self, pairs: Iterable[tuple[object, object]]) -> None:
+        """Add many ``(source, target)`` pairs."""
+        for source, target in pairs:
+            self.add_edge(source, target)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[object, object]]) -> "DiGraph":
+        """Build a graph from an iterable of edge pairs."""
+        graph = cls()
+        graph.add_edges(pairs)
+        return graph
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (isolated ones included)."""
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return self._num_edges
+
+    def vertices(self) -> Iterator[object]:
+        """Iterate over the vertex set."""
+        return iter(self._vertices)
+
+    def edges(self) -> Iterator[tuple[object, object]]:
+        """Iterate over all edges as ``(source, target)`` pairs."""
+        for source, successors in self._succ.items():
+            for target in successors:
+                yield (source, target)
+
+    def edge_set(self) -> set[tuple[object, object]]:
+        """All edges materialised as a set of pairs."""
+        return set(self.edges())
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._vertices
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def has_edge(self, source: object, target: object) -> bool:
+        """True when the edge ``source -> target`` exists."""
+        return target in self._succ.get(source, ())
+
+    def has_self_loop(self, vertex: object) -> bool:
+        """True when ``vertex`` has an edge to itself."""
+        return vertex in self._succ.get(vertex, ())
+
+    def successors(self, vertex: object) -> frozenset:
+        """Vertices reachable from ``vertex`` by one edge."""
+        successors = self._succ.get(vertex)
+        return frozenset(successors) if successors else frozenset()
+
+    def predecessors(self, vertex: object) -> frozenset:
+        """Vertices with an edge into ``vertex``."""
+        predecessors = self._pred.get(vertex)
+        return frozenset(predecessors) if predecessors else frozenset()
+
+    def out_degree(self, vertex: object) -> int:
+        """Number of out-edges of ``vertex``."""
+        if vertex not in self._vertices:
+            raise VertexNotFoundError(vertex)
+        return len(self._succ.get(vertex, ()))
+
+    def in_degree(self, vertex: object) -> int:
+        """Number of in-edges of ``vertex``."""
+        if vertex not in self._vertices:
+            raise VertexNotFoundError(vertex)
+        return len(self._pred.get(vertex, ()))
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "DiGraph":
+        """A new graph with all edges flipped."""
+        reversed_graph = DiGraph()
+        for vertex in self._vertices:
+            reversed_graph.add_vertex(vertex)
+        for source, target in self.edges():
+            reversed_graph.add_edge(target, source)
+        return reversed_graph
+
+    def subgraph(self, vertices: Iterable[object]) -> "DiGraph":
+        """The induced subgraph on ``vertices``."""
+        keep = set(vertices)
+        sub = DiGraph()
+        for vertex in keep:
+            if vertex in self._vertices:
+                sub.add_vertex(vertex)
+        for source, target in self.edges():
+            if source in keep and target in keep:
+                sub.add_edge(source, target)
+        return sub
+
+    def copy(self) -> "DiGraph":
+        """An independent deep copy."""
+        duplicate = DiGraph()
+        for vertex in self._vertices:
+            duplicate.add_vertex(vertex)
+        duplicate.add_edges(self.edges())
+        return duplicate
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return self._vertices == other._vertices and self.edge_set() == other.edge_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

@@ -1,0 +1,274 @@
+"""Edge-labeled directed multigraph -- the paper's data model (Section II-A).
+
+The paper defines the RPQ data model as a 5-tuple ``G = (V, E, f, Sigma, l)``:
+a set of vertices, a set of directed edges, an incidence function mapping each
+edge to an ordered vertex pair, a label alphabet, and a labeling function.
+Parallel edges between the same ordered vertex pair are allowed **only when
+their labels differ**, so an edge is fully identified by the triple
+``(source, label, target)``.
+
+:class:`LabeledMultigraph` stores three indexes so that every access pattern
+used by the RPQ evaluators is O(1)-ish:
+
+* ``_out``:  ``source -> label -> set(targets)`` -- forward traversal during
+  automaton evaluation;
+* ``_in``:   ``target -> label -> set(sources)`` -- backward traversal (used
+  by the rare-label join evaluator and by reverse reachability);
+* ``_by_label``: ``label -> set((source, target))`` -- whole-label scans used
+  by the label-join evaluator and by workload statistics.
+
+Vertices may be any hashable object; the library and the paper use small
+integers throughout, which keeps the indexes compact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import TypeVar
+
+from repro.errors import GraphError, VertexNotFoundError
+
+Vertex = TypeVar("Vertex", bound=Hashable)
+
+__all__ = ["LabeledMultigraph", "Edge"]
+
+Edge = tuple  # (source, label, target); alias for documentation purposes
+
+
+class LabeledMultigraph:
+    """An edge-labeled directed multigraph ``G = (V, E, f, Sigma, l)``.
+
+    >>> g = LabeledMultigraph()
+    >>> g.add_edge(0, "a", 1)
+    >>> g.add_edge(0, "b", 1)      # parallel edge, different label: allowed
+    >>> g.add_edge(1, "a", 0)
+    >>> sorted(g.targets(0, "a"))
+    [1]
+    >>> g.num_edges
+    3
+    """
+
+    __slots__ = ("_out", "_in", "_by_label", "_vertices", "_num_edges")
+
+    def __init__(self) -> None:
+        self._out: dict[object, dict[str, set[object]]] = {}
+        self._in: dict[object, dict[str, set[object]]] = {}
+        self._by_label: dict[str, set[tuple[object, object]]] = {}
+        self._vertices: set[object] = set()
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: object) -> None:
+        """Add an isolated vertex (a no-op if it already exists)."""
+        self._vertices.add(vertex)
+
+    def add_edge(self, source: object, label: str, target: object) -> None:
+        """Add the edge ``e(source, label, target)``.
+
+        Raises :class:`~repro.errors.GraphError` if the identical labeled
+        edge already exists: the data model forbids two parallel edges with
+        the same label.
+        """
+        if not isinstance(label, str):
+            raise GraphError(f"edge labels must be strings, got {label!r}")
+        targets = self._out.setdefault(source, {}).setdefault(label, set())
+        if target in targets:
+            raise GraphError(
+                f"duplicate edge ({source!r}, {label!r}, {target!r}); the data "
+                "model allows parallel edges only with distinct labels"
+            )
+        targets.add(target)
+        self._in.setdefault(target, {}).setdefault(label, set()).add(source)
+        self._by_label.setdefault(label, set()).add((source, target))
+        self._vertices.add(source)
+        self._vertices.add(target)
+        self._num_edges += 1
+
+    def add_edges(self, edges: Iterable[tuple[object, str, object]]) -> None:
+        """Add many ``(source, label, target)`` triples."""
+        for source, label, target in edges:
+            self.add_edge(source, label, target)
+
+    def add_edge_if_absent(self, source: object, label: str, target: object) -> bool:
+        """Add the edge unless it already exists; return True when added.
+
+        Random generators (R-MAT) produce duplicate triples; this is the
+        tolerant insertion they use.
+        """
+        targets = self._out.get(source, {}).get(label)
+        if targets is not None and target in targets:
+            return False
+        self.add_edge(source, label, target)
+        return True
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[tuple[object, str, object]]
+    ) -> "LabeledMultigraph":
+        """Build a graph from an iterable of ``(source, label, target)``."""
+        graph = cls()
+        graph.add_edges(edges)
+        return graph
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """``|V|`` -- number of vertices, including isolated ones."""
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        """``|E|`` -- number of labeled edges."""
+        return self._num_edges
+
+    @property
+    def num_labels(self) -> int:
+        """``|Sigma|`` -- size of the label alphabet actually used."""
+        return len(self._by_label)
+
+    def vertices(self) -> Iterator[object]:
+        """Iterate over all vertices."""
+        return iter(self._vertices)
+
+    def labels(self) -> Iterator[str]:
+        """Iterate over the label alphabet Sigma."""
+        return iter(self._by_label)
+
+    def edges(self) -> Iterator[tuple[object, str, object]]:
+        """Iterate over all edges as ``(source, label, target)`` triples."""
+        for source, by_label in self._out.items():
+            for label, targets in by_label.items():
+                for target in targets:
+                    yield (source, label, target)
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._vertices
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def has_edge(self, source: object, label: str, target: object) -> bool:
+        """True when the exact labeled edge exists."""
+        return target in self._out.get(source, {}).get(label, ())
+
+    def has_vertex(self, vertex: object) -> bool:
+        """True when the vertex exists (possibly isolated)."""
+        return vertex in self._vertices
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def out_edges(self, vertex: object) -> Iterator[tuple[str, object]]:
+        """Iterate ``(label, target)`` over the out-edges of ``vertex``."""
+        for label, targets in self._out.get(vertex, {}).items():
+            for target in targets:
+                yield (label, target)
+
+    def in_edges(self, vertex: object) -> Iterator[tuple[str, object]]:
+        """Iterate ``(label, source)`` over the in-edges of ``vertex``."""
+        for label, sources in self._in.get(vertex, {}).items():
+            for source in sources:
+                yield (label, source)
+
+    def out_labels(self, vertex: object) -> Iterator[str]:
+        """Labels that appear on at least one out-edge of ``vertex``."""
+        return iter(self._out.get(vertex, {}))
+
+    _EMPTY_OUT: dict = {}
+
+    def out_map(self, vertex: object) -> dict:
+        """Read-only view ``label -> set(targets)`` of ``vertex``'s out-edges.
+
+        Hot-path accessor for the automaton evaluators; callers must not
+        mutate the returned mapping.
+        """
+        return self._out.get(vertex, self._EMPTY_OUT)
+
+    def targets(self, vertex: object, label: str) -> frozenset:
+        """Set of targets reachable from ``vertex`` via one ``label`` edge."""
+        targets = self._out.get(vertex, {}).get(label)
+        return frozenset(targets) if targets else frozenset()
+
+    def sources(self, vertex: object, label: str) -> frozenset:
+        """Set of sources with a ``label`` edge into ``vertex``."""
+        sources = self._in.get(vertex, {}).get(label)
+        return frozenset(sources) if sources else frozenset()
+
+    def edges_with_label(self, label: str) -> frozenset:
+        """All ``(source, target)`` pairs connected by an edge labeled ``label``."""
+        pairs = self._by_label.get(label)
+        return frozenset(pairs) if pairs else frozenset()
+
+    def label_count(self, label: str) -> int:
+        """Number of edges carrying ``label`` (selectivity statistic)."""
+        return len(self._by_label.get(label, ()))
+
+    def out_degree(self, vertex: object) -> int:
+        """Total number of out-edges of ``vertex`` across all labels."""
+        if vertex not in self._vertices:
+            raise VertexNotFoundError(vertex)
+        return sum(len(t) for t in self._out.get(vertex, {}).values())
+
+    def in_degree(self, vertex: object) -> int:
+        """Total number of in-edges of ``vertex`` across all labels."""
+        if vertex not in self._vertices:
+            raise VertexNotFoundError(vertex)
+        return sum(len(s) for s in self._in.get(vertex, {}).values())
+
+    def average_degree_per_label(self) -> float:
+        """The paper's x-axis statistic ``|E| / (|V| * |Sigma|)``.
+
+        Returns 0.0 for a graph with no vertices or no labels.
+        """
+        if not self._vertices or not self._by_label:
+            return 0.0
+        return self._num_edges / (len(self._vertices) * len(self._by_label))
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "LabeledMultigraph":
+        """A new graph with every edge direction flipped (labels kept)."""
+        reversed_graph = LabeledMultigraph()
+        for vertex in self._vertices:
+            reversed_graph.add_vertex(vertex)
+        for source, label, target in self.edges():
+            reversed_graph.add_edge(target, label, source)
+        return reversed_graph
+
+    def subgraph(self, vertices: Iterable[object]) -> "LabeledMultigraph":
+        """The induced subgraph on ``vertices`` (edges with both ends kept)."""
+        keep = set(vertices)
+        sub = LabeledMultigraph()
+        for vertex in keep:
+            if vertex in self._vertices:
+                sub.add_vertex(vertex)
+        for source, label, target in self.edges():
+            if source in keep and target in keep:
+                sub.add_edge(source, label, target)
+        return sub
+
+    def copy(self) -> "LabeledMultigraph":
+        """An independent deep copy of the graph."""
+        duplicate = LabeledMultigraph()
+        for vertex in self._vertices:
+            duplicate.add_vertex(vertex)
+        duplicate.add_edges(self.edges())
+        return duplicate
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabeledMultigraph):
+            return NotImplemented
+        return self._vertices == other._vertices and set(self.edges()) == set(
+            other.edges()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LabeledMultigraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"|Sigma|={self.num_labels})"
+        )

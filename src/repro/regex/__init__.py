@@ -1,0 +1,62 @@
+"""Regular-expression substrate for regular path queries.
+
+Public surface:
+
+* AST node classes and smart constructors (:class:`Label`, :class:`Concat`,
+  :class:`Union`, :class:`Plus`, :class:`Star`, :class:`Optional`,
+  :data:`EPSILON`, :func:`concat`, :func:`union`);
+* :func:`parse` -- the textual RPQ syntax (``a.(b.c)+.c``);
+* automata: :func:`thompson` (epsilon-NFA), :func:`compile_nfa`
+  (epsilon-free :class:`LabelNFA`), :func:`determinize`, :func:`minimize`;
+* :func:`canonical_key` / :func:`languages_equal` -- language-level
+  equality used for semantic RTC-cache sharing.
+"""
+
+from repro.regex.ast import (
+    EPSILON,
+    Concat,
+    Epsilon,
+    Label,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+    Union,
+    concat,
+    contains_closure,
+    iter_labels,
+    union,
+)
+from repro.regex.dfa import DFA, canonical_key, determinize, languages_equal, minimize
+from repro.regex.nfa import EpsilonNFA, LabelNFA, compile_nfa, thompson
+from repro.regex.parser import parse, tokenize
+from repro.regex.simplify import is_nullable_ast, simplify
+
+__all__ = [
+    "RegexNode",
+    "Epsilon",
+    "Label",
+    "Concat",
+    "Union",
+    "Plus",
+    "Star",
+    "Optional",
+    "EPSILON",
+    "concat",
+    "union",
+    "iter_labels",
+    "contains_closure",
+    "parse",
+    "tokenize",
+    "EpsilonNFA",
+    "LabelNFA",
+    "thompson",
+    "compile_nfa",
+    "DFA",
+    "determinize",
+    "minimize",
+    "canonical_key",
+    "languages_equal",
+    "simplify",
+    "is_nullable_ast",
+]

@@ -1,0 +1,288 @@
+"""Abstract syntax tree for regular path queries.
+
+An RPQ is a regular expression over the edge-label alphabet Sigma (paper
+Section II-B).  The AST mirrors the operators the paper uses:
+
+* :class:`Label`    -- a single edge label (``a``);
+* :class:`Concat`   -- concatenation (``A·B``);
+* :class:`Union`    -- alternation (``A|B``), the disjunction the DNF
+  conversion distributes;
+* :class:`Plus`     -- Kleene plus (``A+``), paths of >= 1 repetition;
+* :class:`Star`     -- Kleene star (``A*``), >= 0 repetitions;
+* :class:`Optional` -- ``A?`` = ``epsilon | A`` (convenience; the DNF pass
+  expands it into two clauses);
+* :class:`Epsilon`  -- the empty word.
+
+Nodes are immutable, hashable and comparable, so they can key caches (the
+RTC cache keys on normalised sub-expressions).  ``to_string()`` produces a
+minimally parenthesised form that re-parses to an equal tree; the test
+suite round-trips random ASTs through the parser to guarantee it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+__all__ = [
+    "RegexNode",
+    "Epsilon",
+    "Label",
+    "Concat",
+    "Union",
+    "Plus",
+    "Star",
+    "Optional",
+    "EPSILON",
+    "concat",
+    "union",
+    "iter_labels",
+    "contains_closure",
+]
+
+# Precedence levels used for minimal parenthesisation.
+_PREC_UNION = 0
+_PREC_CONCAT = 1
+_PREC_POSTFIX = 2
+
+
+class RegexNode:
+    """Base class of all RPQ AST nodes (immutable value objects)."""
+
+    __slots__ = ()
+    precedence: int = _PREC_POSTFIX
+
+    def to_string(self) -> str:
+        """Render with minimal parentheses; re-parses to an equal tree."""
+        raise NotImplementedError
+
+    def _wrapped(self, parent_precedence: int) -> str:
+        text = self.to_string()
+        if self.precedence < parent_precedence:
+            return f"({text})"
+        return text
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_string()!r})"
+
+
+class Epsilon(RegexNode):
+    """The empty word; matches the zero-length path ``(v, v)``."""
+
+    __slots__ = ()
+    precedence = _PREC_POSTFIX
+
+    def to_string(self) -> str:
+        return "()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Epsilon)
+
+    def __hash__(self) -> int:
+        return hash(Epsilon)
+
+
+EPSILON = Epsilon()
+
+
+class Label(RegexNode):
+    """A single edge label drawn from the alphabet Sigma."""
+
+    __slots__ = ("name",)
+    precedence = _PREC_POSTFIX
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("label name must be non-empty")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, key: str, value: object) -> None:  # immutability
+        raise AttributeError("Label nodes are immutable")
+
+    def to_string(self) -> str:
+        if name_is_plain(self.name):
+            return self.name
+        return f"<{self.name}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Label) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((Label, self.name))
+
+
+def name_is_plain(name: str) -> bool:
+    """True when a label can be written without ``<...>`` quoting."""
+    if not name:
+        return False
+    first = name[0]
+    if not (first.isalpha() or first == "_"):
+        return False
+    return all(ch.isalnum() or ch == "_" for ch in name)
+
+
+class Concat(RegexNode):
+    """Concatenation ``parts[0] · parts[1] · ...`` (>= 2 parts, flattened)."""
+
+    __slots__ = ("parts",)
+    precedence = _PREC_CONCAT
+
+    def __init__(self, parts: tuple[RegexNode, ...]) -> None:
+        if len(parts) < 2:
+            raise ValueError("Concat requires at least two parts; use concat()")
+        object.__setattr__(self, "parts", parts)
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Concat nodes are immutable")
+
+    def to_string(self) -> str:
+        return ".".join(part._wrapped(_PREC_CONCAT) for part in self.parts)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Concat) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash((Concat, self.parts))
+
+
+class Union(RegexNode):
+    """Alternation ``alternatives[0] | alternatives[1] | ...`` (flattened)."""
+
+    __slots__ = ("alternatives",)
+    precedence = _PREC_UNION
+
+    def __init__(self, alternatives: tuple[RegexNode, ...]) -> None:
+        if len(alternatives) < 2:
+            raise ValueError("Union requires at least two alternatives; use union()")
+        object.__setattr__(self, "alternatives", alternatives)
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Union nodes are immutable")
+
+    def to_string(self) -> str:
+        return "|".join(alt._wrapped(_PREC_UNION + 1) for alt in self.alternatives)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Union) and self.alternatives == other.alternatives
+
+    def __hash__(self) -> int:
+        return hash((Union, self.alternatives))
+
+
+class _Postfix(RegexNode):
+    """Shared machinery of the postfix operators ``+ * ?``."""
+
+    __slots__ = ("body",)
+    precedence = _PREC_POSTFIX
+    symbol = "?"
+
+    def __init__(self, body: RegexNode) -> None:
+        object.__setattr__(self, "body", body)
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("regex nodes are immutable")
+
+    def to_string(self) -> str:
+        return f"{self.body._wrapped(_PREC_POSTFIX)}{self.symbol}"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.body == other.body
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.body))
+
+
+class Plus(_Postfix):
+    """Kleene plus ``A+``: one or more repetitions of ``A``."""
+
+    __slots__ = ()
+    symbol = "+"
+
+
+class Star(_Postfix):
+    """Kleene star ``A*``: zero or more repetitions of ``A``."""
+
+    __slots__ = ()
+    symbol = "*"
+
+
+class Optional(_Postfix):
+    """Option ``A?``: ``epsilon | A``."""
+
+    __slots__ = ()
+    symbol = "?"
+
+
+def concat(*parts: RegexNode) -> RegexNode:
+    """Smart concatenation: flattens, drops epsilons, handles 0/1 parts."""
+    flattened: list[RegexNode] = []
+    for part in parts:
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(part, Concat):
+            flattened.extend(part.parts)
+        else:
+            flattened.append(part)
+    if not flattened:
+        return EPSILON
+    if len(flattened) == 1:
+        return flattened[0]
+    return Concat(tuple(flattened))
+
+
+def union(*alternatives: RegexNode) -> RegexNode:
+    """Smart alternation: flattens nested unions, dedupes, handles 1 alt."""
+    flattened: list[RegexNode] = []
+    seen: set[RegexNode] = set()
+    for alternative in alternatives:
+        items = (
+            alternative.alternatives
+            if isinstance(alternative, Union)
+            else (alternative,)
+        )
+        for item in items:
+            if item not in seen:
+                seen.add(item)
+                flattened.append(item)
+    if not flattened:
+        raise ValueError("union() requires at least one alternative")
+    if len(flattened) == 1:
+        return flattened[0]
+    return Union(tuple(flattened))
+
+
+def iter_labels(node: RegexNode) -> Iterator[str]:
+    """Yield every label name occurring in the expression (with repeats)."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Label):
+            yield current.name
+        elif isinstance(current, Concat):
+            stack.extend(current.parts)
+        elif isinstance(current, Union):
+            stack.extend(current.alternatives)
+        elif isinstance(current, _Postfix):
+            stack.append(current.body)
+
+
+def contains_closure(node: RegexNode) -> bool:
+    """True when the expression contains a Kleene closure (``+`` or ``*``).
+
+    ``A?`` does not count: the DNF conversion expands it rather than
+    treating it as a closure literal.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (Plus, Star)):
+            return True
+        if isinstance(current, Concat):
+            stack.extend(current.parts)
+        elif isinstance(current, Union):
+            stack.extend(current.alternatives)
+        elif isinstance(current, Optional):
+            stack.append(current.body)
+    return False

@@ -1,0 +1,190 @@
+"""Deterministic automata, minimisation and canonical language keys.
+
+The RTC cache in :mod:`repro.core.cache` can share one reduced transitive
+closure between *syntactically different but language-equal* closure bodies
+(for example ``a.b|a.c`` and ``a.(b|c)``).  That requires a canonical key
+per regular language, which this module derives the textbook way:
+
+1. subset construction :func:`determinize` over the epsilon-free
+   :class:`~repro.regex.nfa.LabelNFA`,
+2. Moore partition refinement :func:`minimize` (with an implicit dead
+   state, so partial transition tables are handled), and
+3. :func:`canonical_key` -- a BFS renumbering of the minimal DFA with
+   sorted label order, serialised to a string.  Two regexes denote the
+   same language iff their keys are equal (Myhill-Nerode uniqueness of the
+   minimal DFA).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.regex.ast import RegexNode
+from repro.regex.nfa import LabelNFA, compile_nfa
+from repro.regex.parser import parse
+
+__all__ = ["DFA", "determinize", "minimize", "canonical_key", "languages_equal"]
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A (possibly partial) deterministic finite automaton over labels.
+
+    Missing transitions go to an implicit non-accepting dead state.
+    States are integers ``0..num_states-1``; ``start`` is state id.
+    """
+
+    num_states: int
+    start: int
+    accepts: frozenset[int]
+    delta: tuple[dict[str, int], ...]  # state -> label -> state
+
+    def accepts_word(self, word: list[str] | tuple[str, ...]) -> bool:
+        """Membership test for a label sequence."""
+        state = self.start
+        for label in word:
+            next_state = self.delta[state].get(label)
+            if next_state is None:
+                return False
+            state = next_state
+        return state in self.accepts
+
+    @property
+    def labels(self) -> frozenset[str]:
+        return frozenset(label for row in self.delta for label in row)
+
+
+def determinize(nfa: LabelNFA) -> DFA:
+    """Subset construction: epsilon-free NFA -> (partial) DFA."""
+    state_ids: dict[frozenset[int], int] = {nfa.start: 0}
+    rows: list[dict[str, int]] = [{}]
+    accepts: set[int] = set()
+    if nfa.is_accepting(nfa.start):
+        accepts.add(0)
+    queue: deque[frozenset[int]] = deque([nfa.start])
+    while queue:
+        subset = queue.popleft()
+        subset_id = state_ids[subset]
+        labels = {label for state in subset for label in nfa.delta[state]}
+        for label in labels:
+            target = nfa.step(subset, label)
+            if not target:
+                continue
+            target_id = state_ids.get(target)
+            if target_id is None:
+                target_id = len(rows)
+                state_ids[target] = target_id
+                rows.append({})
+                if nfa.is_accepting(target):
+                    accepts.add(target_id)
+                queue.append(target)
+            rows[subset_id][label] = target_id
+    return DFA(
+        num_states=len(rows),
+        start=0,
+        accepts=frozenset(accepts),
+        delta=tuple(rows),
+    )
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Moore partition refinement with an implicit dead state.
+
+    Returns the minimal complete-modulo-dead-state DFA for the same
+    language; unreachable states (there are none after
+    :func:`determinize`) and the dead state itself are dropped from the
+    output, keeping the table partial.
+    """
+    labels = sorted(dfa.labels)
+    dead = dfa.num_states  # implicit dead state id
+    total = dfa.num_states + 1
+
+    def target(state: int, label: str) -> int:
+        if state == dead:
+            return dead
+        return dfa.delta[state].get(label, dead)
+
+    # Initial partition: accepting vs non-accepting (dead is non-accepting).
+    block_of = [1 if state in dfa.accepts else 0 for state in range(dfa.num_states)]
+    block_of.append(0)
+
+    changed = True
+    while changed:
+        changed = False
+        signature_to_block: dict[tuple, int] = {}
+        new_block_of = [0] * total
+        for state in range(total):
+            signature = (
+                block_of[state],
+                tuple(block_of[target(state, label)] for label in labels),
+            )
+            block = signature_to_block.get(signature)
+            if block is None:
+                block = len(signature_to_block)
+                signature_to_block[signature] = block
+            new_block_of[state] = block
+        if new_block_of != block_of:
+            block_of = new_block_of
+            changed = True
+
+    dead_block = block_of[dead]
+    # Renumber the surviving blocks, start block first is not required here
+    # (canonical_key does its own BFS renumbering).
+    kept_blocks = sorted({b for b in block_of if b != dead_block})
+    renumber = {block: i for i, block in enumerate(kept_blocks)}
+
+    num_states = len(kept_blocks)
+    rows: list[dict[str, int]] = [{} for _ in range(num_states)]
+    accepts: set[int] = set()
+    for state in range(dfa.num_states):
+        block = block_of[state]
+        if block == dead_block:
+            continue
+        new_id = renumber[block]
+        if state in dfa.accepts:
+            accepts.add(new_id)
+        for label in labels:
+            t = target(state, label)
+            if block_of[t] != dead_block:
+                rows[new_id][label] = renumber[block_of[t]]
+
+    start_block = block_of[dfa.start]
+    if start_block == dead_block:
+        # Empty language: a single non-accepting start state.
+        return DFA(num_states=1, start=0, accepts=frozenset(), delta=({},))
+    return DFA(
+        num_states=num_states,
+        start=renumber[start_block],
+        accepts=frozenset(accepts),
+        delta=tuple(rows),
+    )
+
+
+def canonical_key(query: str | RegexNode) -> str:
+    """A string that is identical for two regexes iff languages are equal.
+
+    BFS-renumbers the minimal DFA (labels visited in sorted order) and
+    serialises transitions plus accepting states.
+    """
+    node = parse(query)
+    dfa = minimize(determinize(compile_nfa(node)))
+
+    order: dict[int, int] = {dfa.start: 0}
+    queue: deque[int] = deque([dfa.start])
+    entries: list[str] = []
+    while queue:
+        state = queue.popleft()
+        for label in sorted(dfa.delta[state]):
+            target = dfa.delta[state][label]
+            if target not in order:
+                order[target] = len(order)
+                queue.append(target)
+            entries.append(f"{order[state]}-{label}->{order[target]}")
+    accepting = sorted(order[state] for state in dfa.accepts if state in order)
+    return f"states={len(order)};accept={accepting};delta={';'.join(entries)}"
+
+
+def languages_equal(first: str | RegexNode, second: str | RegexNode) -> bool:
+    """True when the two regular path queries denote the same language."""
+    return canonical_key(first) == canonical_key(second)

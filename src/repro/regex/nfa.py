@@ -1,0 +1,243 @@
+"""Thompson construction and epsilon-free NFAs for RPQ evaluation.
+
+RPQ engines evaluate a query by simulating a finite automaton while
+traversing the graph (paper Section II-B, Example 2).  This module compiles
+a :class:`~repro.regex.ast.RegexNode` into:
+
+1. an epsilon-NFA via the classic Thompson construction
+   (:class:`EpsilonNFA`, one start state, one accept state), then
+2. an epsilon-free :class:`LabelNFA` whose transition function is total on
+   its reachable state set and whose states carry pre-computed epsilon
+   closures -- the representation the product-BFS evaluator consumes.
+
+:class:`LabelNFA` exposes the two facts the evaluator's pruning needs:
+
+* ``nullable`` -- whether the language contains the empty word, in which
+  case every vertex pair ``(v, v)`` satisfies the query;
+* ``first_labels`` -- the labels that can begin a match, used to restrict
+  the set of traversal start vertices (a standard optimisation also used
+  by the Yakovets-style baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.regex.ast import (
+    Concat,
+    Epsilon,
+    Label,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+    Union,
+)
+
+__all__ = ["EpsilonNFA", "LabelNFA", "thompson", "compile_nfa"]
+
+
+@dataclass
+class EpsilonNFA:
+    """A Thompson NFA: one start state, one accept state, eps transitions.
+
+    ``transitions`` maps ``state -> label -> set(states)``;
+    ``epsilon_transitions`` maps ``state -> set(states)``.
+    """
+
+    num_states: int = 0
+    start: int = 0
+    accept: int = 0
+    transitions: dict[int, dict[str, set[int]]] = field(default_factory=dict)
+    epsilon_transitions: dict[int, set[int]] = field(default_factory=dict)
+
+    def new_state(self) -> int:
+        state = self.num_states
+        self.num_states += 1
+        return state
+
+    def add_transition(self, source: int, label: str, target: int) -> None:
+        self.transitions.setdefault(source, {}).setdefault(label, set()).add(target)
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        self.epsilon_transitions.setdefault(source, set()).add(target)
+
+    def epsilon_closure(self, states: set[int]) -> frozenset[int]:
+        """All states reachable from ``states`` via epsilon transitions."""
+        closure = set(states)
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for successor in self.epsilon_transitions.get(state, ()):
+                if successor not in closure:
+                    closure.add(successor)
+                    stack.append(successor)
+        return frozenset(closure)
+
+
+def thompson(node: RegexNode) -> EpsilonNFA:
+    """Compile an AST into a Thompson epsilon-NFA."""
+    nfa = EpsilonNFA()
+
+    def build(expr: RegexNode) -> tuple[int, int]:
+        """Return (entry, exit) states of the fragment for ``expr``."""
+        if isinstance(expr, Epsilon):
+            entry = nfa.new_state()
+            exit_ = nfa.new_state()
+            nfa.add_epsilon(entry, exit_)
+            return entry, exit_
+        if isinstance(expr, Label):
+            entry = nfa.new_state()
+            exit_ = nfa.new_state()
+            nfa.add_transition(entry, expr.name, exit_)
+            return entry, exit_
+        if isinstance(expr, Concat):
+            entry, current_exit = build(expr.parts[0])
+            for part in expr.parts[1:]:
+                next_entry, next_exit = build(part)
+                nfa.add_epsilon(current_exit, next_entry)
+                current_exit = next_exit
+            return entry, current_exit
+        if isinstance(expr, Union):
+            entry = nfa.new_state()
+            exit_ = nfa.new_state()
+            for alternative in expr.alternatives:
+                alt_entry, alt_exit = build(alternative)
+                nfa.add_epsilon(entry, alt_entry)
+                nfa.add_epsilon(alt_exit, exit_)
+            return entry, exit_
+        if isinstance(expr, Plus):
+            body_entry, body_exit = build(expr.body)
+            entry = nfa.new_state()
+            exit_ = nfa.new_state()
+            nfa.add_epsilon(entry, body_entry)
+            nfa.add_epsilon(body_exit, exit_)
+            nfa.add_epsilon(body_exit, body_entry)  # repeat
+            return entry, exit_
+        if isinstance(expr, Star):
+            body_entry, body_exit = build(expr.body)
+            entry = nfa.new_state()
+            exit_ = nfa.new_state()
+            nfa.add_epsilon(entry, body_entry)
+            nfa.add_epsilon(body_exit, exit_)
+            nfa.add_epsilon(body_exit, body_entry)
+            nfa.add_epsilon(entry, exit_)  # skip
+            return entry, exit_
+        if isinstance(expr, Optional):
+            body_entry, body_exit = build(expr.body)
+            entry = nfa.new_state()
+            exit_ = nfa.new_state()
+            nfa.add_epsilon(entry, body_entry)
+            nfa.add_epsilon(body_exit, exit_)
+            nfa.add_epsilon(entry, exit_)
+            return entry, exit_
+        raise TypeError(f"unknown regex node {expr!r}")
+
+    entry, exit_ = build(node)
+    nfa.start = entry
+    nfa.accept = exit_
+    return nfa
+
+
+@dataclass(frozen=True)
+class LabelNFA:
+    """Epsilon-free NFA over edge labels, ready for product traversal.
+
+    ``delta`` maps ``state -> label -> frozenset(states)`` where every
+    target set is already epsilon-closed; ``start`` is the epsilon-closed
+    initial state set.  Only states reachable from ``start`` appear.
+    """
+
+    start: frozenset[int]
+    accepts: frozenset[int]
+    delta: dict[int, dict[str, frozenset[int]]]
+    nullable: bool
+    first_labels: frozenset[str]
+    labels: frozenset[str]
+
+    @property
+    def num_states(self) -> int:
+        return len(self.delta)
+
+    def step(self, states: frozenset[int], label: str) -> frozenset[int]:
+        """All states reachable from ``states`` by one ``label`` edge."""
+        result: set[int] = set()
+        delta = self.delta
+        for state in states:
+            targets = delta[state].get(label)
+            if targets:
+                result.update(targets)
+        return frozenset(result)
+
+    def is_accepting(self, states: frozenset[int]) -> bool:
+        """True when the state set contains an accept state."""
+        return not self.accepts.isdisjoint(states)
+
+    def accepts_word(self, word: list[str] | tuple[str, ...]) -> bool:
+        """Membership test for a label sequence (used by tests/oracles)."""
+        states = self.start
+        for label in word:
+            states = self.step(states, label)
+            if not states:
+                return False
+        return self.is_accepting(states)
+
+
+def compile_nfa(node: RegexNode) -> LabelNFA:
+    """Compile an AST into an epsilon-free :class:`LabelNFA`.
+
+    The construction closes every transition target over epsilon edges, so
+    the simulator never has to chase epsilons at traversal time -- the
+    per-edge work during graph traversal is a single dictionary lookup.
+    """
+    eps_nfa = thompson(node)
+    closures: dict[int, frozenset[int]] = {
+        state: eps_nfa.epsilon_closure({state}) for state in range(eps_nfa.num_states)
+    }
+
+    start = closures[eps_nfa.start]
+    accept_state = eps_nfa.accept
+
+    # Build closed transitions for states reachable from the start closure.
+    delta: dict[int, dict[str, frozenset[int]]] = {}
+    stack = list(start)
+    reachable: set[int] = set(start)
+    while stack:
+        state = stack.pop()
+        out: dict[str, frozenset[int]] = {}
+        for label, targets in eps_nfa.transitions.get(state, {}).items():
+            closed: set[int] = set()
+            for target in targets:
+                closed.update(closures[target])
+            closed_frozen = frozenset(closed)
+            out[label] = closed_frozen
+            for target in closed_frozen:
+                if target not in reachable:
+                    reachable.add(target)
+                    stack.append(target)
+        delta[state] = out
+    # States reachable only as transition targets still need delta entries.
+    for state in reachable:
+        delta.setdefault(state, {})
+        if not eps_nfa.transitions.get(state):
+            continue
+
+    accepts = frozenset(
+        state for state in delta if accept_state in closures[state] or state == accept_state
+    )
+    nullable = not start.isdisjoint(accepts)
+    first_labels = frozenset(
+        label
+        for state in start
+        for label in delta[state]
+        if delta[state][label]
+    )
+    labels = frozenset(label for out in delta.values() for label in out)
+    return LabelNFA(
+        start=start,
+        accepts=accepts,
+        delta=delta,
+        nullable=nullable,
+        first_labels=first_labels,
+        labels=labels,
+    )

@@ -1,0 +1,118 @@
+"""Builders for the paper's relational-algebra expressions.
+
+These functions transcribe the formal results of Section IV-B:
+
+* :func:`concat_expression`     -- Lemma 4 / Eq. (1): ``(A.B)_G`` as a join
+  of ``A_G`` and ``B_G``;
+* :func:`scc_relation` / :func:`rtc_relation` -- the base relations
+  ``SCC(V, S)`` and ``R̄+_G(START_S, END_S)`` extracted from an RTC;
+* :func:`theorem2_expression`   -- Theorem 2 / Eq. (2): ``R+_G`` as
+  ``π(ρ_SSCC(SCC) ⋈ R̄+_G ⋈ ρ_ESCC(SCC))``;
+* :func:`batch_unit_expression` -- Eq. (6)-(10): the full
+  ``(Pre.R+.Post)_G`` pipeline.
+
+They serve as executable *specifications*: the optimised imperative
+Algorithm 2 must produce exactly the same relation, which the test suite
+verifies on hand-built and randomised inputs.  They are intentionally
+unoptimised -- evaluating the expression materialises every intermediate
+relation, which is precisely the work Algorithm 2 avoids.
+"""
+
+from __future__ import annotations
+
+from repro.core.rtc import ReducedTransitiveClosure
+from repro.relalg.expression import Join, Project, RelExpr, Rename, Scan, Union
+from repro.relalg.relation import Relation
+
+__all__ = [
+    "pairs_relation",
+    "scc_relation",
+    "rtc_relation",
+    "concat_expression",
+    "theorem2_expression",
+    "batch_unit_expression",
+]
+
+
+def pairs_relation(pairs, label: str = "R_G") -> Scan:
+    """``R_G(START_V, END_V)`` from a set of vertex pairs."""
+    return Scan(Relation.from_pairs(pairs), label)
+
+
+def scc_relation(rtc: ReducedTransitiveClosure) -> Scan:
+    """``SCC(V, S)`` -- vertex-to-SCC membership of ``G_R``."""
+    rows = {(vertex, scc_id) for vertex, scc_id in rtc.condensation.scc_of.items()}
+    return Scan(Relation(("V", "S"), rows), "SCC")
+
+
+def rtc_relation(rtc: ReducedTransitiveClosure) -> Scan:
+    """``R̄+_G(START_S, END_S)`` -- the transitive closure of ``Ḡ_R``."""
+    return Scan(Relation(("START_S", "END_S"), set(rtc.pairs())), "R̄+_G")
+
+
+def concat_expression(a_pairs, b_pairs) -> RelExpr:
+    """Lemma 4 / Eq. (1): ``(A.B)_G = π(A_G ⋈_{A.END_V = B.START_V} B_G)``."""
+    a_scan = Scan(Relation.from_pairs(a_pairs), "A_G")
+    b_scan = Scan(
+        Relation.from_pairs(b_pairs, ("B_START_V", "B_END_V")), "B_G"
+    )
+    joined = Join(a_scan, b_scan, "END_V", "B_START_V")
+    return Project(joined, ("START_V", "B_END_V"))
+
+
+def theorem2_expression(rtc: ReducedTransitiveClosure) -> RelExpr:
+    """Theorem 2 / Eq. (2): ``R+_G`` reconstructed relationally.
+
+    ``π_{SSCC.V, ESCC.V}( ρ_SSCC(SCC) ⋈_{S=START_S} R̄+_G ⋈_{END_S=S}
+    ρ_ESCC(SCC) )``
+    """
+    sscc = Rename(scc_relation(rtc), (("V", "SSCC_V"), ("S", "SSCC_S")))
+    escc = Rename(scc_relation(rtc), (("V", "ESCC_V"), ("S", "ESCC_S")))
+    closure = rtc_relation(rtc)
+    start_join = Join(sscc, closure, "SSCC_S", "START_S")
+    full_join = Join(start_join, escc, "END_S", "ESCC_S")
+    return Project(full_join, ("SSCC_V", "ESCC_V"))
+
+
+def batch_unit_expression(
+    pre_pairs,
+    rtc: ReducedTransitiveClosure,
+    post_pairs,
+    closure_type: str = "+",
+) -> RelExpr:
+    """Eq. (6)-(10): the whole batch unit ``(Pre . R{+,*} . Post)_G``.
+
+    * Eq. (6): ``Pre_G(START_V, END_V)``
+    * Eq. (7): ``⋈_{END_V = V} SCC(V, S)``
+    * Eq. (8): ``⋈_{S = START_S} R̄+_G(START_S, END_S)``
+    * Eq. (9): ``⋈_{END_S = S} SCC(V, S)``
+    * Eq. (10): ``⋈_{V = START_V} Post_G(START_V, END_V)``, projected to
+      ``(Pre_G.START_V, Post_G.END_V)``.
+
+    ``closure_type = '*'`` adds the zero-iteration branch
+    ``π(Pre_G ⋈ Post_G)`` via a union, mirroring Algorithm 2's seeding of
+    ``ResEq9`` with ``Pre_G``.
+    """
+    pre_scan = Scan(Relation.from_pairs(pre_pairs), "Pre_G")
+    post_scan = Scan(
+        Relation.from_pairs(post_pairs, ("POST_START_V", "POST_END_V")), "Post_G"
+    )
+    sscc = Rename(scc_relation(rtc), (("V", "SCC1_V"), ("S", "SCC1_S")))
+    escc = Rename(scc_relation(rtc), (("V", "SCC2_V"), ("S", "SCC2_S")))
+    closure = rtc_relation(rtc)
+
+    eq7 = Join(pre_scan, sscc, "END_V", "SCC1_V")
+    eq8 = Join(eq7, closure, "SCC1_S", "START_S")
+    eq9 = Join(eq8, escc, "END_S", "SCC2_S")
+    eq10 = Join(eq9, post_scan, "SCC2_V", "POST_START_V")
+    plus_branch: RelExpr = Project(eq10, ("START_V", "POST_END_V"))
+
+    if closure_type == "+":
+        return plus_branch
+    if closure_type != "*":
+        raise ValueError(f"closure type must be '+' or '*', got {closure_type!r}")
+    zero_branch = Project(
+        Join(pre_scan, post_scan, "END_V", "POST_START_V"),
+        ("START_V", "POST_END_V"),
+    )
+    return Union(plus_branch, zero_branch)

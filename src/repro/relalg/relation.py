@@ -1,0 +1,162 @@
+"""A minimal set-semantics relation for the paper's formal expressions.
+
+Section IV-B of the paper *represents* the batch-unit evaluation as a
+relational-algebra expression over three relations::
+
+    R_G(START_V, END_V)      evaluation result of any regular expression
+    SCC(V, S)                vertex-to-SCC membership of G_R
+    R̄+_G(START_S, END_S)     the RTC (closure of the condensation)
+
+:class:`Relation` implements exactly what those expressions need: named
+columns, set semantics (automatic duplicate elimination -- the "union the
+intermediate results" of the paper), selection, projection, equi-join,
+renaming and union.  It is deliberately simple and is used to *specify*
+behaviour: the optimised imperative Algorithm 2 is validated against the
+declarative pipeline built from these operators.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """An immutable relation: a tuple of column names and a set of rows.
+
+    >>> r = Relation(("START_V", "END_V"), {(1, 2), (2, 3)})
+    >>> r.project(("END_V",)).rows
+    frozenset({(2,), (3,)})
+    """
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns: Iterable[str], rows: Iterable[tuple]) -> None:
+        columns = tuple(columns)
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate column names in {columns}")
+        object.__setattr__(self, "columns", columns)
+        frozen = frozenset(tuple(row) for row in rows)
+        for row in frozen:
+            if len(row) != len(columns):
+                raise ValueError(
+                    f"row {row} has {len(row)} values for {len(columns)} columns"
+                )
+        object.__setattr__(self, "rows", frozen)
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Relation is immutable")
+
+    # ------------------------------------------------------------------
+    def _index_of(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise KeyError(
+                f"no column {column!r} in relation with columns {self.columns}"
+            ) from None
+
+    @property
+    def cardinality(self) -> int:
+        """Number of rows."""
+        return len(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.columns == other.columns and self.rows == other.rows
+
+    def __hash__(self) -> int:
+        return hash((self.columns, self.rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation(columns={self.columns}, |rows|={len(self.rows)})"
+
+    # ------------------------------------------------------------------
+    # operators
+    # ------------------------------------------------------------------
+    def select_eq(self, column: str, value: object) -> "Relation":
+        """``sigma_{column = value}`` -- keep rows with the given value."""
+        index = self._index_of(column)
+        return Relation(
+            self.columns, {row for row in self.rows if row[index] == value}
+        )
+
+    def select(self, predicate) -> "Relation":
+        """``sigma_p`` with an arbitrary row predicate (dict-per-row)."""
+        columns = self.columns
+        kept = set()
+        for row in self.rows:
+            if predicate(dict(zip(columns, row))):
+                kept.add(row)
+        return Relation(columns, kept)
+
+    def project(self, columns: Iterable[str]) -> "Relation":
+        """``pi_columns`` -- duplicate-eliminating projection."""
+        columns = tuple(columns)
+        indexes = [self._index_of(column) for column in columns]
+        return Relation(
+            columns, {tuple(row[i] for i in indexes) for row in self.rows}
+        )
+
+    def rename(self, mapping: dict[str, str]) -> "Relation":
+        """``rho`` -- rename columns (``mapping`` maps old -> new)."""
+        new_columns = tuple(mapping.get(column, column) for column in self.columns)
+        return Relation(new_columns, self.rows)
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union; schemas must match exactly."""
+        if self.columns != other.columns:
+            raise ValueError(
+                f"union schema mismatch: {self.columns} vs {other.columns}"
+            )
+        return Relation(self.columns, self.rows | other.rows)
+
+    def join(self, other: "Relation", left_column: str, right_column: str) -> "Relation":
+        """Equi-join ``self ⋈_{left_column = right_column} other``.
+
+        Output columns are ``self.columns + other.columns`` with the other
+        relation's columns suffixed by ``_r`` whenever a name collides.
+        A hash join: builds an index on the right side.
+        """
+        left_index = self._index_of(left_column)
+        right_index = other._index_of(right_column)
+
+        suffix_needed = set(self.columns) & set(other.columns)
+        right_columns = tuple(
+            f"{column}_r" if column in suffix_needed else column
+            for column in other.columns
+        )
+        by_key: dict[object, list[tuple]] = {}
+        for row in other.rows:
+            by_key.setdefault(row[right_index], []).append(row)
+        joined = set()
+        for row in self.rows:
+            for match in by_key.get(row[left_index], ()):
+                joined.add(row + match)
+        return Relation(self.columns + right_columns, joined)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple], columns: tuple[str, str] = ("START_V", "END_V")
+    ) -> "Relation":
+        """Build a binary relation from vertex pairs."""
+        return cls(columns, set(pairs))
+
+    def to_pairs(self) -> set[tuple]:
+        """Rows of a binary relation as a plain set of pairs."""
+        if len(self.columns) != 2:
+            raise ValueError(
+                f"to_pairs needs a binary relation, got columns {self.columns}"
+            )
+        return set(self.rows)

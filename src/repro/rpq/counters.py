@@ -1,0 +1,71 @@
+"""Operation counters shared by the evaluators and engines.
+
+The paper's optimisation story is about *counting work*: useless-1,
+redundant-1, redundant-2 and useless-2 operations (Section IV-B) are the
+operations RTCSharing provably skips and FullSharing performs.
+:class:`OpCounters` gives every evaluator and engine a common, cheap place
+to tally that work so the ablation benchmarks can report it directly
+instead of inferring it from wall-clock noise.
+
+All counts are plain ints; an evaluator that is handed ``counters=None``
+skips the bookkeeping entirely (the benchmarks measure both modes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["OpCounters"]
+
+
+@dataclass
+class OpCounters:
+    """Tallies of the elementary operations performed during evaluation.
+
+    Attributes
+    ----------
+    edges_scanned:
+        Graph edges touched during automaton traversal.
+    states_expanded:
+        (vertex, NFA-state) product pairs popped from a traversal frontier.
+    traversal_starts:
+        Number of vertices a traversal was started from.
+    closure_walk_starts:
+        Closure expansions started (the useless-1 metric: FullSharing walks
+        the closure from every vertex; RTCSharing only from ``Pre_G`` ends).
+    dup_checks:
+        Set-membership tests performed to deduplicate intermediate results
+        (the redundant-1/redundant-2/useless-2 metric).
+    dup_hits:
+        How many of those checks found an existing element (pure waste).
+    join_probes:
+        Hash-join probe operations (lookups of a key in the build side).
+    pairs_emitted:
+        Result pairs inserted into an output set.
+    cartesian_outputs:
+        Pairs produced by SCC Cartesian-product expansion (Theorem 1).
+    """
+
+    edges_scanned: int = 0
+    states_expanded: int = 0
+    traversal_starts: int = 0
+    closure_walk_starts: int = 0
+    dup_checks: int = 0
+    dup_hits: int = 0
+    join_probes: int = 0
+    pairs_emitted: int = 0
+    cartesian_outputs: int = 0
+
+    def merge(self, other: "OpCounters") -> None:
+        """Accumulate another counter set into this one, in place."""
+        for field_info in fields(self):
+            name = field_info.name
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def total(self) -> int:
+        """Grand total across all counters (a crude single work number)."""
+        return sum(getattr(self, field_info.name) for field_info in fields(self))
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for reporting."""
+        return {field_info.name: getattr(self, field_info.name) for field_info in fields(self)}

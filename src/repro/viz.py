@@ -1,0 +1,108 @@
+"""Graphviz DOT exporters for graphs, reductions and automata.
+
+Debugging RPQ evaluation is vastly easier with pictures; these functions
+render every structure in the pipeline as DOT text (no graphviz Python
+dependency -- feed the output to ``dot -Tpng`` or any online renderer):
+
+* :func:`multigraph_to_dot`  -- the labeled graph ``G`` (Fig. 1 style);
+* :func:`digraph_to_dot`     -- ``G_R`` / ``Ḡ_R`` (Figs. 5-6 style);
+* :func:`condensation_to_dot`-- ``Ḡ_R`` with SCC member annotations;
+* :func:`nfa_to_dot`         -- the query automaton (Fig. 3 style);
+* :func:`dfa_to_dot`         -- the determinised automaton.
+
+Output is deterministic (sorted nodes/edges) so snapshots are testable.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+from repro.graph.multigraph import LabeledMultigraph
+from repro.graph.scc import Condensation
+from repro.regex.dfa import DFA
+from repro.regex.nfa import LabelNFA
+
+__all__ = [
+    "multigraph_to_dot",
+    "digraph_to_dot",
+    "condensation_to_dot",
+    "nfa_to_dot",
+    "dfa_to_dot",
+]
+
+
+def _quote(value: object) -> str:
+    text = str(value).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{text}"'
+
+
+def multigraph_to_dot(graph: LabeledMultigraph, name: str = "G") -> str:
+    """DOT text for an edge-labeled multigraph."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for vertex in sorted(graph.vertices(), key=str):
+        lines.append(f"  {_quote(vertex)};")
+    for source, label, target in sorted(graph.edges(), key=lambda e: (str(e[0]), e[1], str(e[2]))):
+        lines.append(
+            f"  {_quote(source)} -> {_quote(target)} [label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def digraph_to_dot(graph: DiGraph, name: str = "GR") -> str:
+    """DOT text for an unlabeled digraph (``G_R`` or ``Ḡ_R``)."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for vertex in sorted(graph.vertices(), key=str):
+        lines.append(f"  {_quote(vertex)};")
+    for source, target in sorted(graph.edges(), key=lambda e: (str(e[0]), str(e[1]))):
+        lines.append(f"  {_quote(source)} -> {_quote(target)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def condensation_to_dot(condensation: Condensation, name: str = "GRbar") -> str:
+    """DOT text for a condensation, labelling each node with its members."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for scc_id in sorted(condensation.members):
+        members = ",".join(str(v) for v in condensation.members[scc_id])
+        lines.append(
+            f"  {scc_id} [label={_quote(f's{scc_id}: {{{members}}}')}];"
+        )
+    for source, target in sorted(condensation.dag.edges()):
+        lines.append(f"  {source} -> {target};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def nfa_to_dot(nfa: LabelNFA, name: str = "NFA") -> str:
+    """DOT text for an epsilon-free label NFA (accepting states doubled)."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for state in sorted(nfa.delta):
+        shape = "doublecircle" if state in nfa.accepts else "circle"
+        start_marker = " (start)" if state in nfa.start else ""
+        lines.append(
+            f"  {state} [shape={shape} label={_quote(f'q{state}{start_marker}')}];"
+        )
+    for state in sorted(nfa.delta):
+        for label in sorted(nfa.delta[state]):
+            for target in sorted(nfa.delta[state][label]):
+                lines.append(f"  {state} -> {target} [label={_quote(label)}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dfa_to_dot(dfa: DFA, name: str = "DFA") -> str:
+    """DOT text for a (partial) DFA."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for state in range(dfa.num_states):
+        shape = "doublecircle" if state in dfa.accepts else "circle"
+        start_marker = " (start)" if state == dfa.start else ""
+        lines.append(
+            f"  {state} [shape={shape} label={_quote(f'q{state}{start_marker}')}];"
+        )
+    for state in range(dfa.num_states):
+        for label in sorted(dfa.delta[state]):
+            lines.append(
+                f"  {state} -> {dfa.delta[state][label]} [label={_quote(label)}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

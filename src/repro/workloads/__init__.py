@@ -1,0 +1,5 @@
+"""Workload generation for multiple-RPQ experiments (paper Section V-A)."""
+
+from repro.workloads.generator import PAPER_SET_SIZES, MultiRPQSet, generate_workload
+
+__all__ = ["MultiRPQSet", "generate_workload", "PAPER_SET_SIZES"]

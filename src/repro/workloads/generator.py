@@ -1,0 +1,113 @@
+"""Multiple-RPQ workload generation -- paper Section V-A.
+
+The paper's controlled workload: every RPQ is one batch unit
+``Pre . R{+} . Post`` where
+
+* ``R`` is a concatenation of random labels of length 1 to 3 (a clause
+  without Kleene closure) -- one ``R`` per multiple-RPQ set, so the set's
+  queries share the closure as a common sub-query;
+* ``Pre`` and ``Post`` are single random labels (simulating their effect);
+* each multiple-RPQ set is generated at sizes {1, 2, 4, 6, 8, 10} and "a
+  larger multiple RPQ set contains smaller multiple RPQ sets" -- i.e. the
+  size-k set is the first k queries of the size-10 set.
+
+:func:`generate_workload` reproduces that procedure against any graph's
+label alphabet.  With ``require_nonempty`` the generator retries ``R``
+draws whose evaluation result is empty (pointless sharing measurements);
+that check evaluates ``R`` once per draw, so keep it off for huge graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from collections.abc import Sequence
+
+from repro.errors import WorkloadError
+from repro.graph.multigraph import LabeledMultigraph
+from repro.rpq.evaluate import eval_rpq
+
+__all__ = ["MultiRPQSet", "generate_workload", "PAPER_SET_SIZES"]
+
+#: The set sizes of Experiment 2 (Fig. 14).
+PAPER_SET_SIZES = (1, 2, 4, 6, 8, 10)
+
+
+@dataclass(frozen=True)
+class MultiRPQSet:
+    """One multiple-RPQ set: a shared ``R`` and its batch-unit queries.
+
+    ``queries`` has the maximum set size; :meth:`subset` yields the
+    nested smaller sets the paper prescribes.
+    """
+
+    r: str
+    r_length: int
+    queries: tuple[str, ...]
+
+    def subset(self, size: int) -> list[str]:
+        """The first ``size`` queries (paper: larger sets contain smaller)."""
+        if size < 1 or size > len(self.queries):
+            raise ValueError(
+                f"set size {size} out of range 1..{len(self.queries)}"
+            )
+        return list(self.queries[:size])
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def _draw_r(
+    rng: Random,
+    labels: Sequence[str],
+    length: int,
+    graph: LabeledMultigraph,
+    require_nonempty: bool,
+    max_attempts: int,
+) -> str:
+    for _attempt in range(max_attempts):
+        r = ".".join(rng.choice(labels) for _ in range(length))
+        if not require_nonempty:
+            return r
+        if eval_rpq(graph, r):
+            return r
+    raise WorkloadError(
+        f"no length-{length} concatenation with non-empty result found in "
+        f"{max_attempts} attempts"
+    )
+
+
+def generate_workload(
+    graph: LabeledMultigraph,
+    num_sets: int = 9,
+    lengths: Sequence[int] = (1, 2, 3),
+    max_rpqs: int = 10,
+    seed: int = 0,
+    closure_type: str = "+",
+    require_nonempty: bool = False,
+    max_attempts: int = 64,
+) -> list[MultiRPQSet]:
+    """Generate ``num_sets`` multiple-RPQ sets against ``graph``.
+
+    ``R`` lengths cycle through ``lengths`` (the paper draws equally many
+    per length); ``closure_type`` selects ``+`` (paper) or ``*``
+    (extension).  Deterministic for a fixed ``seed``.
+    """
+    labels = sorted(graph.labels())
+    if not labels:
+        raise WorkloadError("graph has no labels; cannot generate a workload")
+    if closure_type not in ("+", "*"):
+        raise WorkloadError(f"closure type must be '+' or '*', got {closure_type!r}")
+    rng = Random(seed)
+
+    sets: list[MultiRPQSet] = []
+    for set_index in range(num_sets):
+        length = lengths[set_index % len(lengths)]
+        r = _draw_r(rng, labels, length, graph, require_nonempty, max_attempts)
+        queries = []
+        for _query_index in range(max_rpqs):
+            pre = rng.choice(labels)
+            post = rng.choice(labels)
+            queries.append(f"{pre}.({r}){closure_type}.{post}")
+        sets.append(MultiRPQSet(r=r, r_length=length, queries=tuple(queries)))
+    return sets

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite.
+
+The oracle implementations live in :mod:`oracle_helpers` (same directory,
+importable because pytest inserts this directory into ``sys.path``); the
+fixtures here hand them to tests as plain callables.
+"""
+
+import pytest
+
+from oracle_helpers import oracle_networkx_eval, oracle_path_enumeration
+from repro.graph.builders import paper_figure1_graph
+from repro.graph.multigraph import LabeledMultigraph
+
+
+@pytest.fixture
+def fig1():
+    """The paper's Fig. 1 running-example graph."""
+    return paper_figure1_graph()
+
+
+@pytest.fixture
+def oracle_eval():
+    """The networkx product-graph oracle as a callable."""
+    return oracle_networkx_eval
+
+
+@pytest.fixture
+def oracle_paths():
+    """The path-enumeration + stdlib-re oracle as a callable."""
+    return oracle_path_enumeration
+
+
+@pytest.fixture
+def tiny_graph():
+    """A 4-vertex graph with cycles and two labels; exhaustive for oracles."""
+    return LabeledMultigraph.from_edges(
+        [
+            (0, "a", 1),
+            (1, "b", 2),
+            (2, "a", 0),
+            (2, "b", 3),
+            (3, "a", 3),
+            (1, "a", 3),
+        ]
+    )

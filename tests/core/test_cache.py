@@ -1,0 +1,81 @@
+"""Tests for the shared-data caches and their statistics."""
+
+import pytest
+
+from repro.core.cache import (
+    CacheStats,
+    ClosureCache,
+    RTCCache,
+    make_key_function,
+)
+from repro.core.rtc import compute_rtc
+from repro.regex.parser import parse
+
+
+class TestKeyFunctions:
+    def test_syntactic_keys(self):
+        key = make_key_function("syntactic")
+        assert key(parse("a.b")) == key(parse("a . b"))
+        assert key(parse("a.b|a.c")) != key(parse("a.(b|c)"))
+
+    def test_semantic_keys(self):
+        key = make_key_function("semantic")
+        assert key(parse("a.b|a.c")) == key(parse("a.(b|c)"))
+        assert key(parse("a+")) != key(parse("a*"))
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            make_key_function("telepathic")
+
+
+class TestCacheStats:
+    def test_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+
+    def test_hit_rate_empty(self):
+        assert CacheStats().hit_rate == 0.0
+
+
+class TestRTCCache:
+    def test_lookup_store_cycle(self):
+        cache = RTCCache()
+        node = parse("a.b")
+        key, value = cache.lookup(node)
+        assert value is None
+        assert cache.stats.misses == 1
+        rtc = compute_rtc({(0, 1), (1, 0)})
+        cache.store(key, rtc)
+        assert cache.stats.entries == 1
+        assert node in cache
+        _key, again = cache.lookup(node)
+        assert again is rtc
+        assert cache.stats.hits == 1
+
+    def test_total_shared_pairs(self):
+        cache = RTCCache()
+        cache.store("k1", compute_rtc({(0, 1), (1, 0)}))  # 1 SCC pair
+        cache.store("k2", compute_rtc({(0, 1)}))  # 1 pair
+        assert cache.total_shared_pairs() == 2
+
+    def test_clear_keeps_stats(self):
+        cache = RTCCache()
+        cache.store("k", compute_rtc({(0, 1)}))
+        cache.lookup(parse("a"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.entries == 0
+        assert cache.stats.misses == 1
+
+
+class TestClosureCache:
+    def test_entry_size(self):
+        entry = {0: frozenset({1, 2}), 1: frozenset(), 2: frozenset({0})}
+        assert ClosureCache.entry_size(entry) == 3
+
+    def test_total_shared_pairs(self):
+        cache = ClosureCache()
+        cache.store("k1", {0: frozenset({1, 2})})
+        cache.store("k2", {5: frozenset({6})})
+        assert cache.total_shared_pairs() == 3

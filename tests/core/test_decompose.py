@@ -1,0 +1,93 @@
+"""Tests for clause decomposition into (Pre, R, Type, Post) -- Algorithm 1."""
+
+from repro.core.decompose import decompose_clause
+from repro.core.dnf import to_dnf
+from repro.regex.ast import EPSILON
+from repro.regex.parser import parse
+
+
+def decompose(query: str):
+    clauses = to_dnf(parse(query))
+    assert len(clauses) == 1, "helper expects single-clause queries"
+    return decompose_clause(clauses[0])
+
+
+class TestNoClosure:
+    def test_plain_label(self):
+        unit = decompose("a")
+        assert unit.type is None
+        assert unit.r is None
+        assert unit.pre == EPSILON
+        assert unit.post.to_string() == "a"
+        assert unit.post_labels == ("a",)
+        assert not unit.has_closure
+
+    def test_label_sequence(self):
+        unit = decompose("a.b.c")
+        assert unit.type is None
+        assert unit.post_labels == ("a", "b", "c")
+
+    def test_epsilon_clause(self):
+        unit = decompose("()")
+        assert unit.type is None
+        assert unit.post == EPSILON
+        assert unit.post_labels == ()
+
+
+class TestPaperExample7:
+    def test_simple_batch_unit(self):
+        # a·(a·b)+·b: Pre=a, R=a·b, Type=+, Post=b.
+        unit = decompose("a.(a.b)+.b")
+        assert unit.pre.to_string() == "a"
+        assert unit.r.to_string() == "a.b"
+        assert unit.type == "+"
+        assert unit.post_labels == ("b",)
+
+    def test_nested_multiple_closures(self):
+        # (a·b)*·b+·(a·b+·c)+: Pre=(a·b)*·b+, R=a·b+·c, Type=+, Post=ε.
+        unit = decompose("(a.b)*.b+.(a.b+.c)+")
+        assert unit.pre.to_string() == "(a.b)*.b+"
+        assert unit.r.to_string() == "a.b+.c"
+        assert unit.type == "+"
+        assert unit.post == EPSILON
+        assert unit.post_labels == ()
+
+    def test_recursive_pre_decomposition(self):
+        # Decomposing the Pre of the previous unit peels the next closure.
+        outer = decompose("(a.b)*.b+.(a.b+.c)+")
+        inner_clauses = to_dnf(outer.pre)
+        assert len(inner_clauses) == 1
+        inner = decompose_clause(inner_clauses[0])
+        assert inner.pre.to_string() == "(a.b)*"
+        assert inner.r.to_string() == "b"
+        assert inner.type == "+"
+        assert inner.post == EPSILON
+
+
+class TestSplitting:
+    def test_rightmost_closure_wins(self):
+        unit = decompose("a+.b.c+.d")
+        assert unit.r.to_string() == "c"
+        assert unit.pre.to_string() == "a+.b"
+        assert unit.post_labels == ("d",)
+
+    def test_star_type(self):
+        unit = decompose("a.(b.c)*")
+        assert unit.type == "*"
+        assert unit.r.to_string() == "b.c"
+        assert unit.post == EPSILON
+
+    def test_leading_closure_empty_pre(self):
+        unit = decompose("(a.b)+.c")
+        assert unit.pre == EPSILON
+        assert unit.post_labels == ("c",)
+
+    def test_post_is_closure_free_by_construction(self):
+        from repro.regex.ast import contains_closure
+
+        unit = decompose("a+.b+.c.d")
+        assert not contains_closure(unit.post)
+
+    def test_str_representations(self):
+        assert "Post=" in str(decompose("a"))
+        assert "Type=+" in str(decompose("a.(b)+"))

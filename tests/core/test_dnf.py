@@ -1,0 +1,121 @@
+"""Tests for the DNF conversion with closure literals (Algorithm 1, line 2)."""
+
+import itertools
+
+import pytest
+
+from repro.core.dnf import ClosureLiteral, clause_to_regex, dnf_to_regex, to_dnf
+from repro.errors import EvaluationError
+from repro.regex.ast import Label, Plus, Star, concat
+from repro.regex.nfa import compile_nfa
+from repro.regex.parser import parse
+
+
+def clause_strings(query: str) -> set[str]:
+    return {
+        clause_to_regex(clause).to_string() for clause in to_dnf(parse(query))
+    }
+
+
+class TestConversion:
+    def test_label(self):
+        assert to_dnf(parse("a")) == [(Label("a"),)]
+
+    def test_epsilon_clause(self):
+        assert to_dnf(parse("()")) == [()]
+
+    def test_union_splits(self):
+        assert clause_strings("a|b.c") == {"a", "b.c"}
+
+    def test_concat_distributes_over_union(self):
+        assert clause_strings("(a|b).c") == {"a.c", "b.c"}
+
+    def test_double_distribution(self):
+        assert clause_strings("(a|b).(c|d)") == {"a.c", "a.d", "b.c", "b.d"}
+
+    def test_optional_expands(self):
+        assert clause_strings("a?.b") == {"b", "a.b"}
+
+    def test_closure_stays_literal(self):
+        clauses = to_dnf(parse("(a|b)+"))
+        assert clauses == [(ClosureLiteral(parse("a|b"), "+"),)]
+
+    def test_star_literal(self):
+        clauses = to_dnf(parse("(a.b)*"))
+        assert clauses == [(ClosureLiteral(parse("a.b"), "*"),)]
+
+    def test_union_inside_closure_not_distributed(self):
+        clauses = to_dnf(parse("c.(a|b)+.d"))
+        assert len(clauses) == 1
+        literals = clauses[0]
+        assert literals[0] == Label("c")
+        assert isinstance(literals[1], ClosureLiteral)
+        assert literals[2] == Label("d")
+
+    def test_dedup(self):
+        assert len(to_dnf(parse("a|a"))) == 1
+        assert len(to_dnf(parse("(a|a).(b|b)"))) == 1
+
+    def test_paper_batch_unit_shapes(self):
+        # Example 7's queries each form a single clause.
+        assert len(to_dnf(parse("a.(a.b)+.b"))) == 1
+        assert len(to_dnf(parse("(a.b)*.b+.(a.b+.c)+"))) == 1
+
+    def test_max_clauses_guard(self):
+        query = ".".join(["(a|b)"] * 8)
+        with pytest.raises(EvaluationError, match="exceeds"):
+            to_dnf(parse(query), max_clauses=100)
+
+
+class TestClosureLiteral:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            ClosureLiteral(Label("a"), "?")
+
+    def test_to_regex(self):
+        assert ClosureLiteral(Label("a"), "+").to_regex() == Plus(Label("a"))
+        assert ClosureLiteral(Label("a"), "*").to_regex() == Star(Label("a"))
+
+    def test_str(self):
+        assert str(ClosureLiteral(parse("a.b"), "+")) == "(a.b)+"
+
+
+class TestLanguagePreservation:
+    QUERIES = [
+        "a",
+        "a|b",
+        "(a|b).c",
+        "a?.b+",
+        "(a.b|c)+",
+        "a.(b|c).(a|b)*",
+        "(a|())+.b",
+        "a?.b?.c?",
+        "d.(b.c)+.c|a",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_dnf_language_equals_original(self, query):
+        node = parse(query)
+        rebuilt = dnf_to_regex(to_dnf(node))
+        original = compile_nfa(node)
+        converted = compile_nfa(rebuilt)
+        for length in range(0, 5):
+            for word in itertools.product("abcd", repeat=length):
+                assert original.accepts_word(list(word)) == converted.accepts_word(
+                    list(word)
+                ), (query, word)
+
+
+class TestRebuild:
+    def test_clause_to_regex_empty(self):
+        assert clause_to_regex(()).to_string() == "()"
+
+    def test_clause_to_regex_mixed(self):
+        clause = (Label("a"), ClosureLiteral(parse("b.c"), "+"), Label("d"))
+        assert clause_to_regex(clause) == concat(
+            Label("a"), Plus(parse("b.c")), Label("d")
+        )
+
+    def test_dnf_to_regex_requires_clause(self):
+        with pytest.raises(ValueError):
+            dnf_to_regex([])

@@ -1,0 +1,35 @@
+"""Tests for the opt-in query simplification in the engines."""
+
+import pytest
+
+from repro.core.engines import FullSharingEngine, NoSharingEngine, RTCSharingEngine
+
+ENGINES = [NoSharingEngine, FullSharingEngine, RTCSharingEngine]
+
+
+@pytest.mark.parametrize("engine_class", ENGINES)
+class TestSimplifyOption:
+    def test_results_identical(self, fig1, engine_class):
+        for query in ["(((b.c)+)+)+", "(b|b).c", "d.((b.c)+)?", "(c*)*.b"]:
+            plain = engine_class(fig1).evaluate(query)
+            simplified = engine_class(fig1, simplify_queries=True).evaluate(query)
+            assert plain == simplified, query
+
+    def test_off_by_default(self, fig1, engine_class):
+        assert engine_class(fig1).simplify_queries is False
+
+
+class TestSimplifyReducesWork:
+    def test_fewer_cache_entries_for_nested_closures(self, fig1):
+        # (((b.c)+)+)+ evaluates three nested RTCs without simplification;
+        # with it, only the innermost body's RTC is computed.
+        plain = RTCSharingEngine(fig1)
+        plain.evaluate("(((b.c)+)+)+")
+        rewriting = RTCSharingEngine(fig1, simplify_queries=True)
+        rewriting.evaluate("(((b.c)+)+)+")
+        assert rewriting.rtc_cache.stats.entries < plain.rtc_cache.stats.entries
+
+    def test_simplified_cache_key_is_canonical_spelling(self, fig1):
+        engine = RTCSharingEngine(fig1, simplify_queries=True)
+        engine.evaluate("(((b.c)+)+)+")
+        assert "b.c" in engine.rtc_cache._entries

@@ -1,0 +1,79 @@
+"""Tests for the static query planner/explainer."""
+
+import pytest
+
+from repro.core.engines import RTCSharingEngine
+from repro.core.explain import explain
+from repro.errors import RPQSyntaxError
+
+
+class TestExplainStandalone:
+    def test_closure_free_clause(self, fig1):
+        plan = explain(fig1, "b.c")
+        assert len(plan.clauses) == 1
+        clause = plan.clauses[0]
+        assert not clause.is_batch_unit
+        assert clause.post_strategy == "label-sequence"
+        assert clause.estimated_cost > 0
+
+    def test_batch_unit_decomposition(self, fig1):
+        plan = explain(fig1, "d.(b.c)+.c")
+        clause = plan.clauses[0]
+        assert clause.is_batch_unit
+        assert clause.pre == "d"
+        assert clause.r == "b.c"
+        assert clause.closure_type == "+"
+        assert clause.post == "c"
+        assert clause.post_strategy == "label-sequence"
+
+    def test_union_produces_multiple_clauses(self, fig1):
+        plan = explain(fig1, "a|b.(c)+")
+        assert len(plan.clauses) == 2
+        kinds = {clause.is_batch_unit for clause in plan.clauses}
+        assert kinds == {True, False}
+
+    def test_epsilon_post(self, fig1):
+        plan = explain(fig1, "a.(b.c)+")
+        assert plan.clauses[0].post_strategy == "epsilon"
+
+    def test_no_cache_given(self, fig1):
+        plan = explain(fig1, "d.(b.c)+.c")
+        assert plan.clauses[0].rtc_key is None
+        assert plan.clauses[0].rtc_cached is False
+
+    def test_syntax_errors_propagate(self, fig1):
+        with pytest.raises(RPQSyntaxError):
+            explain(fig1, "a..b")
+
+
+class TestEngineExplain:
+    def test_cache_status_reported(self, fig1):
+        engine = RTCSharingEngine(fig1)
+        cold = engine.explain("d.(b.c)+.c")
+        assert cold.clauses[0].rtc_cached is False
+        assert cold.clauses[0].rtc_key == "b.c"
+        engine.evaluate("a.(b.c)+")
+        warm = engine.explain("d.(b.c)+.c")
+        assert warm.clauses[0].rtc_cached is True
+
+    def test_explain_has_no_side_effects(self, fig1):
+        engine = RTCSharingEngine(fig1)
+        engine.explain("d.(b.c)+.c")
+        assert engine.rtc_cache.stats.lookups == 0
+        assert engine.shared_data_size() == 0
+        assert engine.queries_evaluated == 0
+
+    def test_describe_output(self, fig1):
+        engine = RTCSharingEngine(fig1)
+        engine.evaluate("a.(b.c)+")
+        text = engine.explain("d.(b.c)+.c|a").describe()
+        assert "clauses: 2" in text
+        assert "RTC key HIT" in text
+        assert "Eq. 6-10" in text
+        assert "EvalRPQwithoutKC" in text
+
+    def test_semantic_cache_keys_in_plan(self, fig1):
+        engine = RTCSharingEngine(fig1, cache_mode="semantic")
+        engine.evaluate("a.(b.c|b.b)+")
+        plan = engine.explain("d.(b.(c|b))+")  # language-equal body
+        assert plan.clauses[0].rtc_cached is True

@@ -1,0 +1,65 @@
+"""Tests for the batch-unit ordering planner (the paper's future work)."""
+
+from repro.core.planner import estimate_cost, plan_order
+from repro.regex.parser import parse
+
+
+class TestEstimateCost:
+    def test_rarer_labels_cost_less(self, fig1):
+        assert estimate_cost(fig1, parse("d")) < estimate_cost(fig1, parse("c"))
+
+    def test_closures_cost_more(self, fig1):
+        assert estimate_cost(fig1, parse("b+")) > estimate_cost(fig1, parse("b"))
+
+    def test_concatenation_multiplies(self, fig1):
+        assert estimate_cost(fig1, parse("b.c")) == estimate_cost(
+            fig1, parse("b")
+        ) * estimate_cost(fig1, parse("c"))
+
+    def test_unknown_label_floor(self, fig1):
+        assert estimate_cost(fig1, parse("zz")) == 1.0
+
+
+class TestPlanOrder:
+    QUERIES = [
+        "c.(c.c)+.c",      # expensive closure body
+        "a.(d)+.b",        # cheap closure body (d is rare)
+        "b.c",             # closure-free
+        "b.(d)+.c",        # shares R=d with query 1... (same key 'd')
+    ]
+
+    def test_all_units_planned(self, fig1):
+        planned = plan_order(fig1, self.QUERIES)
+        assert len(planned) == 4
+        assert {item.query_index for item in planned} == {0, 1, 2, 3}
+
+    def test_no_op_plan_keeps_order(self, fig1):
+        planned = plan_order(
+            fig1, self.QUERIES, group_shared=False, cheap_first=False
+        )
+        assert [item.query_index for item in planned] == [0, 1, 2, 3]
+
+    def test_shared_bodies_grouped_adjacently(self, fig1):
+        planned = plan_order(fig1, self.QUERIES)
+        keys = [item.share_key for item in planned if item.share_key == "d"]
+        positions = [
+            index
+            for index, item in enumerate(planned)
+            if item.share_key == "d"
+        ]
+        assert len(keys) == 2
+        assert positions[1] == positions[0] + 1  # adjacent
+
+    def test_cheap_first_ordering(self, fig1):
+        planned = plan_order(fig1, self.QUERIES, group_shared=False)
+        costs = [item.cost for item in planned]
+        assert costs == sorted(costs)
+
+    def test_closure_free_units_have_no_share_key(self, fig1):
+        planned = plan_order(fig1, ["b.c"])
+        assert planned[0].share_key is None
+        assert planned[0].unit.type is None
+
+    def test_multi_clause_queries_expand(self, fig1):
+        planned = plan_order(fig1, ["a|b.(c)+"])
+        assert len(planned) == 2

@@ -1,0 +1,83 @@
+"""Tests for RPQ-based graph reduction (Section III-A/B)."""
+
+import pytest
+
+from repro.core.reduction import edge_level_reduce, reduce_graph, vertex_level_reduce
+from repro.graph.builders import labeled_cycle, labeled_path
+from repro.graph.multigraph import LabeledMultigraph
+from repro.rpq.evaluate import eval_rpq
+
+
+class TestEdgeLevelReduction:
+    def test_paper_example3(self, fig1):
+        gr = edge_level_reduce(fig1, "b.c")
+        assert gr.edge_set() == {(2, 4), (2, 6), (3, 5), (4, 2), (5, 3)}
+
+    def test_irrelevant_vertices_excluded(self, fig1):
+        # v8, v9 (e/f edges) and v0, v7 are not on any b·c path.
+        gr = edge_level_reduce(fig1, "b.c")
+        for vertex in (0, 7, 8, 9):
+            assert vertex not in gr
+
+    def test_parallel_paths_collapse(self):
+        # Two a.b paths from 0 to 3 become one reduced edge.
+        graph = LabeledMultigraph.from_edges(
+            [(0, "a", 1), (1, "b", 3), (0, "a", 2), (2, "b", 3)]
+        )
+        gr = edge_level_reduce(graph, "a.b")
+        assert gr.edge_set() == {(0, 3)}
+
+    def test_custom_evaluator_is_used(self, fig1):
+        calls = []
+
+        def spy(graph, node):
+            calls.append(node)
+            return {(1, 2)}
+
+        gr = edge_level_reduce(fig1, "b.c", evaluator=spy)
+        assert gr.edge_set() == {(1, 2)}
+        assert len(calls) == 1
+
+    def test_reduction_of_closure_body_with_union(self, fig1):
+        gr = edge_level_reduce(fig1, "b|c")
+        assert gr.edge_set() == eval_rpq(fig1, "b|c")
+
+
+class TestVertexLevelReduction:
+    def test_paper_example5(self, fig1):
+        gr = edge_level_reduce(fig1, "b.c")
+        condensation = vertex_level_reduce(gr)
+        assert condensation.num_sccs == 3
+        assert sorted(condensation.scc_sizes()) == [1, 2, 2]
+
+
+class TestReduceGraph:
+    def test_statistics(self, fig1):
+        result = reduce_graph(fig1, "b.c")
+        assert result.num_gr_vertices == 5
+        assert result.num_gr_edges == 5
+        assert result.num_condensed_vertices == 3
+        assert result.num_condensed_edges == 3
+        assert result.average_scc_size == pytest.approx(5 / 3)
+
+    def test_rtc_expansion_equals_plus(self, fig1):
+        result = reduce_graph(fig1, "b.c")
+        assert result.rtc.expand() == eval_rpq(fig1, "(b.c)+")
+
+    def test_cycle_collapses_to_point(self):
+        graph = labeled_cycle(6)
+        result = reduce_graph(graph, "a")
+        assert result.num_gr_vertices == 6
+        assert result.num_condensed_vertices == 1
+        assert result.rtc.num_pairs == 1  # one self-reaching SCC
+
+    def test_path_has_no_reduction(self):
+        graph = labeled_path(4)
+        result = reduce_graph(graph, "a")
+        assert result.num_condensed_vertices == result.num_gr_vertices
+        assert result.average_scc_size == 1.0
+
+    def test_empty_result_reduction(self, fig1):
+        result = reduce_graph(fig1, "zz")
+        assert result.num_gr_vertices == 0
+        assert result.rtc.expand() == set()

@@ -1,0 +1,99 @@
+"""Tests for the reduced transitive closure structure (Section III-C)."""
+
+import pytest
+
+from repro.core.rtc import compute_rtc
+from repro.graph.digraph import DiGraph
+from repro.graph.transitive_closure import tc_bfs
+from repro.rpq.evaluate import eval_rpq
+
+PAPER_GBC = {(2, 4), (2, 6), (3, 5), (4, 2), (5, 3)}
+
+
+class TestComputeRtc:
+    def test_accepts_pairs_or_digraph(self):
+        from_pairs = compute_rtc(PAPER_GBC)
+        from_graph = compute_rtc(DiGraph.from_pairs(PAPER_GBC))
+        assert from_pairs.expand() == from_graph.expand()
+
+    def test_paper_example6(self):
+        # TC(Ḡ_{b·c}) has 3 pairs: two self-loops and one cross edge.
+        rtc = compute_rtc(PAPER_GBC)
+        assert rtc.num_sccs == 3
+        assert rtc.num_pairs == 3
+        s24 = rtc.scc_of[2]
+        s35 = rtc.scc_of[3]
+        s6 = rtc.scc_of[6]
+        assert set(rtc.pairs()) == {(s24, s24), (s24, s6), (s35, s35)}
+
+    def test_expand_matches_example4(self):
+        rtc = compute_rtc(PAPER_GBC)
+        assert rtc.expand() == {
+            (2, 2), (2, 4), (2, 6), (3, 3), (3, 5),
+            (4, 2), (4, 4), (4, 6), (5, 3), (5, 5),
+        }
+
+    def test_num_expanded_pairs_without_materialising(self):
+        rtc = compute_rtc(PAPER_GBC)
+        assert rtc.num_expanded_pairs == len(rtc.expand()) == 10
+
+    def test_empty_input(self):
+        rtc = compute_rtc(set())
+        assert rtc.num_sccs == 0
+        assert rtc.num_pairs == 0
+        assert rtc.expand() == set()
+
+    def test_self_loop_vertex(self):
+        rtc = compute_rtc({(0, 0), (0, 1)})
+        assert rtc.expand() == {(0, 0), (0, 1)}
+
+    def test_sizes_recorded(self):
+        rtc = compute_rtc(PAPER_GBC)
+        assert rtc.num_gr_vertices == 5
+        assert rtc.num_gr_edges == 5
+
+
+class TestSemantics:
+    def test_reaches(self):
+        rtc = compute_rtc(PAPER_GBC)
+        assert rtc.reaches(2, 6)
+        assert rtc.reaches(2, 2)
+        assert rtc.reaches(4, 6)
+        assert not rtc.reaches(6, 2)
+        assert not rtc.reaches(6, 6)
+        assert not rtc.reaches(99, 2)
+        assert not rtc.reaches(2, 99)
+
+    def test_ends_from(self):
+        rtc = compute_rtc(PAPER_GBC)
+        assert set(rtc.ends_from(2)) == {2, 4, 6}
+        assert set(rtc.ends_from(6)) == set()
+        assert set(rtc.ends_from(99)) == set()
+
+    def test_expand_equals_tc_of_gr_lemma1(self, fig1):
+        # Lemma 1 + Lemma 3: RTC expansion == TC(G_R) == (b.c)+_G.
+        rg = eval_rpq(fig1, "b.c")
+        rtc = compute_rtc(rg)
+        assert rtc.expand() == tc_bfs(DiGraph.from_pairs(rg))
+        assert rtc.expand() == eval_rpq(fig1, "(b.c)+")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_expand_equals_bfs_closure_random(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        size = rng.randint(2, 15)
+        pairs = {
+            (rng.randrange(size), rng.randrange(size))
+            for _ in range(rng.randint(1, 3 * size))
+        }
+        rtc = compute_rtc(pairs)
+        assert rtc.expand() == tc_bfs(DiGraph.from_pairs(pairs))
+        assert rtc.num_expanded_pairs == len(rtc.expand())
+
+    def test_rtc_smaller_than_closure_on_cyclic_graph(self):
+        # A 10-cycle: full closure is 100 pairs, RTC is 1 pair.
+        pairs = {(i, (i + 1) % 10) for i in range(10)}
+        rtc = compute_rtc(pairs)
+        assert rtc.num_pairs == 1
+        assert rtc.num_expanded_pairs == 100

@@ -1,0 +1,145 @@
+"""Tests for RTC serialisation (JSON round-trips, cache persistence)."""
+
+import json
+
+import pytest
+
+from repro.core.cache import RTCCache
+from repro.core.rtc import compute_rtc
+from repro.core.serialize import (
+    RtcFormatError,
+    load_cache,
+    load_rtc,
+    rtc_from_dict,
+    rtc_to_dict,
+    save_cache,
+    save_rtc,
+)
+from repro.rpq.evaluate import eval_rpq
+
+PAPER_GBC = {(2, 4), (2, 6), (3, 5), (4, 2), (5, 3)}
+
+
+def roundtrip(rtc):
+    return rtc_from_dict(rtc_to_dict(rtc))
+
+
+class TestRoundtrip:
+    def test_semantics_preserved(self):
+        original = compute_rtc(PAPER_GBC)
+        restored = roundtrip(original)
+        assert restored.expand() == original.expand()
+        assert restored.num_pairs == original.num_pairs
+        assert restored.num_sccs == original.num_sccs
+        assert restored.num_gr_vertices == original.num_gr_vertices
+        assert restored.num_gr_edges == original.num_gr_edges
+
+    def test_reaches_preserved(self):
+        original = compute_rtc(PAPER_GBC)
+        restored = roundtrip(original)
+        for source in range(8):
+            for target in range(8):
+                assert restored.reaches(source, target) == original.reaches(
+                    source, target
+                )
+
+    def test_string_vertices(self):
+        original = compute_rtc({("a", "b"), ("b", "a"), ("b", "c")})
+        restored = roundtrip(original)
+        assert restored.expand() == original.expand()
+
+    def test_empty_rtc(self):
+        assert roundtrip(compute_rtc(set())).expand() == set()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_rtcs(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        pairs = {
+            (rng.randrange(12), rng.randrange(12))
+            for _ in range(rng.randint(1, 30))
+        }
+        original = compute_rtc(pairs)
+        assert roundtrip(original).expand() == original.expand()
+
+    def test_unserialisable_vertices_rejected(self):
+        rtc = compute_rtc({((0, 1), (1, 2))})  # tuple vertices
+        with pytest.raises(RtcFormatError, match="not JSON-serialisable"):
+            rtc_to_dict(rtc)
+
+
+class TestFiles:
+    def test_save_load_file(self, tmp_path, fig1):
+        rtc = compute_rtc(eval_rpq(fig1, "b.c"))
+        path = tmp_path / "bc.rtc.json"
+        save_rtc(rtc, path)
+        assert load_rtc(path).expand() == rtc.expand()
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(RtcFormatError, match="invalid JSON"):
+            load_rtc(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(RtcFormatError, match="not a repro-rtc"):
+            load_rtc(path)
+
+    def test_wrong_version(self, tmp_path):
+        payload = rtc_to_dict(compute_rtc({(0, 1)}))
+        payload["version"] = 99
+        path = tmp_path / "v99.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(RtcFormatError, match="unsupported version"):
+            load_rtc(path)
+
+    def test_malformed_payload(self):
+        with pytest.raises(RtcFormatError, match="malformed"):
+            rtc_from_dict({"format": "repro-rtc", "version": 1})
+
+    def test_inconsistent_ids(self):
+        payload = rtc_to_dict(compute_rtc({(0, 1)}))
+        payload["closure"]["999"] = []
+        with pytest.raises(RtcFormatError, match="disagree"):
+            rtc_from_dict(payload)
+
+
+class TestCachePersistence:
+    def test_cache_roundtrip(self, tmp_path, fig1):
+        cache = RTCCache()
+        from repro.regex.parser import parse
+
+        for r in ("b.c", "c"):
+            key = cache.key_for(parse(r))
+            cache.store(key, compute_rtc(eval_rpq(fig1, r)))
+        path = tmp_path / "cache.json"
+        save_cache(cache, path)
+        restored = load_cache(path)
+        assert len(restored) == 2
+        assert restored.mode == "syntactic"
+        _key, rtc = restored.lookup(parse("b.c"))
+        assert rtc is not None
+        assert rtc.expand() == eval_rpq(fig1, "(b.c)+")
+
+    def test_warm_engine_from_cache(self, tmp_path, fig1):
+        from repro.core.engines import RTCSharingEngine
+
+        warm_source = RTCSharingEngine(fig1)
+        warm_source.evaluate("d.(b.c)+.c")
+        path = tmp_path / "warm.json"
+        save_cache(warm_source.rtc_cache, path)
+
+        engine = RTCSharingEngine(fig1)
+        engine.rtc_cache = load_cache(path)
+        result = engine.evaluate("a.(b.c)+")
+        assert result == RTCSharingEngine(fig1).evaluate("a.(b.c)+")
+        assert engine.rtc_cache.stats.hits >= 1  # served from disk
+
+    def test_cache_file_not_cache(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"format": "repro-rtc"}))
+        with pytest.raises(RtcFormatError, match="not an RTC cache"):
+            load_cache(path)

@@ -1,0 +1,72 @@
+"""Tests for the common-sub-query sharing analyser."""
+
+import pytest
+
+from repro.core.sharing_analysis import analyse_sharing
+
+
+class TestAnalysis:
+    def test_shared_body_detected(self, fig1):
+        report = analyse_sharing(
+            fig1, ["a.(b.c)+", "d.(b.c)+.c", "c.(c)+"]
+        )
+        assert report.num_queries == 3
+        shared = report.shared_bodies
+        assert len(shared) == 1
+        assert shared[0].representative == "b.c"
+        assert shared[0].occurrences == 2
+        assert shared[0].query_indexes == (0, 1)
+        assert shared[0].is_shared
+
+    def test_no_sharing(self, fig1):
+        report = analyse_sharing(fig1, ["a.(b)+", "a.(c)+"])
+        assert report.shared_bodies == []
+        assert report.total_estimated_saving == 0.0
+
+    def test_closure_free_queries(self, fig1):
+        report = analyse_sharing(fig1, ["a.b", "c"])
+        assert report.bodies == []
+        assert report.num_batch_units == 2
+
+    def test_nested_bodies_counted(self, fig1):
+        # (a.b)*.b+ nests: bodies a.b and b both appear.
+        report = analyse_sharing(fig1, ["(a.b)*.b+.(a.b+.c)+"])
+        representatives = {body.representative for body in report.bodies}
+        assert "a.b+.c" in representatives
+        assert "b" in representatives
+        assert "a.b" in representatives
+
+    def test_example7_sharing(self, fig1):
+        # The paper's Fig. 7: the third query reuses the RTCs of a.b and b.
+        report = analyse_sharing(
+            fig1, ["a", "a.(a.b)+.b", "(a.b)*.b+.(a.b+.c)+"]
+        )
+        by_repr = {body.representative: body for body in report.bodies}
+        assert by_repr["a.b"].occurrences >= 2
+        assert by_repr["a.b"].is_shared
+
+    def test_semantic_mode_identifies_equal_languages(self, fig1):
+        queries = ["a.(b.c|b.b)+", "a.(b.(c|b))+"]
+        syntactic = analyse_sharing(fig1, queries, cache_mode="syntactic")
+        semantic = analyse_sharing(fig1, queries, cache_mode="semantic")
+        assert len(syntactic.shared_bodies) == 0
+        assert len(semantic.shared_bodies) == 1
+        assert semantic.shared_bodies[0].occurrences == 2
+
+    def test_estimated_saving_positive_for_shared(self, fig1):
+        report = analyse_sharing(fig1, ["a.(b.c)+", "d.(b.c)+"])
+        assert report.total_estimated_saving > 0
+        body = report.shared_bodies[0]
+        assert body.estimated_saving == pytest.approx(body.estimated_cost)
+
+    def test_describe_readable(self, fig1):
+        report = analyse_sharing(fig1, ["a.(b.c)+", "d.(b.c)+.c"])
+        text = report.describe()
+        assert "2 queries" in text
+        assert "(b.c)+" in text
+        assert "x2" in text
+
+    def test_union_clauses_counted_separately(self, fig1):
+        report = analyse_sharing(fig1, ["a.(b)+|c.(b)+"])
+        by_repr = {body.representative: body for body in report.bodies}
+        assert by_repr["b"].occurrences == 2  # one per clause

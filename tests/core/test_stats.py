@@ -1,0 +1,41 @@
+"""Tests for reduction statistics (the Fig. 12/13 quantities)."""
+
+import pytest
+
+from repro.core.stats import reduction_stats
+from repro.graph.builders import labeled_cycle, labeled_path
+
+
+class TestReductionStats:
+    def test_fig1_bc(self, fig1):
+        stats = reduction_stats(fig1, "b.c")
+        assert stats.num_graph_vertices == 10
+        assert stats.num_gr_vertices == 5
+        assert stats.num_condensed_vertices == 3
+        assert stats.rtc_pairs == 3
+        assert stats.full_closure_pairs == 10
+        assert stats.average_scc_size == pytest.approx(5 / 3)
+        assert stats.shared_size_ratio == pytest.approx(10 / 3)
+        assert stats.vertex_reduction_ratio == pytest.approx(5 / 3)
+
+    def test_cycle_maximal_reduction(self):
+        stats = reduction_stats(labeled_cycle(8), "a")
+        assert stats.num_gr_vertices == 8
+        assert stats.num_condensed_vertices == 1
+        assert stats.rtc_pairs == 1
+        assert stats.full_closure_pairs == 64
+        assert stats.shared_size_ratio == 64.0
+
+    def test_path_no_reduction(self):
+        stats = reduction_stats(labeled_path(5), "a")
+        assert stats.vertex_reduction_ratio == 1.0
+        assert stats.average_scc_size == 1.0
+        # Sparse DAG: RTC pair count equals full closure pair count.
+        assert stats.rtc_pairs == stats.full_closure_pairs
+
+    def test_empty_reduction(self, fig1):
+        stats = reduction_stats(fig1, "zz")
+        assert stats.num_gr_vertices == 0
+        assert stats.rtc_pairs == 0
+        assert stats.shared_size_ratio == 1.0
+        assert stats.vertex_reduction_ratio == 1.0

@@ -1,0 +1,56 @@
+"""Tests for the phase timer."""
+
+import time
+
+from repro.core.timing import (
+    ALL_PHASES,
+    PHASE_PRE_JOIN,
+    PHASE_REMAINDER,
+    PHASE_SHARED_DATA,
+    PhaseTimer,
+)
+
+
+class TestPhaseTimer:
+    def test_accumulates_spans(self):
+        timer = PhaseTimer()
+        with timer.measure("x"):
+            time.sleep(0.002)
+        with timer.measure("x"):
+            time.sleep(0.002)
+        assert timer.get("x") >= 0.004
+
+    def test_unmeasured_phase_is_zero(self):
+        assert PhaseTimer().get("nothing") == 0.0
+
+    def test_total_and_snapshot(self):
+        timer = PhaseTimer()
+        with timer.measure("a"):
+            pass
+        with timer.measure("b"):
+            pass
+        snapshot = timer.snapshot()
+        assert set(snapshot) == {"a", "b"}
+        assert timer.total() == sum(snapshot.values())
+        snapshot["a"] = 999  # copies, not views
+        assert timer.get("a") != 999
+
+    def test_reset(self):
+        timer = PhaseTimer()
+        with timer.measure("a"):
+            pass
+        timer.reset()
+        assert timer.total() == 0.0
+
+    def test_records_even_on_exception(self):
+        timer = PhaseTimer()
+        try:
+            with timer.measure("risky"):
+                time.sleep(0.001)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert timer.get("risky") > 0
+
+    def test_phase_constants(self):
+        assert ALL_PHASES == (PHASE_SHARED_DATA, PHASE_PRE_JOIN, PHASE_REMAINDER)

@@ -1,0 +1,77 @@
+"""Tests for the R-MAT generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.rmat import default_labels, rmat_edges, rmat_graph, rmat_n
+from repro.errors import WorkloadError
+
+
+class TestRmatEdges:
+    def test_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        pairs = rmat_edges(scale=6, num_edges=500, rng=rng)
+        assert pairs.shape == (500, 2)
+        assert pairs.min() >= 0
+        assert pairs.max() < 64
+
+    def test_determinism(self):
+        first = rmat_edges(5, 100, np.random.default_rng(42))
+        second = rmat_edges(5, 100, np.random.default_rng(42))
+        assert (first == second).all()
+
+    def test_skew_toward_low_ids(self):
+        # Quadrant a = 0.57 concentrates mass near vertex 0.
+        rng = np.random.default_rng(1)
+        pairs = rmat_edges(scale=10, num_edges=20_000, rng=rng)
+        low_half = (pairs[:, 0] < 512).mean()
+        assert low_half > 0.6  # strongly skewed, not uniform
+
+
+class TestRmatGraph:
+    def test_exact_edge_count(self):
+        graph = rmat_graph(scale=7, num_edges=300, num_labels=4, seed=3)
+        assert graph.num_edges == 300
+        assert graph.num_vertices == 128  # all vertices materialised
+
+    def test_labels_used(self):
+        graph = rmat_graph(scale=6, num_edges=200, num_labels=3, seed=5)
+        assert set(graph.labels()) <= set(default_labels(3))
+
+    def test_determinism(self):
+        first = rmat_graph(6, 150, 4, seed=9)
+        second = rmat_graph(6, 150, 4, seed=9)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = rmat_graph(6, 150, 4, seed=1)
+        second = rmat_graph(6, 150, 4, seed=2)
+        assert first != second
+
+    def test_invalid_labels(self):
+        with pytest.raises(WorkloadError):
+            rmat_graph(4, 10, 0)
+
+    def test_saturation_raises(self):
+        # 2-vertex graph with 1 label holds at most 4 labeled edges.
+        with pytest.raises(WorkloadError):
+            rmat_graph(1, 100, 1)
+
+
+class TestRmatN:
+    def test_paper_parameters(self):
+        graph = rmat_n(2, scale=8, num_labels=4, seed=0)
+        assert graph.num_vertices == 256
+        assert graph.num_edges == 2 ** (2 + 8)
+        assert graph.average_degree_per_label() == pytest.approx(1.0)
+
+    def test_degree_sweep(self):
+        degrees = [
+            rmat_n(n, scale=7, seed=0).average_degree_per_label()
+            for n in range(3)
+        ]
+        assert degrees == pytest.approx([0.25, 0.5, 1.0])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(WorkloadError):
+            rmat_n(-1)

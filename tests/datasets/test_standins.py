@@ -1,0 +1,63 @@
+"""Tests for the Table-IV dataset stand-ins."""
+
+import pytest
+
+from repro.datasets.standins import (
+    TABLE4_SPECS,
+    DatasetSpec,
+    load_standin,
+    make_standin,
+    robots_like,
+    yago2s_like,
+    youtube_like,
+)
+from repro.errors import WorkloadError
+
+
+class TestSpecs:
+    def test_published_degrees(self):
+        assert TABLE4_SPECS["yago2s"].degree == pytest.approx(0.02, abs=0.005)
+        assert TABLE4_SPECS["robots"].degree == pytest.approx(0.52, abs=0.01)
+        assert TABLE4_SPECS["advogato"].degree == pytest.approx(2.61, abs=0.01)
+        assert TABLE4_SPECS["youtube"].degree == pytest.approx(11.42, abs=0.01)
+
+    def test_scaling_preserves_degree(self):
+        spec = TABLE4_SPECS["yago2s"].scaled(1 / 1000)
+        assert spec.degree == pytest.approx(TABLE4_SPECS["yago2s"].degree, rel=0.05)
+        assert spec.num_vertices == round(108_048_761 / 1000)
+
+    def test_capacity_guard(self):
+        impossible = DatasetSpec("x", num_vertices=2, num_edges=100, num_labels=1)
+        with pytest.raises(WorkloadError):
+            make_standin(impossible)
+
+
+class TestGeneratedGraphs:
+    def test_robots_exact_size(self):
+        graph = robots_like(seed=0)
+        spec = TABLE4_SPECS["robots"]
+        assert graph.num_vertices == spec.num_vertices
+        assert graph.num_edges == spec.num_edges
+        assert graph.num_labels <= spec.num_labels
+        assert graph.average_degree_per_label() == pytest.approx(
+            spec.degree, rel=0.05
+        )
+
+    def test_youtube_degree_regime(self):
+        graph = youtube_like(seed=0)
+        assert graph.average_degree_per_label() == pytest.approx(11.42, rel=0.05)
+
+    def test_yago_fraction_and_sparsity(self):
+        graph = yago2s_like(fraction=1 / 20000, seed=0)
+        assert graph.num_vertices == round(108_048_761 / 20000)
+        # Degree regime preserved: extremely sparse per label.
+        assert graph.average_degree_per_label() < 0.03
+
+    def test_determinism(self):
+        assert robots_like(seed=4) == robots_like(seed=4)
+
+    def test_loader(self):
+        graph = load_standin("ROBOTS", seed=1)
+        assert graph.num_edges == TABLE4_SPECS["robots"].num_edges
+        with pytest.raises(WorkloadError):
+            load_standin("friendster")

@@ -1,0 +1,74 @@
+"""Tests for the deterministic graph constructors, incl. the Fig. 1 graph."""
+
+import pytest
+
+from repro.graph.builders import (
+    digraph_cycle,
+    digraph_path,
+    labeled_complete,
+    labeled_cycle,
+    labeled_path,
+    layered_graph,
+    paper_figure1_graph,
+)
+from repro.rpq.evaluate import eval_rpq
+
+
+class TestPaperFigure1:
+    def test_shape(self):
+        graph = paper_figure1_graph()
+        assert graph.num_vertices == 10
+        assert sorted(graph.labels()) == ["a", "b", "c", "d", "e", "f"]
+
+    def test_example3_bc_paths(self):
+        # The b·c-satisfying paths listed in Example 3.
+        graph = paper_figure1_graph()
+        assert eval_rpq(graph, "b.c") == {(2, 4), (2, 6), (3, 5), (4, 2), (5, 3)}
+
+    def test_example2_query_result(self):
+        graph = paper_figure1_graph()
+        assert eval_rpq(graph, "d.(b.c)+.c") == {(7, 5), (7, 3)}
+
+
+class TestSyntheticBuilders:
+    def test_labeled_path(self):
+        graph = labeled_path(3, "x")
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 3
+        assert eval_rpq(graph, "x.x.x") == {(0, 3)}
+
+    def test_labeled_path_zero_length(self):
+        graph = labeled_path(0)
+        assert graph.num_vertices == 1
+        assert graph.num_edges == 0
+
+    def test_labeled_cycle(self):
+        graph = labeled_cycle(4)
+        assert graph.num_edges == 4
+        assert (0, 0) in eval_rpq(graph, "a+")
+
+    def test_labeled_cycle_size_one(self):
+        graph = labeled_cycle(1)
+        assert graph.has_edge(0, "a", 0)
+
+    def test_labeled_cycle_invalid(self):
+        with pytest.raises(ValueError):
+            labeled_cycle(0)
+
+    def test_labeled_complete(self):
+        graph = labeled_complete(3, ("a", "b"))
+        assert graph.num_edges == 3 * 2 * 2
+        assert not graph.has_edge(0, "a", 0)
+
+    def test_layered_graph(self):
+        graph = layered_graph([2, 3, 1], ["a", "b"])
+        assert graph.num_vertices == 6
+        assert graph.num_edges == 2 * 3 + 3 * 1
+        # layer 0 -> 1 uses label a; layer 1 -> 2 uses label b.
+        assert eval_rpq(graph, "a.b") == {(0, 5), (1, 5)}
+
+    def test_digraph_path_and_cycle(self):
+        assert digraph_path(2).edge_set() == {(0, 1), (1, 2)}
+        assert digraph_cycle(3).edge_set() == {(0, 1), (1, 2), (2, 0)}
+        with pytest.raises(ValueError):
+            digraph_cycle(0)

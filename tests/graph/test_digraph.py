@@ -1,0 +1,98 @@
+"""Unit tests for the unlabeled simple digraph (reduction target type)."""
+
+import pytest
+
+from repro.errors import VertexNotFoundError
+from repro.graph.digraph import DiGraph
+
+
+def build_diamond() -> DiGraph:
+    return DiGraph.from_pairs([(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = DiGraph()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+
+    def test_add_edge_returns_newness(self):
+        graph = DiGraph()
+        assert graph.add_edge(0, 1) is True
+        assert graph.add_edge(0, 1) is False  # simple graph: collapse
+        assert graph.num_edges == 1
+
+    def test_add_vertex(self):
+        graph = DiGraph()
+        graph.add_vertex("x")
+        assert "x" in graph
+        assert graph.num_edges == 0
+
+    def test_self_loop(self):
+        graph = DiGraph.from_pairs([(1, 1)])
+        assert graph.has_self_loop(1)
+        assert not graph.has_self_loop(2)
+
+    def test_from_pairs_dedupes(self):
+        graph = DiGraph.from_pairs([(0, 1), (0, 1), (1, 0)])
+        assert graph.num_edges == 2
+
+
+class TestAccessors:
+    def test_successors_predecessors(self):
+        graph = build_diamond()
+        assert graph.successors(0) == frozenset({1, 2})
+        assert graph.predecessors(3) == frozenset({1, 2})
+        assert graph.successors(3) == frozenset()
+        assert graph.predecessors(0) == frozenset()
+
+    def test_degrees(self):
+        graph = build_diamond()
+        assert graph.out_degree(0) == 2
+        assert graph.in_degree(3) == 2
+        with pytest.raises(VertexNotFoundError):
+            graph.out_degree(9)
+        with pytest.raises(VertexNotFoundError):
+            graph.in_degree(9)
+
+    def test_edge_set(self):
+        graph = build_diamond()
+        assert graph.edge_set() == {(0, 1), (0, 2), (1, 3), (2, 3)}
+
+    def test_has_edge(self):
+        graph = build_diamond()
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_len(self):
+        assert len(build_diamond()) == 4
+
+
+class TestDerived:
+    def test_reverse(self):
+        graph = build_diamond()
+        reversed_graph = graph.reverse()
+        assert reversed_graph.edge_set() == {(1, 0), (2, 0), (3, 1), (3, 2)}
+        assert reversed_graph.reverse() == graph
+
+    def test_reverse_keeps_isolated_vertices(self):
+        graph = DiGraph()
+        graph.add_vertex(7)
+        assert 7 in graph.reverse()
+
+    def test_subgraph(self):
+        graph = build_diamond()
+        sub = graph.subgraph([0, 1, 3])
+        assert sub.edge_set() == {(0, 1), (1, 3)}
+        assert sub.num_vertices == 3
+
+    def test_copy_independent(self):
+        graph = build_diamond()
+        duplicate = graph.copy()
+        duplicate.add_edge(3, 0)
+        assert not graph.has_edge(3, 0)
+        assert graph != duplicate
+
+    def test_equality(self):
+        assert build_diamond() == build_diamond()
+        assert build_diamond().__eq__("nope") is NotImplemented

@@ -1,0 +1,58 @@
+"""Tests for edge-list serialisation."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import dump_edge_list, load_edge_list, parse_edge_lines
+from repro.graph.multigraph import LabeledMultigraph
+
+
+class TestParsing:
+    def test_basic_lines(self):
+        triples = list(parse_edge_lines(["0 a 1", "1 b 2"]))
+        assert triples == [(0, "a", 1), (1, "b", 2)]
+
+    def test_comments_and_blanks_skipped(self):
+        lines = ["# header", "", "   ", "0 a 1", "# trailing"]
+        assert list(parse_edge_lines(lines)) == [(0, "a", 1)]
+
+    def test_string_vertices_preserved(self):
+        triples = list(parse_edge_lines(["alice knows bob"]))
+        assert triples == [("alice", "knows", "bob")]
+
+    def test_mixed_vertex_types(self):
+        triples = list(parse_edge_lines(["0 a bob"]))
+        assert triples == [(0, "a", "bob")]
+
+    def test_malformed_line_raises_with_line_number(self):
+        with pytest.raises(GraphFormatError, match="line 2"):
+            list(parse_edge_lines(["0 a 1", "0 a"]))
+
+    def test_too_many_fields(self):
+        with pytest.raises(GraphFormatError):
+            list(parse_edge_lines(["0 a 1 extra"]))
+
+
+class TestRoundtrip:
+    def test_dump_and_load(self, tmp_path):
+        graph = LabeledMultigraph.from_edges(
+            [(0, "a", 1), (1, "b", 2), (2, "a", 0), ("x", "rel", "y")]
+        )
+        path = tmp_path / "graph.txt"
+        dump_edge_list(graph, path)
+        loaded = load_edge_list(path)
+        assert set(loaded.edges()) == set(graph.edges())
+
+    def test_dump_is_deterministic(self, tmp_path):
+        graph = LabeledMultigraph.from_edges([(2, "b", 1), (0, "a", 1)])
+        first = tmp_path / "one.txt"
+        second = tmp_path / "two.txt"
+        dump_edge_list(graph, first)
+        dump_edge_list(graph, second)
+        assert first.read_text() == second.read_text()
+
+    def test_load_tolerates_duplicate_lines(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("0 a 1\n0 a 1\n")
+        graph = load_edge_list(path)
+        assert graph.num_edges == 1

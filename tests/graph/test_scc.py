@@ -1,0 +1,144 @@
+"""Tests for SCC algorithms and the condensation (vertex-level reduction)."""
+
+import pytest
+
+from repro.graph.builders import digraph_cycle, digraph_path
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condense, kosaraju_scc, tarjan_scc
+
+
+def normalise(components):
+    return sorted(tuple(sorted(component)) for component in components)
+
+
+class TestTarjan:
+    def test_empty_graph(self):
+        assert tarjan_scc(DiGraph()) == []
+
+    def test_single_vertex(self):
+        graph = DiGraph()
+        graph.add_vertex(0)
+        assert normalise(tarjan_scc(graph)) == [(0,)]
+
+    def test_path_is_all_singletons(self):
+        graph = digraph_path(4)
+        assert normalise(tarjan_scc(graph)) == [(0,), (1,), (2,), (3,), (4,)]
+
+    def test_cycle_is_one_component(self):
+        graph = digraph_cycle(5)
+        assert normalise(tarjan_scc(graph)) == [(0, 1, 2, 3, 4)]
+
+    def test_two_cycles_and_bridge(self):
+        graph = DiGraph.from_pairs(
+            [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]
+        )
+        assert normalise(tarjan_scc(graph)) == [(0, 1), (2, 3)]
+
+    def test_emission_order_is_reverse_topological(self):
+        # Component containing 2,3 is reachable from the one containing 0,1,
+        # so Tarjan must emit it first.
+        graph = DiGraph.from_pairs([(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)])
+        components = tarjan_scc(graph)
+        assert sorted(components[0]) == [2, 3]
+        assert sorted(components[1]) == [0, 1]
+
+    def test_deep_path_no_recursion_limit(self):
+        # 50k-vertex path: a recursive Tarjan would overflow.
+        graph = digraph_path(50_000)
+        assert len(tarjan_scc(graph)) == 50_001
+
+    def test_self_loop_vertex(self):
+        graph = DiGraph.from_pairs([(0, 0), (0, 1)])
+        assert normalise(tarjan_scc(graph)) == [(0,), (1,)]
+
+
+class TestKosarajuAgreement:
+    @pytest.mark.parametrize(
+        "edges",
+        [
+            [],
+            [(0, 1)],
+            [(0, 1), (1, 0)],
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)],
+            [(0, 0)],
+            [(i, (i + 1) % 10) for i in range(10)],
+        ],
+    )
+    def test_same_components_as_tarjan(self, edges):
+        graph = DiGraph.from_pairs(edges)
+        assert normalise(tarjan_scc(graph)) == normalise(kosaraju_scc(graph))
+
+
+class TestCondensation:
+    def test_two_cycles_condense_to_two_vertices(self):
+        graph = DiGraph.from_pairs([(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)])
+        condensation = condense(graph)
+        assert condensation.num_sccs == 2
+        # The inter-SCC edge survives; each cyclic SCC gets a self-loop.
+        source_id = condensation.scc_of[0]
+        target_id = condensation.scc_of[2]
+        assert condensation.dag.has_edge(source_id, target_id)
+        assert condensation.dag.has_self_loop(source_id)
+        assert condensation.dag.has_self_loop(target_id)
+
+    def test_singleton_without_self_loop_is_acyclic(self):
+        graph = digraph_path(2)
+        condensation = condense(graph)
+        assert condensation.num_sccs == 3
+        for scc_id in range(3):
+            assert not condensation.is_cyclic(scc_id)
+
+    def test_singleton_with_self_loop_is_cyclic(self):
+        graph = DiGraph.from_pairs([(0, 0), (0, 1)])
+        condensation = condense(graph)
+        assert condensation.is_cyclic(condensation.scc_of[0])
+        assert not condensation.is_cyclic(condensation.scc_of[1])
+
+    def test_edge_id_order_invariant(self):
+        # Every condensation edge (i, j), i != j must satisfy j < i:
+        # Tarjan emits reachable components first.
+        graph = DiGraph.from_pairs(
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (1, 4)]
+        )
+        condensation = condense(graph)
+        for source, target in condensation.dag.edges():
+            if source != target:
+                assert target < source
+
+    def test_members_cover_all_vertices(self):
+        graph = DiGraph.from_pairs([(0, 1), (1, 0), (2, 3)])
+        condensation = condense(graph)
+        covered = sorted(
+            vertex
+            for members in condensation.members.values()
+            for vertex in members
+        )
+        assert covered == [0, 1, 2, 3]
+        assert set(condensation.scc_of) == {0, 1, 2, 3}
+
+    def test_average_scc_size(self):
+        graph = DiGraph.from_pairs([(0, 1), (1, 0), (2, 3)])
+        condensation = condense(graph)
+        assert condensation.average_scc_size() == pytest.approx(4 / 3)
+        assert condense(DiGraph()).average_scc_size() == 0.0
+
+    def test_scc_sizes(self):
+        graph = digraph_cycle(4)
+        assert condense(graph).scc_sizes() == [4]
+
+    def test_paper_example5(self):
+        # G_{b·c} of Fig. 5 condenses to three vertices with two self-loops
+        # and one inter-SCC edge (Fig. 6).
+        gbc = DiGraph.from_pairs([(2, 4), (2, 6), (3, 5), (4, 2), (5, 3)])
+        condensation = condense(gbc)
+        assert condensation.num_sccs == 3
+        s24 = condensation.scc_of[2]
+        s35 = condensation.scc_of[3]
+        s6 = condensation.scc_of[6]
+        assert condensation.scc_of[4] == s24
+        assert condensation.scc_of[5] == s35
+        assert condensation.dag.has_self_loop(s24)
+        assert condensation.dag.has_self_loop(s35)
+        assert not condensation.dag.has_self_loop(s6)
+        assert condensation.dag.has_edge(s24, s6)
+        assert condensation.dag.num_edges == 3

@@ -1,0 +1,144 @@
+"""Independent oracle evaluators for the test suite.
+
+Two oracle evaluators live here, both deliberately avoiding the library's
+own evaluation path so that agreement is meaningful evidence:
+
+* :func:`oracle_networkx_eval` -- determinise the query, build the
+  product graph of (vertex, DFA-state) nodes with networkx and use
+  ``nx.descendants`` for reachability.  Shares only the regex->DFA
+  compiler with the library.
+* :func:`oracle_path_enumeration` -- enumerate every path up to a length
+  bound and match its label word with Python's :mod:`re` engine (labels
+  mapped to single characters).  Shares *nothing* with the library except
+  the parser; only usable on tiny graphs.
+
+Both are exposed as plain functions through fixtures so tests in any
+subdirectory can use them without sys.path tricks.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.graph.builders import paper_figure1_graph
+from repro.graph.multigraph import LabeledMultigraph
+from repro.regex.ast import (
+    Concat,
+    Epsilon,
+    Label,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+    Union,
+)
+from repro.regex.dfa import determinize
+from repro.regex.nfa import compile_nfa
+from repro.regex.parser import parse
+
+# ---------------------------------------------------------------------------
+# oracle 1: networkx product-graph reachability
+# ---------------------------------------------------------------------------
+
+
+def oracle_networkx_eval(graph: LabeledMultigraph, query) -> set:
+    """Evaluate an RPQ via a networkx product graph (independent path)."""
+    import networkx as nx
+
+    dfa = determinize(compile_nfa(parse(query)))
+    product = nx.DiGraph()
+    for source, label, target in graph.edges():
+        for state, row in enumerate(dfa.delta):
+            next_state = row.get(label)
+            if next_state is not None:
+                product.add_edge((source, state), (target, next_state))
+
+    nullable = dfa.start in dfa.accepts
+    result: set = set()
+    for vertex in graph.vertices():
+        if nullable:
+            result.add((vertex, vertex))
+        start_node = (vertex, dfa.start)
+        if start_node not in product:
+            continue
+        for end_vertex, state in nx.descendants(product, start_node):
+            if state in dfa.accepts:
+                result.add((vertex, end_vertex))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# oracle 2: path enumeration + Python re
+# ---------------------------------------------------------------------------
+
+
+def _ast_to_python_re(node: RegexNode, char_of: dict[str, str]) -> str:
+    if isinstance(node, Epsilon):
+        return ""
+    if isinstance(node, Label):
+        return char_of[node.name]
+    if isinstance(node, Concat):
+        return "".join(_ast_to_python_re(part, char_of) for part in node.parts)
+    if isinstance(node, Union):
+        inner = "|".join(
+            _ast_to_python_re(alt, char_of) for alt in node.alternatives
+        )
+        return f"(?:{inner})"
+    if isinstance(node, Plus):
+        return f"(?:{_ast_to_python_re(node.body, char_of)})+"
+    if isinstance(node, Star):
+        return f"(?:{_ast_to_python_re(node.body, char_of)})*"
+    if isinstance(node, Optional):
+        return f"(?:{_ast_to_python_re(node.body, char_of)})?"
+    raise TypeError(f"unknown node {node!r}")
+
+
+def oracle_path_enumeration(
+    graph: LabeledMultigraph, query, max_length: int = 6
+) -> set:
+    """Evaluate an RPQ by brute-force path enumeration + ``re`` matching.
+
+    Complete only for results witnessed by a path of ``<= max_length``
+    edges; callers use tiny graphs where that bound is exhaustive
+    (every simple-cycle-free witness is shorter than ``|V| * states``).
+    """
+    import re as stdlib_re
+
+    node = parse(query)
+    labels = sorted(set(graph.labels()) | set(_labels_of(node)))
+    # Map labels to single printable characters for the stdlib engine.
+    char_of = {
+        label: chr(0x100 + index) for index, label in enumerate(labels)
+    }
+    pattern = stdlib_re.compile(_ast_to_python_re(node, char_of) or "(?:)")
+
+    result: set = set()
+    for start in graph.vertices():
+        # BFS over (vertex, word) prefixes up to the bound.
+        frontier = [(start, "")]
+        for _depth in range(max_length + 1):
+            next_frontier = []
+            for vertex, word in frontier:
+                if pattern.fullmatch(word):
+                    result.add((start, vertex))
+                if len(word) < max_length:
+                    for label, target in graph.out_edges(vertex):
+                        next_frontier.append((target, word + char_of[label]))
+            frontier = next_frontier
+            if not frontier:
+                break
+    return result
+
+
+def _labels_of(node: RegexNode):
+    from repro.regex.ast import iter_labels
+
+    return iter_labels(node)
+
+
+def enumerate_words(alphabet, max_length: int):
+    """All words over ``alphabet`` up to ``max_length`` (tests' language cmp)."""
+    for length in range(max_length + 1):
+        yield from itertools.product(alphabet, repeat=length)
+
+

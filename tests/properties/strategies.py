@@ -1,0 +1,82 @@
+"""Hypothesis strategies for the property-based tests (imported as `strategies`)."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.multigraph import LabeledMultigraph
+from repro.regex.ast import (
+    EPSILON,
+    Label,
+    Optional,
+    Plus,
+    Star,
+    concat,
+    union,
+)
+
+LABELS = ("a", "b", "c")
+
+
+@st.composite
+def digraphs(draw, max_vertices: int = 10, max_edges: int = 25) -> DiGraph:
+    """Random unlabeled digraphs (self-loops allowed)."""
+    size = draw(st.integers(min_value=1, max_value=max_vertices))
+    edge_count = draw(st.integers(min_value=0, max_value=max_edges))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, size - 1), st.integers(0, size - 1)
+            ),
+            min_size=edge_count,
+            max_size=edge_count,
+        )
+    )
+    graph = DiGraph.from_pairs(pairs)
+    for vertex in range(size):
+        graph.add_vertex(vertex)
+    return graph
+
+
+@st.composite
+def labeled_graphs(draw, max_vertices: int = 8, max_edges: int = 20) -> LabeledMultigraph:
+    """Random edge-labeled multigraphs over the 3-label alphabet."""
+    size = draw(st.integers(min_value=1, max_value=max_vertices))
+    edge_count = draw(st.integers(min_value=0, max_value=max_edges))
+    triples = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, size - 1),
+                st.sampled_from(LABELS),
+                st.integers(0, size - 1),
+            ),
+            min_size=edge_count,
+            max_size=edge_count,
+        )
+    )
+    graph = LabeledMultigraph()
+    for vertex in range(size):
+        graph.add_vertex(vertex)
+    for source, label, target in triples:
+        graph.add_edge_if_absent(source, label, target)
+    return graph
+
+
+def regexes(max_depth: int = 3):
+    """Random regex ASTs over the 3-label alphabet."""
+    leaves = st.one_of(
+        st.sampled_from([Label(name) for name in LABELS]),
+        st.just(EPSILON),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda pair: concat(*pair)),
+            st.tuples(children, children).map(lambda pair: union(*pair)),
+            children.map(Plus),
+            children.map(Star),
+            children.map(Optional),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=6)

@@ -1,0 +1,79 @@
+"""Property-based cross-validation of the three engines.
+
+The strongest guarantee in the suite: on random graphs and random queries
+(closures included), NoSharing, FullSharing and RTCSharing -- plus every
+ablated variant of Algorithm 2 -- return identical result sets, and agree
+with the networkx product-graph oracle.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from strategies import labeled_graphs, regexes
+from repro.core.batch_unit import BatchUnitOptions
+from repro.core.engines import FullSharingEngine, NoSharingEngine, RTCSharingEngine
+
+ABLATIONS = [
+    BatchUnitOptions(
+        eliminate_redundant1=r1, eliminate_redundant2=r2, eliminate_useless2=u2
+    )
+    for r1, r2, u2 in itertools.product([True, False], repeat=3)
+]
+
+
+@settings(max_examples=50, deadline=None)
+@given(labeled_graphs(), regexes())
+def test_three_engines_agree(graph, node):
+    expected = NoSharingEngine(graph).evaluate(node)
+    assert FullSharingEngine(graph).evaluate(node) == expected
+    assert RTCSharingEngine(graph).evaluate(node) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(labeled_graphs(max_vertices=5, max_edges=10), regexes())
+def test_engines_agree_with_networkx_oracle(graph, node):
+    from oracle_helpers import oracle_networkx_eval
+
+    expected = oracle_networkx_eval(graph, node)
+    assert RTCSharingEngine(graph).evaluate(node) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    labeled_graphs(),
+    regexes(),
+    st.sampled_from(ABLATIONS),
+)
+def test_ablated_algorithm2_never_changes_results(graph, node, options):
+    reference = RTCSharingEngine(graph).evaluate(node)
+    ablated = RTCSharingEngine(graph, options=options).evaluate(node)
+    assert ablated == reference
+
+
+@settings(max_examples=25, deadline=None)
+@given(labeled_graphs(), regexes())
+def test_semantic_cache_mode_changes_nothing(graph, node):
+    syntactic = RTCSharingEngine(graph).evaluate(node)
+    semantic = RTCSharingEngine(graph, cache_mode="semantic").evaluate(node)
+    assert syntactic == semantic
+
+
+@settings(max_examples=25, deadline=None)
+@given(labeled_graphs(), regexes())
+def test_shared_data_rtc_never_larger_than_full(graph, node):
+    full = FullSharingEngine(graph)
+    rtc = RTCSharingEngine(graph)
+    full.evaluate(node)
+    rtc.evaluate(node)
+    assert rtc.shared_data_size() <= full.shared_data_size()
+
+
+@settings(max_examples=20, deadline=None)
+@given(labeled_graphs(), regexes())
+def test_repeated_evaluation_is_idempotent(graph, node):
+    engine = RTCSharingEngine(graph)
+    first = engine.evaluate(node)
+    second = engine.evaluate(node)  # warm caches
+    assert first == second

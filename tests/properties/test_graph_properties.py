@@ -1,0 +1,97 @@
+"""Property-based tests for SCC / transitive-closure invariants."""
+
+from hypothesis import given, settings
+
+from strategies import digraphs
+from repro.core.rtc import compute_rtc
+from repro.graph.scc import condense, kosaraju_scc, tarjan_scc
+from repro.graph.transitive_closure import (
+    tc_bfs,
+    tc_nuutila,
+    tc_purdom,
+    tc_warshall,
+)
+
+
+def normalised(components):
+    return sorted(tuple(sorted(component)) for component in components)
+
+
+@settings(max_examples=60, deadline=None)
+@given(digraphs())
+def test_tarjan_equals_kosaraju(graph):
+    assert normalised(tarjan_scc(graph)) == normalised(kosaraju_scc(graph))
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_scc_against_networkx(graph):
+    import networkx as nx
+
+    nx_graph = nx.DiGraph()
+    nx_graph.add_nodes_from(graph.vertices())
+    nx_graph.add_edges_from(graph.edges())
+    expected = sorted(
+        tuple(sorted(component))
+        for component in nx.strongly_connected_components(nx_graph)
+    )
+    assert normalised(tarjan_scc(graph)) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_closure_algorithms_agree(graph):
+    reference = tc_bfs(graph)
+    assert tc_warshall(graph) == reference
+    assert tc_purdom(graph) == reference
+    assert tc_nuutila(graph) == reference
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_closure_contains_edges_and_is_transitive(graph):
+    closure = tc_purdom(graph)
+    assert set(graph.edges()) <= closure
+    by_source: dict = {}
+    for source, target in closure:
+        by_source.setdefault(source, set()).add(target)
+    for source, target in closure:
+        for onward in by_source.get(target, ()):
+            assert (source, onward) in closure
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_rtc_expansion_matches_bfs_closure(graph):
+    rtc = compute_rtc(graph)
+    assert rtc.expand() == tc_bfs(graph)
+    assert rtc.num_expanded_pairs == len(tc_bfs(graph))
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_rtc_is_never_larger_than_closure(graph):
+    rtc = compute_rtc(graph)
+    assert rtc.num_pairs <= max(1, rtc.num_expanded_pairs) or rtc.num_pairs == 0
+    assert rtc.num_sccs <= graph.num_vertices
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_condensation_partitions_vertices(graph):
+    condensation = condense(graph)
+    seen: set = set()
+    for members in condensation.members.values():
+        for vertex in members:
+            assert vertex not in seen
+            seen.add(vertex)
+    assert seen == set(graph.vertices())
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_condensation_edges_point_to_lower_ids(graph):
+    condensation = condense(graph)
+    for source, target in condensation.dag.edges():
+        if source != target:
+            assert target < source

@@ -1,0 +1,78 @@
+"""Property-based tests for the regex substrate."""
+
+import itertools
+
+from hypothesis import given, settings
+
+from strategies import regexes
+from repro.core.dnf import dnf_to_regex, to_dnf
+from repro.regex.dfa import canonical_key, determinize, minimize
+from repro.regex.nfa import compile_nfa
+from repro.regex.parser import parse
+
+WORDS = [
+    list(word)
+    for length in range(0, 4)
+    for word in itertools.product("abc", repeat=length)
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(regexes())
+def test_parse_to_string_roundtrip(node):
+    """to_string() re-parses to the identical AST."""
+    assert parse(node.to_string()) == node
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes())
+def test_dnf_preserves_language(node):
+    """The closure-literal DNF accepts exactly the original language."""
+    original = compile_nfa(node)
+    converted = compile_nfa(dnf_to_regex(to_dnf(node)))
+    for word in WORDS:
+        assert original.accepts_word(word) == converted.accepts_word(word)
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes())
+def test_dfa_pipeline_preserves_language(node):
+    """determinize + minimize accept exactly what the NFA accepts."""
+    nfa = compile_nfa(node)
+    dfa = minimize(determinize(nfa))
+    for word in WORDS:
+        assert nfa.accepts_word(word) == dfa.accepts_word(word)
+
+
+@settings(max_examples=30, deadline=None)
+@given(regexes())
+def test_canonical_key_invariant_under_dnf(node):
+    """Language-preserving rewrites keep the canonical key stable."""
+    assert canonical_key(node) == canonical_key(dnf_to_regex(to_dnf(node)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(regexes(), regexes())
+def test_canonical_key_separates_languages(first, second):
+    """Equal keys imply equal acceptance on sampled words (soundness)."""
+    if canonical_key(first) == canonical_key(second):
+        first_nfa = compile_nfa(first)
+        second_nfa = compile_nfa(second)
+        for word in WORDS:
+            assert first_nfa.accepts_word(word) == second_nfa.accepts_word(word)
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes())
+def test_nullable_flag_matches_empty_word(node):
+    assert compile_nfa(node).nullable == compile_nfa(node).accepts_word([])
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes())
+def test_first_labels_complete(node):
+    """Any accepted non-empty word starts with a label in first_labels."""
+    nfa = compile_nfa(node)
+    for word in WORDS:
+        if word and nfa.accepts_word(word):
+            assert word[0] in nfa.first_labels

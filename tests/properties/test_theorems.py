@@ -1,0 +1,77 @@
+"""The paper's lemmas and theorems as property-based tests.
+
+* Lemma 1:   ``R+_G = TC(G_R)``;
+* Lemma 3:   ``TC(G_R)`` = expansion of ``TC(Ḡ_R)`` over SCC products;
+* Theorem 1: ``R+_G`` = RTC expansion (composition of the two);
+* Lemma 4:   ``(A.B)_G`` = join of ``A_G`` and ``B_G``;
+* Theorem 2: ``R+_G`` as the relational expression over SCC / RTC.
+
+Closure bodies are drawn as random *closure-free* regexes (matching the
+paper's workload shape); graphs are random labeled multigraphs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from strategies import LABELS, labeled_graphs
+from repro.core.reduction import edge_level_reduce
+from repro.core.rtc import compute_rtc
+from repro.graph.transitive_closure import tc_bfs
+from repro.regex.ast import Label, Plus, concat, union
+from repro.relalg.builders import concat_expression, theorem2_expression
+from repro.rpq.evaluate import eval_rpq
+
+
+def closure_free_bodies():
+    """Concatenations/unions of labels, the paper's R shapes."""
+    label_nodes = st.sampled_from([Label(name) for name in LABELS])
+    sequences = st.lists(label_nodes, min_size=1, max_size=3).map(
+        lambda parts: concat(*parts)
+    )
+    unions = st.tuples(sequences, sequences).map(lambda pair: union(*pair))
+    return st.one_of(sequences, unions)
+
+
+@settings(max_examples=50, deadline=None)
+@given(labeled_graphs(), closure_free_bodies())
+def test_lemma1_plus_equals_tc_of_reduced_graph(graph, body):
+    reduced = edge_level_reduce(graph, body)
+    assert eval_rpq(graph, Plus(body)) == tc_bfs(reduced)
+
+
+@settings(max_examples=50, deadline=None)
+@given(labeled_graphs(), closure_free_bodies())
+def test_lemma3_and_theorem1_rtc_expansion(graph, body):
+    reduced = edge_level_reduce(graph, body)
+    rtc = compute_rtc(reduced)
+    # Lemma 3: the SCC-product expansion equals TC(G_R).
+    assert rtc.expand() == tc_bfs(reduced)
+    # Theorem 1: and therefore equals the Kleene-plus result on G.
+    assert rtc.expand() == eval_rpq(graph, Plus(body))
+
+
+@settings(max_examples=50, deadline=None)
+@given(labeled_graphs(), closure_free_bodies(), closure_free_bodies())
+def test_lemma4_concatenation_is_join(graph, left, right):
+    expression = concat_expression(eval_rpq(graph, left), eval_rpq(graph, right))
+    assert expression.evaluate().to_pairs() == eval_rpq(graph, concat(left, right))
+
+
+@settings(max_examples=50, deadline=None)
+@given(labeled_graphs(), closure_free_bodies())
+def test_theorem2_relational_reconstruction(graph, body):
+    rtc = compute_rtc(edge_level_reduce(graph, body))
+    assert theorem2_expression(rtc).evaluate().to_pairs() == eval_rpq(
+        graph, Plus(body)
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(labeled_graphs(), closure_free_bodies())
+def test_star_is_plus_union_identity(graph, body):
+    from repro.regex.ast import Star
+
+    plus_result = eval_rpq(graph, Plus(body))
+    star_result = eval_rpq(graph, Star(body))
+    identity = {(vertex, vertex) for vertex in graph.vertices()}
+    assert star_result == plus_result | identity

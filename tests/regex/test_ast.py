@@ -1,0 +1,118 @@
+"""Tests for the regex AST value objects and smart constructors."""
+
+import pytest
+
+from repro.regex.ast import (
+    EPSILON,
+    Concat,
+    Epsilon,
+    Label,
+    Optional,
+    Plus,
+    Star,
+    Union,
+    concat,
+    contains_closure,
+    iter_labels,
+    union,
+)
+
+
+class TestNodes:
+    def test_label_requires_name(self):
+        with pytest.raises(ValueError):
+            Label("")
+
+    def test_label_equality_and_hash(self):
+        assert Label("a") == Label("a")
+        assert Label("a") != Label("b")
+        assert hash(Label("a")) == hash(Label("a"))
+        assert Label("a") != EPSILON
+
+    def test_epsilon_singleton_semantics(self):
+        assert Epsilon() == EPSILON
+        assert hash(Epsilon()) == hash(EPSILON)
+
+    def test_nodes_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Label("a").name = "b"
+        with pytest.raises(AttributeError):
+            Plus(Label("a")).body = Label("b")
+        with pytest.raises(AttributeError):
+            Concat((Label("a"), Label("b"))).parts = ()
+
+    def test_concat_requires_two_parts(self):
+        with pytest.raises(ValueError):
+            Concat((Label("a"),))
+
+    def test_union_requires_two_alternatives(self):
+        with pytest.raises(ValueError):
+            Union((Label("a"),))
+
+    def test_postfix_equality_distinguishes_operators(self):
+        assert Plus(Label("a")) != Star(Label("a"))
+        assert Plus(Label("a")) == Plus(Label("a"))
+        assert Optional(Label("a")) != Plus(Label("a"))
+
+
+class TestSmartConstructors:
+    def test_concat_flattens(self):
+        node = concat(Label("a"), concat(Label("b"), Label("c")))
+        assert isinstance(node, Concat)
+        assert node.parts == (Label("a"), Label("b"), Label("c"))
+
+    def test_concat_drops_epsilon(self):
+        assert concat(Label("a"), EPSILON) == Label("a")
+        assert concat(EPSILON, EPSILON) == EPSILON
+        assert concat() == EPSILON
+
+    def test_union_flattens_and_dedupes(self):
+        node = union(Label("a"), union(Label("b"), Label("a")))
+        assert isinstance(node, Union)
+        assert node.alternatives == (Label("a"), Label("b"))
+
+    def test_union_single_alternative_collapses(self):
+        assert union(Label("a"), Label("a")) == Label("a")
+
+    def test_union_empty_rejected(self):
+        with pytest.raises(ValueError):
+            union()
+
+
+class TestToString:
+    @pytest.mark.parametrize(
+        "node,text",
+        [
+            (Label("a"), "a"),
+            (Label("has part"), "<has part>"),
+            (EPSILON, "()"),
+            (concat(Label("a"), Label("b")), "a.b"),
+            (union(Label("a"), Label("b")), "a|b"),
+            (Plus(Label("a")), "a+"),
+            (Star(concat(Label("a"), Label("b"))), "(a.b)*"),
+            (Optional(Label("a")), "a?"),
+            (concat(union(Label("a"), Label("b")), Label("c")), "(a|b).c"),
+            (Plus(union(Label("a"), Label("b"))), "(a|b)+"),
+            (union(concat(Label("a"), Label("b")), Label("c")), "a.b|c"),
+        ],
+    )
+    def test_minimal_parentheses(self, node, text):
+        assert node.to_string() == text
+
+    def test_str_and_repr(self):
+        assert str(Plus(Label("a"))) == "a+"
+        assert "a+" in repr(Plus(Label("a")))
+
+
+class TestInspection:
+    def test_iter_labels(self):
+        node = concat(Label("a"), Plus(union(Label("b"), Label("a"))))
+        assert sorted(iter_labels(node)) == ["a", "a", "b"]
+
+    def test_contains_closure(self):
+        assert contains_closure(Plus(Label("a")))
+        assert contains_closure(concat(Label("a"), Star(Label("b"))))
+        assert contains_closure(Optional(Plus(Label("a"))))
+        assert not contains_closure(Label("a"))
+        assert not contains_closure(Optional(Label("a")))
+        assert not contains_closure(union(Label("a"), concat(Label("b"), Label("c"))))

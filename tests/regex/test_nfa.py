@@ -1,0 +1,100 @@
+"""Tests for Thompson construction and the epsilon-free LabelNFA."""
+
+import pytest
+
+from repro.regex.nfa import compile_nfa, thompson
+from repro.regex.parser import parse
+
+
+def accepts(query: str, word: str | list) -> bool:
+    nfa = compile_nfa(parse(query))
+    return nfa.accepts_word(list(word))
+
+
+class TestWordAcceptance:
+    @pytest.mark.parametrize(
+        "query,word,expected",
+        [
+            ("a", "a", True),
+            ("a", "b", False),
+            ("a", "", False),
+            ("a.b", "ab", True),
+            ("a.b", "a", False),
+            ("a|b", "a", True),
+            ("a|b", "b", True),
+            ("a|b", "ab", False),
+            ("a+", "", False),
+            ("a+", "a", True),
+            ("a+", "aaaa", True),
+            ("a*", "", True),
+            ("a*", "aaa", True),
+            ("a?", "", True),
+            ("a?", "a", True),
+            ("a?", "aa", False),
+            ("()", "", True),
+            ("()", "a", False),
+            ("(a.b)+", "ab", True),
+            ("(a.b)+", "abab", True),
+            ("(a.b)+", "aba", False),
+            ("d.(b.c)+.c", "dbcc", True),
+            ("d.(b.c)+.c", "dbcbcc", True),
+            ("d.(b.c)+.c", "dbc", False),
+            ("(a|b)*.c", "c", True),
+            ("(a|b)*.c", "abbac", True),
+            ("(a*)+", "", True),
+            ("(a+)+", "aa", True),
+            ("(a+)+", "", False),
+        ],
+    )
+    def test_membership(self, query, word, expected):
+        assert accepts(query, word) is expected
+
+    def test_multicharacter_labels(self):
+        nfa = compile_nfa(parse("knows.<works at>"))
+        assert nfa.accepts_word(["knows", "works at"])
+        assert not nfa.accepts_word(["knows"])
+
+
+class TestNfaStructure:
+    def test_nullable_flag(self):
+        assert compile_nfa(parse("a*")).nullable
+        assert compile_nfa(parse("a?")).nullable
+        assert compile_nfa(parse("()")).nullable
+        assert compile_nfa(parse("a*.b*")).nullable
+        assert not compile_nfa(parse("a")).nullable
+        assert not compile_nfa(parse("a+")).nullable
+        assert not compile_nfa(parse("a*.b")).nullable
+
+    def test_first_labels(self):
+        assert compile_nfa(parse("a.b")).first_labels == {"a"}
+        assert compile_nfa(parse("a|b.c")).first_labels == {"a", "b"}
+        assert compile_nfa(parse("a*.b")).first_labels == {"a", "b"}
+        assert compile_nfa(parse("(a|b)+.c")).first_labels == {"a", "b"}
+        assert compile_nfa(parse("()")).first_labels == set()
+
+    def test_labels_alphabet(self):
+        assert compile_nfa(parse("a.(b|c)+")).labels == {"a", "b", "c"}
+
+    def test_step_on_dead_label(self):
+        nfa = compile_nfa(parse("a"))
+        assert nfa.step(nfa.start, "z") == frozenset()
+
+    def test_delta_covers_reachable_states(self):
+        nfa = compile_nfa(parse("(a.b)+|c*"))
+        for state, row in nfa.delta.items():
+            for targets in row.values():
+                for target in targets:
+                    assert target in nfa.delta
+
+
+class TestThompson:
+    def test_state_count_is_linear(self):
+        eps_nfa = thompson(parse("a.b.c.d"))
+        # Thompson: 2 states per label + epsilon glue only.
+        assert eps_nfa.num_states == 8
+
+    def test_epsilon_closure_transitivity(self):
+        eps_nfa = thompson(parse("a*"))
+        closure = eps_nfa.epsilon_closure({eps_nfa.start})
+        # Start closure of a* must contain the accept state (empty match).
+        assert eps_nfa.accept in closure

@@ -1,0 +1,128 @@
+"""Tests for the language-preserving query simplifier."""
+
+import itertools
+
+import pytest
+
+from repro.regex.dfa import languages_equal
+from repro.regex.nfa import compile_nfa
+from repro.regex.parser import parse
+from repro.regex.simplify import is_nullable_ast, simplify
+
+
+def simplified(text: str) -> str:
+    return simplify(parse(text)).to_string()
+
+
+class TestRules:
+    @pytest.mark.parametrize(
+        "before,after",
+        [
+            ("(a+)+", "a+"),
+            ("(a*)+", "a*"),
+            ("(a+)*", "a*"),
+            ("(a*)*", "a*"),
+            ("(a?)+", "a*"),
+            ("(a?)*", "a*"),
+            ("(a?)?", "a?"),
+            ("(a+)?", "a*"),
+            ("(a*)?", "a*"),
+            ("()+", "()"),
+            ("()*", "()"),
+            ("()?", "()"),
+            ("a|a", "a"),
+            ("a|()", "a?"),
+            ("a*|()", "a*"),
+            ("().a.()", "a"),
+            ("a|a|b", "a|b"),
+            ("(((a+)+)+)+", "a+"),
+            ("(a.b?)?", "(a.b?)?"),  # not nullable body: kept
+            ("(a?.b?)?", "a?.b?"),  # nullable body: option dropped
+        ],
+    )
+    def test_rewrites(self, before, after):
+        assert simplified(before) == after
+
+    def test_labels_and_epsilon_fixed(self):
+        assert simplified("a") == "a"
+        assert simplified("()") == "()"
+        assert simplified("a.b|c") == "a.b|c"
+
+
+class TestNullable:
+    @pytest.mark.parametrize(
+        "query,expected",
+        [
+            ("()", True),
+            ("a", False),
+            ("a?", True),
+            ("a*", True),
+            ("a+", False),
+            ("(a?)+", True),
+            ("a.b", False),
+            ("a?.b?", True),
+            ("a?.b", False),
+            ("a|b*", True),
+            ("a|b", False),
+        ],
+    )
+    def test_matches_nfa_nullable(self, query, expected):
+        node = parse(query)
+        assert is_nullable_ast(node) is expected
+        assert compile_nfa(node).nullable is expected
+
+
+class TestLanguagePreservation:
+    QUERIES = [
+        "((a+)*|b?)+",
+        "(a|a).(b|())",
+        "((a?)?)?",
+        "(a.b+)*.c?",
+        "((()|a)+.b)?",
+        "d.(b.c)+.c",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_same_language_by_canonical_key(self, query):
+        assert languages_equal(parse(query), simplify(parse(query)))
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_same_language_by_word_enumeration(self, query):
+        original = compile_nfa(parse(query))
+        rewritten = compile_nfa(simplify(parse(query)))
+        for length in range(0, 5):
+            for word in itertools.product("abcd", repeat=length):
+                assert original.accepts_word(list(word)) == rewritten.accepts_word(
+                    list(word)
+                ), (query, word)
+
+    def test_idempotent(self):
+        for query in self.QUERIES:
+            once = simplify(parse(query))
+            assert simplify(once) == once
+
+    def test_results_unchanged_on_graph(self, fig1):
+        from repro.rpq.evaluate import eval_rpq
+
+        for query in ["((b.c)+)+", "(b|b).c", "d.((b.c)+)?.c", "(c*)*"]:
+            assert eval_rpq(fig1, simplify(parse(query))) == eval_rpq(
+                fig1, query
+            ), query
+
+
+class TestShrinkage:
+    def test_dnf_clause_count_reduced(self):
+        from repro.core.dnf import to_dnf
+
+        query = parse("(a|a).(b|b).(c|c)")
+        assert len(to_dnf(query)) == 1  # dedup already handles this one
+        bloated = parse("(a?).(b?).(c?)")
+        assert len(to_dnf(bloated)) == 8
+        assert len(to_dnf(simplify(bloated))) == 8  # legitimate clauses stay
+
+    def test_nfa_state_count_reduced(self):
+        bloated = parse("(((a+)+)+)+")
+        assert (
+            compile_nfa(simplify(bloated)).num_states
+            <= compile_nfa(bloated).num_states
+        )

@@ -1,0 +1,65 @@
+"""Tests for the relational-algebra expression tree."""
+
+from repro.relalg.expression import Join, Project, Rename, Scan, Select, Union
+from repro.relalg.relation import Relation
+
+
+def scan(rows, columns=("A", "B"), label="R"):
+    return Scan(Relation(columns, rows), label)
+
+
+class TestEvaluation:
+    def test_scan(self):
+        relation = scan({(1, 2)}).evaluate()
+        assert relation.rows == {(1, 2)}
+
+    def test_select(self):
+        expression = Select(scan({(1, 2), (3, 4)}), "A", 1)
+        assert expression.evaluate().rows == {(1, 2)}
+
+    def test_project(self):
+        expression = Project(scan({(1, 2), (3, 2)}), ("B",))
+        assert expression.evaluate().rows == {(2,)}
+
+    def test_rename(self):
+        expression = Rename(scan({(1, 2)}), (("A", "X"),))
+        assert expression.evaluate().columns == ("X", "B")
+
+    def test_join(self):
+        left = scan({(1, 2)}, ("A", "B"))
+        right = scan({(2, 3)}, ("C", "D"), "S")
+        expression = Join(left, right, "B", "C")
+        assert expression.evaluate().rows == {(1, 2, 2, 3)}
+
+    def test_union(self):
+        expression = Union(scan({(1, 2)}), scan({(3, 4)}))
+        assert expression.evaluate().rows == {(1, 2), (3, 4)}
+
+    def test_composition(self):
+        # pi_A(sigma_B=2(R ⋈ S))
+        left = scan({(1, 2), (5, 9)}, ("A", "B"))
+        right = scan({(2, 7), (9, 8)}, ("C", "D"), "S")
+        expression = Project(
+            Select(Join(left, right, "B", "C"), "B", 2), ("A",)
+        )
+        assert expression.evaluate().rows == {(1,)}
+
+
+class TestPrinting:
+    def test_to_algebra_nested(self):
+        expression = Project(
+            Join(scan({(1, 2)}), scan({(2, 3)}, ("C", "D"), "S"), "B", "C"),
+            ("A", "D"),
+        )
+        text = expression.to_algebra()
+        assert text == "π[A, D]((R ⋈[B=C] S))"
+        assert str(expression) == text
+
+    def test_rename_and_select_printing(self):
+        expression = Select(Rename(scan({(1, 2)}), (("A", "X"),)), "X", 1)
+        assert "ρ[A→X]" in expression.to_algebra()
+        assert "σ[X=1]" in expression.to_algebra()
+
+    def test_union_printing(self):
+        expression = Union(scan(set()), scan(set()))
+        assert "∪" in expression.to_algebra()

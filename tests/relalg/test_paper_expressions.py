@@ -1,0 +1,120 @@
+"""Tests for the paper's formal expressions (Lemma 4, Theorem 2, Eq. 6-10)."""
+
+import pytest
+
+from repro.core.batch_unit import eval_batch_unit
+from repro.core.rtc import compute_rtc
+from repro.relalg.builders import (
+    batch_unit_expression,
+    concat_expression,
+    rtc_relation,
+    scc_relation,
+    theorem2_expression,
+)
+from repro.rpq.evaluate import eval_rpq
+from repro.rpq.restricted import RestrictedEvaluator
+
+
+class TestLemma4:
+    def test_concatenation_is_a_join(self, fig1):
+        a_pairs = eval_rpq(fig1, "b")
+        b_pairs = eval_rpq(fig1, "c")
+        expression = concat_expression(a_pairs, b_pairs)
+        assert expression.evaluate().to_pairs() == eval_rpq(fig1, "b.c")
+
+    def test_lemma4_on_arbitrary_splits(self, fig1):
+        for left, right in [("d", "b"), ("b.c", "c"), ("a", "c.c")]:
+            expression = concat_expression(
+                eval_rpq(fig1, left), eval_rpq(fig1, right)
+            )
+            assert expression.evaluate().to_pairs() == eval_rpq(
+                fig1, f"{left}.{right}"
+            ), (left, right)
+
+
+class TestBaseRelations:
+    def test_scc_relation(self, fig1):
+        rtc = compute_rtc(eval_rpq(fig1, "b.c"))
+        relation = scc_relation(rtc).evaluate()
+        assert relation.columns == ("V", "S")
+        assert relation.cardinality == 5  # |V_R|
+
+    def test_rtc_relation(self, fig1):
+        rtc = compute_rtc(eval_rpq(fig1, "b.c"))
+        relation = rtc_relation(rtc).evaluate()
+        assert relation.columns == ("START_S", "END_S")
+        assert relation.cardinality == 3
+
+
+class TestTheorem2:
+    def test_reconstructs_plus_result(self, fig1):
+        rtc = compute_rtc(eval_rpq(fig1, "b.c"))
+        expression = theorem2_expression(rtc)
+        assert expression.evaluate().to_pairs() == eval_rpq(fig1, "(b.c)+")
+
+    def test_algebra_string_mentions_joins(self, fig1):
+        rtc = compute_rtc(eval_rpq(fig1, "b.c"))
+        text = theorem2_expression(rtc).to_algebra()
+        assert "⋈" in text and "SCC" in text
+
+    @pytest.mark.parametrize("r", ["c", "b", "b|c", "c.c"])
+    def test_other_closure_bodies(self, fig1, r):
+        rtc = compute_rtc(eval_rpq(fig1, r))
+        assert theorem2_expression(rtc).evaluate().to_pairs() == eval_rpq(
+            fig1, f"({r})+"
+        )
+
+
+class TestBatchUnitExpression:
+    def test_plus_matches_algorithm2(self, fig1):
+        rtc = compute_rtc(eval_rpq(fig1, "b.c"))
+        pre_pairs = eval_rpq(fig1, "d")
+        post_pairs = eval_rpq(fig1, "c")
+        expression = batch_unit_expression(pre_pairs, rtc, post_pairs, "+")
+        declarative = expression.evaluate().to_pairs()
+        imperative = eval_batch_unit(
+            fig1, pre_pairs, rtc, "+", RestrictedEvaluator("c")
+        )
+        assert declarative == imperative == {(7, 5), (7, 3)}
+
+    def test_star_matches_algorithm2(self, fig1):
+        rtc = compute_rtc(eval_rpq(fig1, "b.c"))
+        pre_pairs = eval_rpq(fig1, "d")
+        post_pairs = eval_rpq(fig1, "c")
+        expression = batch_unit_expression(pre_pairs, rtc, post_pairs, "*")
+        imperative = eval_batch_unit(
+            fig1, pre_pairs, rtc, "*", RestrictedEvaluator("c")
+        )
+        assert expression.evaluate().to_pairs() == imperative
+
+    def test_epsilon_post_via_identity_relation(self, fig1):
+        rtc = compute_rtc(eval_rpq(fig1, "b.c"))
+        pre_pairs = eval_rpq(fig1, "d")
+        identity = {(v, v) for v in fig1.vertices()}
+        expression = batch_unit_expression(pre_pairs, rtc, identity, "+")
+        imperative = eval_batch_unit(fig1, pre_pairs, rtc, "+", None)
+        assert expression.evaluate().to_pairs() == imperative
+
+    def test_invalid_type(self, fig1):
+        rtc = compute_rtc(eval_rpq(fig1, "b.c"))
+        with pytest.raises(ValueError):
+            batch_unit_expression(set(), rtc, set(), "?")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_cross_validation(self, fig1, seed):
+        import random
+
+        rng = random.Random(seed)
+        labels = ["a", "b", "c", "d"]
+        r = rng.choice(["b.c", "c", "b", "b|c"])
+        pre_label = rng.choice(labels)
+        post_label = rng.choice(labels)
+        rtc = compute_rtc(eval_rpq(fig1, r))
+        pre_pairs = eval_rpq(fig1, pre_label)
+        post_pairs = eval_rpq(fig1, post_label)
+        expression = batch_unit_expression(pre_pairs, rtc, post_pairs, "+")
+        imperative = eval_batch_unit(
+            fig1, pre_pairs, rtc, "+", RestrictedEvaluator(post_label)
+        )
+        reference = eval_rpq(fig1, f"{pre_label}.({r})+.{post_label}")
+        assert expression.evaluate().to_pairs() == imperative == reference

@@ -1,0 +1,105 @@
+"""Tests for the set-semantics Relation."""
+
+import pytest
+
+from repro.relalg.relation import Relation
+
+
+@pytest.fixture
+def pairs():
+    return Relation(("START_V", "END_V"), {(1, 2), (2, 3), (1, 3)})
+
+
+class TestConstruction:
+    def test_rows_deduplicated(self):
+        relation = Relation(("A",), [(1,), (1,), (2,)])
+        assert relation.cardinality == 2
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Relation(("A", "A"), set())
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Relation(("A", "B"), {(1,)})
+
+    def test_immutability(self, pairs):
+        with pytest.raises(AttributeError):
+            pairs.rows = frozenset()
+
+    def test_equality_and_hash(self, pairs):
+        same = Relation(("START_V", "END_V"), {(1, 2), (2, 3), (1, 3)})
+        assert pairs == same
+        assert hash(pairs) == hash(same)
+        assert pairs != Relation(("START_V", "END_V"), {(1, 2)})
+        assert pairs.__eq__(7) is NotImplemented
+
+
+class TestOperators:
+    def test_select_eq(self, pairs):
+        assert pairs.select_eq("START_V", 1).rows == {(1, 2), (1, 3)}
+
+    def test_select_predicate(self, pairs):
+        result = pairs.select(lambda row: row["END_V"] - row["START_V"] == 1)
+        assert result.rows == {(1, 2), (2, 3)}
+
+    def test_select_unknown_column(self, pairs):
+        with pytest.raises(KeyError):
+            pairs.select_eq("NOPE", 1)
+
+    def test_project_dedupes(self, pairs):
+        assert pairs.project(("START_V",)).rows == {(1,), (2,)}
+
+    def test_project_reorders(self, pairs):
+        flipped = pairs.project(("END_V", "START_V"))
+        assert flipped.columns == ("END_V", "START_V")
+        assert (2, 1) in flipped.rows
+
+    def test_rename(self, pairs):
+        renamed = pairs.rename({"START_V": "S"})
+        assert renamed.columns == ("S", "END_V")
+        assert renamed.rows == pairs.rows
+
+    def test_union(self, pairs):
+        other = Relation(("START_V", "END_V"), {(9, 9)})
+        assert pairs.union(other).cardinality == 4
+
+    def test_union_schema_mismatch(self, pairs):
+        with pytest.raises(ValueError):
+            pairs.union(Relation(("X", "Y"), set()))
+
+    def test_join_basic(self, pairs):
+        other = Relation(("SRC", "DST"), {(2, 10), (3, 11)})
+        joined = pairs.join(other, "END_V", "SRC")
+        assert joined.columns == ("START_V", "END_V", "SRC", "DST")
+        assert (1, 2, 2, 10) in joined.rows
+        assert (2, 3, 3, 11) in joined.rows
+
+    def test_join_suffixes_colliding_columns(self, pairs):
+        joined = pairs.join(pairs, "END_V", "START_V")
+        assert joined.columns == (
+            "START_V", "END_V", "START_V_r", "END_V_r",
+        )
+        # Transitive 2-step pairs: 1->2->3.
+        assert (1, 2, 2, 3) in joined.rows
+
+    def test_join_no_matches(self, pairs):
+        other = Relation(("SRC", "DST"), {(99, 1)})
+        assert pairs.join(other, "END_V", "SRC").cardinality == 0
+
+
+class TestConversions:
+    def test_from_pairs_default_columns(self):
+        relation = Relation.from_pairs({(1, 2)})
+        assert relation.columns == ("START_V", "END_V")
+
+    def test_to_pairs(self, pairs):
+        assert pairs.to_pairs() == {(1, 2), (2, 3), (1, 3)}
+
+    def test_to_pairs_requires_binary(self):
+        with pytest.raises(ValueError):
+            Relation(("A",), {(1,)}).to_pairs()
+
+    def test_iteration_and_len(self, pairs):
+        assert len(pairs) == 3
+        assert set(iter(pairs)) == pairs.rows

@@ -1,0 +1,28 @@
+"""Tests for the shared operation counters."""
+
+from repro.rpq.counters import OpCounters
+
+
+class TestOpCounters:
+    def test_defaults_zero(self):
+        counters = OpCounters()
+        assert counters.total() == 0
+        assert all(value == 0 for value in counters.as_dict().values())
+
+    def test_merge_accumulates(self):
+        first = OpCounters(edges_scanned=3, dup_checks=2)
+        second = OpCounters(edges_scanned=4, pairs_emitted=5)
+        first.merge(second)
+        assert first.edges_scanned == 7
+        assert first.dup_checks == 2
+        assert first.pairs_emitted == 5
+
+    def test_total_sums_everything(self):
+        counters = OpCounters(edges_scanned=1, states_expanded=2, join_probes=4)
+        assert counters.total() == 7
+
+    def test_as_dict_keys_are_field_names(self):
+        keys = set(OpCounters().as_dict())
+        assert "edges_scanned" in keys
+        assert "closure_walk_starts" in keys
+        assert "cartesian_outputs" in keys

@@ -1,0 +1,123 @@
+"""Tests for automaton-based RPQ evaluation (Example 2 semantics)."""
+
+import pytest
+
+from repro.errors import UnknownLabelError
+from repro.graph.builders import labeled_cycle, labeled_path
+from repro.graph.multigraph import LabeledMultigraph
+from repro.regex.nfa import compile_nfa
+from repro.regex.parser import parse
+from repro.rpq.counters import OpCounters
+from repro.rpq.evaluate import candidate_starts, eval_rpq, eval_rpq_from
+
+
+class TestBasicQueries:
+    def test_single_label(self, fig1):
+        assert eval_rpq(fig1, "d") == {(7, 4)}
+
+    def test_concatenation(self, fig1):
+        assert eval_rpq(fig1, "b.c") == {(2, 4), (2, 6), (3, 5), (4, 2), (5, 3)}
+
+    def test_union(self, fig1):
+        assert eval_rpq(fig1, "d|e") == {(7, 4), (8, 9)}
+
+    def test_missing_label_is_empty(self, fig1):
+        assert eval_rpq(fig1, "zz") == set()
+
+    def test_strict_labels_raises(self, fig1):
+        with pytest.raises(UnknownLabelError):
+            eval_rpq(fig1, "zz", strict_labels=True)
+
+    def test_epsilon_is_identity(self, fig1):
+        assert eval_rpq(fig1, "()") == {(v, v) for v in fig1.vertices()}
+
+
+class TestClosures:
+    def test_paper_example2(self, fig1):
+        assert eval_rpq(fig1, "d.(b.c)+.c") == {(7, 5), (7, 3)}
+
+    def test_kleene_plus_excludes_reflexive_on_dag(self):
+        graph = labeled_path(3)
+        assert eval_rpq(graph, "a+") == {
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)
+        }
+
+    def test_kleene_star_adds_identity(self):
+        graph = labeled_path(2)
+        plus = eval_rpq(graph, "a+")
+        star = eval_rpq(graph, "a*")
+        assert star == plus | {(v, v) for v in graph.vertices()}
+
+    def test_cycle_closure_is_complete(self):
+        graph = labeled_cycle(4)
+        assert eval_rpq(graph, "a+") == {(i, j) for i in range(4) for j in range(4)}
+
+    def test_nested_closures(self, fig1):
+        # (b.c)+ repeated is still (b.c)+ territory; ((b.c)+)+ == (b.c)+.
+        assert eval_rpq(fig1, "((b.c)+)+") == eval_rpq(fig1, "(b.c)+")
+
+    def test_visited_state_dedup_terminates(self):
+        # Two interlocking cycles would loop forever without the
+        # per-(vertex, state) visited set.
+        graph = LabeledMultigraph.from_edges(
+            [(0, "a", 1), (1, "a", 0), (1, "a", 2), (2, "a", 1)]
+        )
+        result = eval_rpq(graph, "a+")
+        assert result == {(i, j) for i in range(3) for j in range(3)}
+
+
+class TestStartRestriction:
+    def test_starts_parameter(self, fig1):
+        full = eval_rpq(fig1, "b.c")
+        restricted = eval_rpq(fig1, "b.c", starts=[2])
+        assert restricted == {pair for pair in full if pair[0] == 2}
+
+    def test_unknown_start_ignored(self, fig1):
+        assert eval_rpq(fig1, "b.c", starts=[999]) == set()
+
+    def test_nullable_with_starts(self, fig1):
+        result = eval_rpq(fig1, "b?", starts=[2, 999])
+        assert (2, 2) in result
+        assert (2, 3) in result and (2, 5) in result
+        assert all(pair[0] == 2 for pair in result)
+
+    def test_candidate_starts_uses_first_labels(self, fig1):
+        nfa = compile_nfa(parse("d.a"))
+        assert candidate_starts(fig1, nfa) == {7}
+
+
+class TestEvalFrom:
+    def test_single_traversal(self, fig1):
+        nfa = compile_nfa(parse("b.c"))
+        assert eval_rpq_from(fig1, nfa, 2) == {4, 6}
+
+    def test_zero_length_not_included(self, fig1):
+        nfa = compile_nfa(parse("c*"))
+        ends = eval_rpq_from(fig1, nfa, 1)
+        assert 1 not in ends  # callers add reflexive pairs themselves
+        assert 2 in ends
+
+    def test_counters_populated(self, fig1):
+        counters = OpCounters()
+        eval_rpq(fig1, "b.c", counters=counters)
+        assert counters.traversal_starts > 0
+        assert counters.states_expanded > 0
+        assert counters.edges_scanned > 0
+        assert counters.pairs_emitted == 5
+
+
+class TestAgainstOracles:
+    QUERIES = ["a", "a.b", "a|b", "a+", "(a.b)+", "a*.b", "b.a?", "(a|b)+"]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_networkx_oracle(self, tiny_graph, oracle_eval, query):
+        assert eval_rpq(tiny_graph, query) == oracle_eval(tiny_graph, query)
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_path_enumeration_oracle(self, tiny_graph, oracle_paths, query):
+        expected = oracle_paths(tiny_graph, query, max_length=8)
+        assert eval_rpq(tiny_graph, query) == expected
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_fig1_oracle(self, fig1, oracle_eval, query):
+        assert eval_rpq(fig1, query) == oracle_eval(fig1, query)

@@ -1,0 +1,94 @@
+"""Tests for the join-based closure-free clause evaluator."""
+
+import pytest
+
+from repro.graph.builders import labeled_path, layered_graph
+from repro.graph.multigraph import LabeledMultigraph
+from repro.rpq.counters import OpCounters
+from repro.rpq.evaluate import eval_rpq
+from repro.rpq.label_join import eval_label_sequence, eval_labels_from
+
+ORDERS = ["left-right", "rare-first"]
+
+
+class TestEvalLabelSequence:
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_matches_automaton_on_fig1(self, fig1, order):
+        for labels in [["b"], ["b", "c"], ["d", "b"], ["c", "c"], ["b", "c", "c"]]:
+            query = ".".join(labels)
+            assert eval_label_sequence(fig1, labels, order=order) == eval_rpq(
+                fig1, query
+            ), (labels, order)
+
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_empty_sequence_is_identity(self, fig1, order):
+        assert eval_label_sequence(fig1, [], order=order) == {
+            (v, v) for v in fig1.vertices()
+        }
+
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_dead_label_short_circuits(self, fig1, order):
+        assert eval_label_sequence(fig1, ["b", "zz", "c"], order=order) == set()
+
+    def test_unknown_order_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            eval_label_sequence(fig1, ["b"], order="sideways")
+
+    def test_rare_first_anchors_at_rarest(self):
+        # Two dense layers of x/y edges followed by a single rare z edge:
+        # anchoring at z prunes the dense prefix to the one surviving path.
+        graph = layered_graph([8, 8, 1], ["x", "y"])
+        bottleneck = graph.num_vertices - 1
+        graph.add_edge(bottleneck, "z", bottleneck + 1)
+        left = OpCounters()
+        rare = OpCounters()
+        expected = eval_label_sequence(
+            graph, ["x", "y", "z"], order="left-right", counters=left
+        )
+        actual = eval_label_sequence(
+            graph, ["x", "y", "z"], order="rare-first", counters=rare
+        )
+        assert actual == expected
+        assert rare.edges_scanned < left.edges_scanned
+
+    def test_orders_agree_on_random_graphs(self):
+        import random
+
+        rng = random.Random(11)
+        for _trial in range(10):
+            edges = set()
+            for _ in range(40):
+                edges.add(
+                    (
+                        rng.randrange(8),
+                        rng.choice("xyz"),
+                        rng.randrange(8),
+                    )
+                )
+            graph = LabeledMultigraph.from_edges(edges)
+            labels = [rng.choice("xyz") for _ in range(rng.randint(1, 4))]
+            assert eval_label_sequence(
+                graph, labels, order="left-right"
+            ) == eval_label_sequence(graph, labels, order="rare-first")
+
+
+class TestEvalLabelsFrom:
+    def test_single_start(self, fig1):
+        assert eval_labels_from(fig1, ["b", "c"], 2) == {4, 6}
+
+    def test_empty_labels_returns_start(self, fig1):
+        assert eval_labels_from(fig1, [], 3) == {3}
+
+    def test_dead_end(self, fig1):
+        assert eval_labels_from(fig1, ["e", "e"], 8) == set()
+
+    def test_matches_full_evaluation(self, fig1):
+        full = eval_label_sequence(fig1, ["b", "c"])
+        for start in fig1.vertices():
+            ends = eval_labels_from(fig1, ["b", "c"], start)
+            assert ends == {end for (s, end) in full if s == start}
+
+    def test_path_graph_frontier(self):
+        graph = labeled_path(4, "a")
+        assert eval_labels_from(graph, ["a", "a", "a"], 0) == {3}
+        assert eval_labels_from(graph, ["a"] * 5, 0) == set()

@@ -1,0 +1,70 @@
+"""Tests for witness-path extraction."""
+
+import pytest
+
+from repro.regex.nfa import compile_nfa
+from repro.regex.parser import parse
+from repro.rpq.evaluate import eval_rpq
+from repro.rpq.witness import eval_rpq_with_witness
+
+
+def witness_labels(witness):
+    return [witness[i] for i in range(1, len(witness), 2)]
+
+
+def witness_vertices(witness):
+    return [witness[i] for i in range(0, len(witness), 2)]
+
+
+def assert_valid_witness(graph, query, pair, witness):
+    vertices = witness_vertices(witness)
+    labels = witness_labels(witness)
+    assert vertices[0] == pair[0]
+    assert vertices[-1] == pair[1]
+    for i, label in enumerate(labels):
+        assert graph.has_edge(vertices[i], label, vertices[i + 1]), witness
+    assert compile_nfa(parse(query)).accepts_word(labels), (query, witness)
+
+
+QUERIES = ["b.c", "d.(b.c)+.c", "(b|c)+", "a", "c*.b"]
+
+
+class TestWitnesses:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_pairs_match_eval_rpq(self, fig1, query):
+        witnesses = eval_rpq_with_witness(fig1, query)
+        assert set(witnesses) == eval_rpq(fig1, query)
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_every_witness_is_valid(self, fig1, query):
+        for pair, witness in eval_rpq_with_witness(fig1, query).items():
+            assert_valid_witness(fig1, query, pair, witness)
+
+    def test_paper_example2_witness(self, fig1):
+        witnesses = eval_rpq_with_witness(fig1, "d.(b.c)+.c")
+        # The shortest witness for (7, 5) is p1 of Fig. 2: d b c c.
+        assert witness_labels(witnesses[(7, 5)]) == ["d", "b", "c", "c"]
+        assert witness_vertices(witnesses[(7, 5)]) == [7, 4, 1, 2, 5]
+
+    def test_witnesses_are_shortest(self, fig1):
+        # (7, 3) has witnesses of length 6 (dbcbcc) and longer; BFS must
+        # return the 6-edge one.
+        witnesses = eval_rpq_with_witness(fig1, "d.(b.c)+.c")
+        assert len(witness_labels(witnesses[(7, 3)])) == 6
+
+    def test_nullable_reflexive_witness(self, fig1):
+        witnesses = eval_rpq_with_witness(fig1, "(b.c)*")
+        assert witnesses[(9, 9)] == (9,)
+        # Non-trivial pairs still get real paths.
+        assert len(witnesses[(2, 4)]) == 5
+
+    def test_starts_restriction(self, fig1):
+        witnesses = eval_rpq_with_witness(fig1, "b.c", starts=[2])
+        assert set(witnesses) == {(2, 4), (2, 6)}
+
+    def test_random_graphs(self, tiny_graph):
+        for query in ["a+", "(a.b)+", "a.b*"]:
+            witnesses = eval_rpq_with_witness(tiny_graph, query)
+            assert set(witnesses) == eval_rpq(tiny_graph, query)
+            for pair, witness in witnesses.items():
+                assert_valid_witness(tiny_graph, query, pair, witness)

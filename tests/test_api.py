@@ -1,0 +1,115 @@
+"""Public-API surface tests: exports, error hierarchy, package metadata."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.errors import (
+    EvaluationError,
+    GraphError,
+    GraphFormatError,
+    ReproError,
+    RPQSyntaxError,
+    UnknownLabelError,
+    VertexNotFoundError,
+    WorkloadError,
+)
+
+PACKAGES = [
+    "repro",
+    "repro.graph",
+    "repro.regex",
+    "repro.rpq",
+    "repro.core",
+    "repro.relalg",
+    "repro.datasets",
+    "repro.workloads",
+    "repro.bench",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_names_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        assert hasattr(package, "__all__")
+        for name in package.__all__:
+            assert hasattr(package, name), f"{package_name}.{name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_quickstart_names(self):
+        for name in (
+            "LabeledMultigraph",
+            "DiGraph",
+            "RTCSharingEngine",
+            "FullSharingEngine",
+            "NoSharingEngine",
+            "eval_rpq",
+            "parse",
+            "compute_rtc",
+        ):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_main_module_importable(self):
+        import repro.__main__  # noqa: F401  (must not execute main)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_class",
+        [
+            GraphError,
+            GraphFormatError,
+            VertexNotFoundError,
+            RPQSyntaxError,
+            EvaluationError,
+            UnknownLabelError,
+            WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_class):
+        assert issubclass(error_class, ReproError)
+
+    def test_unknown_label_carries_label(self):
+        error = UnknownLabelError("zz")
+        assert error.label == "zz"
+        assert "zz" in str(error)
+
+    def test_vertex_not_found_carries_vertex(self):
+        error = VertexNotFoundError(42)
+        assert error.vertex == 42
+
+    def test_syntax_error_position_formatting(self):
+        with_position = RPQSyntaxError("bad", position=3)
+        assert "position 3" in str(with_position)
+        assert with_position.position == 3
+        without = RPQSyntaxError("bad")
+        assert without.position is None
+
+    def test_specific_errors_catchable_as_base(self, fig1):
+        from repro.rpq.evaluate import eval_rpq
+
+        with pytest.raises(ReproError):
+            eval_rpq(fig1, "zz", strict_labels=True)
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_every_module_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__, package_name
+
+    def test_engines_documented(self):
+        from repro.core.engines import (
+            FullSharingEngine,
+            NoSharingEngine,
+            RTCSharingEngine,
+        )
+
+        for engine_class in (NoSharingEngine, FullSharingEngine, RTCSharingEngine):
+            assert engine_class.__doc__
+            assert engine_class.evaluate.__doc__

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.builders import paper_figure1_graph
+from repro.graph.io import dump_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "fig1.txt"
+    dump_edge_list(paper_figure1_graph(), path)
+    return str(path)
+
+
+class TestQueryCommand:
+    def test_counts_table(self, graph_file, capsys):
+        assert main(["query", graph_file, "d.(b.c)+.c"]) == 0
+        out = capsys.readouterr().out
+        assert "d.(b.c)+.c" in out
+        assert "| 2" in out  # two result pairs
+        assert "shared data: 3 pairs" in out
+
+    def test_show_pairs(self, graph_file, capsys):
+        assert main(["query", graph_file, "d.(b.c)+.c", "--show-pairs"]) == 0
+        out = capsys.readouterr().out
+        assert "7\t3" in out and "7\t5" in out
+
+    @pytest.mark.parametrize("engine", ["no", "full", "rtc"])
+    def test_engines(self, graph_file, capsys, engine):
+        assert main(["query", graph_file, "b.c", "--engine", engine]) == 0
+        assert "| 5" in capsys.readouterr().out
+
+    def test_multiple_queries_share(self, graph_file, capsys):
+        code = main(["query", graph_file, "d.(b.c)+.c", "a.(b.c)+"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("(b.c)+") == 2
+
+    def test_semantic_cache_flag(self, graph_file):
+        assert main(["query", graph_file, "a.(b.c)+", "--semantic-cache"]) == 0
+
+    def test_syntax_error_exit_code(self, graph_file, capsys):
+        assert main(["query", graph_file, "a..b"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["query", "/nonexistent/graph.txt", "a"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestReduceCommand:
+    def test_fig12_quantities(self, graph_file, capsys):
+        assert main(["reduce", graph_file, "b.c"]) == 0
+        out = capsys.readouterr().out
+        assert "|V_R|" in out
+        assert "RTC pairs" in out
+        assert "| 3" in out  # 3 RTC pairs
+        assert "| 10" in out  # 10 closure pairs
+
+
+class TestStatsCommand:
+    def test_table4_row(self, graph_file, capsys):
+        assert main(["stats", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "| 10" in out  # vertices
+        assert "| 16" in out  # edges
+
+
+class TestExplainCommand:
+    def test_plan_printed(self, graph_file, capsys):
+        assert main(["explain", graph_file, "d.(b.c)+.c|a"]) == 0
+        out = capsys.readouterr().out
+        assert "clauses: 2" in out
+        assert "Pre  = d" in out
+        assert "EvalRPQwithoutKC" in out
+
+    def test_bad_query(self, graph_file, capsys):
+        assert main(["explain", graph_file, "a..b"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestDotCommand:
+    def test_graph_view(self, graph_file, capsys):
+        assert main(["dot", graph_file]) == 0
+        assert "digraph G {" in capsys.readouterr().out
+
+    def test_reduced_view(self, graph_file, capsys):
+        assert main(["dot", graph_file, "--query", "b.c", "--view", "reduced"]) == 0
+        assert '"2" -> "4";' in capsys.readouterr().out
+
+    def test_condensation_view(self, graph_file, capsys):
+        code = main(
+            ["dot", graph_file, "--query", "b.c", "--view", "condensation"]
+        )
+        assert code == 0
+        assert "s0" in capsys.readouterr().out
+
+    def test_nfa_view(self, graph_file, capsys):
+        assert main(["dot", graph_file, "--query", "a.b+", "--view", "nfa"]) == 0
+        assert "doublecircle" in capsys.readouterr().out
+
+    def test_view_requires_query(self, graph_file, capsys):
+        assert main(["dot", graph_file, "--view", "reduced"]) == 2
+        assert "required" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_engine_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "g.txt", "a", "--engine", "warp"])

@@ -1,0 +1,62 @@
+"""Smoke tests keeping every example script runnable.
+
+The fast examples run end to end (their internal asserts double as
+checks); the slower simulation examples are compile-checked and their
+builder functions exercised directly, so a refactor that breaks them
+fails the suite without paying their full runtime.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = ["quickstart.py", "linked_data_extraction.py"]
+SLOW_EXAMPLES = [
+    "social_recommendation.py",
+    "protein_signaling.py",
+    "streaming_updates.py",
+]
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_fast_examples_run(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), script
+
+
+@pytest.mark.parametrize("script", SLOW_EXAMPLES)
+def test_slow_examples_compile(script):
+    source = (EXAMPLES_DIR / script).read_text()
+    compile(source, script, "exec")
+
+
+def test_social_graph_builder():
+    module = runpy.run_path(
+        str(EXAMPLES_DIR / "social_recommendation.py"), run_name="not_main"
+    )
+    graph = module["build_social_graph"](seed=1)
+    assert graph.num_edges == (
+        module["FOLLOW_EDGES"] + module["BLOCK_EDGES"] + module["MEMBERSHIPS"]
+    )
+    assert set(graph.labels()) == {"follows", "blocks", "member_of"}
+
+
+def test_protein_network_builder():
+    module = runpy.run_path(
+        str(EXAMPLES_DIR / "protein_signaling.py"), run_name="not_main"
+    )
+    graph = module["build_network"](seed=3)
+    assert graph.num_vertices == 160
+    assert "activates" in set(graph.labels())

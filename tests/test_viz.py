@@ -1,0 +1,74 @@
+"""Tests for the DOT exporters."""
+
+from repro.core.reduction import reduce_graph
+from repro.graph.builders import paper_figure1_graph
+from repro.graph.digraph import DiGraph
+from repro.graph.multigraph import LabeledMultigraph
+from repro.regex.dfa import determinize
+from repro.regex.nfa import compile_nfa
+from repro.regex.parser import parse
+from repro.viz import (
+    condensation_to_dot,
+    dfa_to_dot,
+    digraph_to_dot,
+    multigraph_to_dot,
+    nfa_to_dot,
+)
+
+
+class TestMultigraphDot:
+    def test_contains_all_edges(self):
+        graph = LabeledMultigraph.from_edges([(0, "a", 1), (1, "b", 0)])
+        dot = multigraph_to_dot(graph)
+        assert dot.startswith("digraph G {")
+        assert '"0" -> "1" [label="a"];' in dot
+        assert '"1" -> "0" [label="b"];' in dot
+        assert dot.endswith("}")
+
+    def test_deterministic(self):
+        graph = paper_figure1_graph()
+        assert multigraph_to_dot(graph) == multigraph_to_dot(graph)
+
+    def test_quoting(self):
+        graph = LabeledMultigraph.from_edges([('we"ird', "l", "x")])
+        dot = multigraph_to_dot(graph)
+        assert '\\"' in dot
+
+    def test_isolated_vertices_listed(self):
+        graph = LabeledMultigraph()
+        graph.add_vertex(7)
+        assert '"7";' in multigraph_to_dot(graph)
+
+
+class TestDigraphAndCondensation:
+    def test_digraph(self):
+        dot = digraph_to_dot(DiGraph.from_pairs([(0, 1)]))
+        assert '"0" -> "1";' in dot
+
+    def test_condensation_members_label(self):
+        reduction = reduce_graph(paper_figure1_graph(), "b.c")
+        dot = condensation_to_dot(reduction.condensation)
+        assert "s0" in dot and "{" in dot
+        # The SCC {2,4} appears as a member annotation.
+        assert "2,4" in dot
+
+    def test_condensation_self_loops_present(self):
+        reduction = reduce_graph(paper_figure1_graph(), "b.c")
+        condensation = reduction.condensation
+        dot = condensation_to_dot(condensation)
+        s24 = condensation.scc_of[2]
+        assert f"  {s24} -> {s24};" in dot
+
+
+class TestAutomataDot:
+    def test_nfa_marks_accepting(self):
+        dot = nfa_to_dot(compile_nfa(parse("a.b")))
+        assert "doublecircle" in dot
+        assert "(start)" in dot
+        assert 'label="a"' in dot
+
+    def test_dfa_transitions(self):
+        dfa = determinize(compile_nfa(parse("a|b")))
+        dot = dfa_to_dot(dfa)
+        assert 'label="a"' in dot and 'label="b"' in dot
+        assert "doublecircle" in dot

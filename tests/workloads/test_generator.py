@@ -1,0 +1,100 @@
+"""Tests for the Section V-A multiple-RPQ workload generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.multigraph import LabeledMultigraph
+from repro.regex.ast import contains_closure
+from repro.regex.parser import parse
+from repro.workloads.generator import PAPER_SET_SIZES, generate_workload
+
+
+class TestGeneration:
+    def test_set_count_and_sizes(self, fig1):
+        workload = generate_workload(fig1, num_sets=6, max_rpqs=10, seed=0)
+        assert len(workload) == 6
+        assert all(len(rpq_set) == 10 for rpq_set in workload)
+
+    def test_r_lengths_cycle(self, fig1):
+        workload = generate_workload(
+            fig1, num_sets=6, lengths=(1, 2, 3), seed=0
+        )
+        assert [rpq_set.r_length for rpq_set in workload] == [1, 2, 3, 1, 2, 3]
+        for rpq_set in workload:
+            assert rpq_set.r.count(".") == rpq_set.r_length - 1
+
+    def test_queries_are_batch_units(self, fig1):
+        workload = generate_workload(fig1, num_sets=3, seed=1)
+        for rpq_set in workload:
+            for query in rpq_set.queries:
+                node = parse(query)
+                assert contains_closure(node)
+                assert f"({rpq_set.r})+" in query
+
+    def test_star_workload(self, fig1):
+        workload = generate_workload(fig1, num_sets=2, closure_type="*", seed=2)
+        for rpq_set in workload:
+            assert all(")*" in query for query in rpq_set.queries)
+
+    def test_invalid_closure_type(self, fig1):
+        with pytest.raises(WorkloadError):
+            generate_workload(fig1, closure_type="?")
+
+    def test_determinism(self, fig1):
+        first = generate_workload(fig1, num_sets=4, seed=7)
+        second = generate_workload(fig1, num_sets=4, seed=7)
+        assert first == second
+        third = generate_workload(fig1, num_sets=4, seed=8)
+        assert first != third
+
+    def test_labels_drawn_from_graph(self, fig1):
+        workload = generate_workload(fig1, num_sets=5, seed=3)
+        alphabet = set(fig1.labels())
+        for rpq_set in workload:
+            for label in rpq_set.r.split("."):
+                assert label in alphabet
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_workload(LabeledMultigraph())
+
+
+class TestNesting:
+    def test_subset_nesting(self, fig1):
+        workload = generate_workload(fig1, num_sets=1, max_rpqs=10, seed=0)
+        rpq_set = workload[0]
+        for size in PAPER_SET_SIZES:
+            subset = rpq_set.subset(size)
+            assert len(subset) == size
+            assert subset == list(rpq_set.queries[:size])
+
+    def test_subset_bounds(self, fig1):
+        rpq_set = generate_workload(fig1, num_sets=1, max_rpqs=4, seed=0)[0]
+        with pytest.raises(ValueError):
+            rpq_set.subset(0)
+        with pytest.raises(ValueError):
+            rpq_set.subset(5)
+
+
+class TestNonEmptyFilter:
+    def test_require_nonempty(self, fig1):
+        workload = generate_workload(
+            fig1, num_sets=6, seed=0, require_nonempty=True
+        )
+        from repro.rpq.evaluate import eval_rpq
+
+        for rpq_set in workload:
+            assert eval_rpq(fig1, rpq_set.r), rpq_set.r
+
+    def test_impossible_nonempty_raises(self):
+        graph = LabeledMultigraph()
+        graph.add_edge(0, "a", 1)  # a.a never matches (no chains)
+        with pytest.raises(WorkloadError):
+            generate_workload(
+                graph,
+                num_sets=1,
+                lengths=(3,),
+                seed=0,
+                require_nonempty=True,
+                max_attempts=5,
+            )
