@@ -19,9 +19,8 @@ Run:  python examples/linked_data_extraction.py
 import tempfile
 from pathlib import Path
 
-from repro import RTCSharingEngine
+from repro import GraphDB
 from repro.core import plan_order
-from repro.graph import load_edge_list
 
 EDGE_LIST = """\
 # A toy slice of a linked-data graph: people, places, classes.
@@ -59,10 +58,12 @@ QUERIES = [
 
 
 def main() -> None:
+    # GraphDB.open reads the edge list straight off disk (the IO path).
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "linked_data.txt"
         path.write_text(EDGE_LIST)
-        graph = load_edge_list(path)
+        db = GraphDB.open(path)
+    graph = db.graph
     print(f"knowledge graph: {graph.num_vertices} resources, "
           f"{graph.num_edges} triples, predicates {sorted(graph.labels())}")
 
@@ -73,8 +74,7 @@ def main() -> None:
         print(f"  cost={item.cost:10.0f}  query#{item.query_index}  "
               f"unit={item.unit}")
 
-    engine = RTCSharingEngine(graph)
-    answers = {query: engine.evaluate(query) for query in QUERIES}
+    answers = dict(zip(QUERIES, db.execute_many(QUERIES)))
 
     # Transitive typing: every class orwell belongs to.
     orwell_types = sorted(
@@ -91,10 +91,11 @@ def main() -> None:
     print(f"plath's influence ancestry: {influences}")
 
     # -- semantic cache: two spellings of one closure language -------------
-    semantic = RTCSharingEngine(graph, cache_mode="semantic")
-    semantic.evaluate("type.(subclass_of.()|subclass_of)+")
-    semantic.evaluate("type.(subclass_of)+")
-    stats = semantic.rtc_cache.stats
+    semantic = GraphDB.open(graph, engine="rtc", cache_mode="semantic")
+    semantic.execute_many(
+        ["type.(subclass_of.()|subclass_of)+", "type.(subclass_of)+"]
+    )
+    stats = semantic.engine.rtc_cache.stats
     print(f"\nsemantic cache across equivalent spellings: "
           f"entries={stats.entries} (1 means shared), hits={stats.hits}")
 

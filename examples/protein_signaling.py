@@ -19,7 +19,7 @@ Run:  python examples/protein_signaling.py
 
 import random
 
-from repro import LabeledMultigraph, RTCSharingEngine, compute_rtc, edge_level_reduce
+from repro import GraphDB, LabeledMultigraph, compute_rtc, edge_level_reduce
 from repro.relalg import batch_unit_expression
 from repro.rpq import eval_rpq
 
@@ -62,7 +62,7 @@ def main() -> None:
     print(f"protein network: {graph.num_vertices} proteins, "
           f"{graph.num_edges} interactions")
 
-    engine = RTCSharingEngine(graph, collect_counters=True)
+    db = GraphDB.open(graph, engine="rtc", collect_counters=True)
     queries = {
         "activation cascades": "activates+",
         "relay after binding": "binds.(activates)+",
@@ -70,10 +70,11 @@ def main() -> None:
         "phospho-relay": "(phosphorylates.activates)+",
     }
     for description, query in queries.items():
-        pairs = engine.evaluate(query)
-        print(f"  {description:<22} {query:<32} -> {len(pairs):5d} pairs")
+        result = db.execute(query)
+        print(f"  {description:<22} {query:<32} -> {len(result):5d} pairs "
+              f"({result.total_time * 1000:6.1f}ms)")
 
-    stats = engine.rtc_cache.stats
+    stats = db.engine.rtc_cache.stats
     print(f"\nRTC cache: {stats.entries} entries, hit rate "
           f"{stats.hit_rate:.0%} across the query batch")
 
@@ -83,8 +84,8 @@ def main() -> None:
     rtc = compute_rtc(edge_level_reduce(graph, "activates"))
     expression = batch_unit_expression(pre_pairs, rtc, post_pairs, "+")
     declarative = expression.evaluate().to_pairs()
-    imperative = engine.evaluate("binds.(activates)+.inhibits")
-    assert declarative == imperative
+    imperative = db.execute("binds.(activates)+.inhibits")
+    assert imperative == declarative   # ResultSet vs plain pair set
     print(f"\nEq.(6)-(10) expression and Algorithm 2 agree: "
           f"{len(imperative)} pairs for binds.(activates)+.inhibits")
     print("expression:", expression.to_algebra()[:100], "...")

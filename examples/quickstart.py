@@ -1,41 +1,49 @@
-"""Quickstart: evaluate regular path queries with the RTC-sharing engine.
+"""Quickstart: evaluate regular path queries through the GraphDB facade.
 
 Walks the paper's running example (Fig. 1) end to end:
 
-1. build the edge-labeled multigraph,
-2. evaluate the paper's query ``d.(b.c)+.c`` with all three engines,
-3. peek inside the reduction: ``G -> G_{b.c} -> Ḡ_{b.c}`` and the RTC,
-4. show what sharing buys when several queries reuse the closure.
+1. open a :class:`~repro.db.GraphDB` session over the graph,
+2. evaluate the paper's query ``d.(b.c)+.c`` with all three registered
+   engines and inspect the rich ``ResultSet``,
+3. prepare a query once, look at its ``explain()`` plan, execute it,
+4. peek inside the reduction: ``G -> G_{b.c} -> Ḡ_{b.c}`` and the RTC,
+5. show what sharing buys when several queries reuse the closure.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    FullSharingEngine,
-    LabeledMultigraph,
-    NoSharingEngine,
-    RTCSharingEngine,
-    compute_rtc,
-    edge_level_reduce,
-)
+from repro import GraphDB, LabeledMultigraph, compute_rtc, edge_level_reduce
+from repro.db import available_engines
 from repro.graph import paper_figure1_graph
 
 
 def main() -> None:
-    # -- 1. the graph ----------------------------------------------------
-    # paper_figure1_graph() is prebuilt; this is what it contains:
+    # -- 1. the graph and a session ---------------------------------------
+    # paper_figure1_graph() is prebuilt; GraphDB.open also accepts an
+    # edge-list path or an iterable of (source, label, target) triples.
     graph: LabeledMultigraph = paper_figure1_graph()
     print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges, "
           f"alphabet {sorted(graph.labels())}")
+    print(f"registered engines: {', '.join(available_engines())}")
 
     # -- 2. one query, three engines ---------------------------------
     query = "d.(b.c)+.c"
-    for engine_class in (NoSharingEngine, FullSharingEngine, RTCSharingEngine):
-        engine = engine_class(graph)
-        result = engine.evaluate(query)
-        print(f"{engine.name:>4}: {query} -> {sorted(result)}")
+    for engine_name in ("no", "full", "rtc"):
+        with GraphDB.open(graph, engine=engine_name) as db:
+            result = db.execute(query)
+            print(f"{engine_name:>4}: {query} -> {result.sorted_pairs()} "
+                  f"({result.total_time * 1000:.2f}ms, "
+                  f"shared {result.shared_pairs} pairs)")
 
-    # -- 3. inside the reduction ------------------------------------------
+    # -- 3. prepare once, explain, execute --------------------------------
+    db = GraphDB.open(graph, engine="rtc")
+    prepared = db.prepare(query)
+    print(f"\nprepared: {prepared!r}")
+    print(prepared.explain().describe())
+    result = prepared.execute()
+    print(f"as JSON: {result.to_json()}")
+
+    # -- 4. inside the reduction ------------------------------------------
     reduced = edge_level_reduce(graph, "b.c")
     print(f"\nedge-level reduction G_(b.c): {reduced.num_vertices} vertices, "
           f"{reduced.num_edges} edges  (paper Fig. 5)")
@@ -45,14 +53,12 @@ def main() -> None:
           f"{rtc.num_expanded_pairs} pairs in the full closure R+_G")
     print(f"Theorem 1 expansion: {sorted(rtc.expand())}")
 
-    # -- 4. sharing across queries -----------------------------------------
-    engine = RTCSharingEngine(graph)
-    for shared_query in ("d.(b.c)+.c", "a.(b.c)+", "(b.c)+.c"):
-        engine.evaluate(shared_query)
-    stats = engine.rtc_cache.stats
+    # -- 5. sharing across queries -----------------------------------------
+    db.execute_many(["a.(b.c)+", "(b.c)+.c"])   # same session: caches shared
+    stats = db.engine.rtc_cache.stats
     print(f"\nafter 3 queries sharing (b.c)+: cache entries={stats.entries}, "
           f"hits={stats.hits}, misses={stats.misses}")
-    print(f"shared data held: {engine.shared_data_size()} RTC pairs")
+    print(f"session stats: {db.stats()}")
 
 
 if __name__ == "__main__":

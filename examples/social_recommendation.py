@@ -20,12 +20,7 @@ Run:  python examples/social_recommendation.py
 import random
 import time
 
-from repro import (
-    FullSharingEngine,
-    LabeledMultigraph,
-    NoSharingEngine,
-    RTCSharingEngine,
-)
+from repro import GraphDB, LabeledMultigraph
 
 NUM_PEOPLE = 400
 NUM_GROUPS = 25
@@ -89,24 +84,25 @@ def main() -> None:
           f"edges, degree/label = {graph.average_degree_per_label():.2f}")
 
     results = {}
-    for engine_class in (NoSharingEngine, FullSharingEngine, RTCSharingEngine):
-        engine = engine_class(graph)
-        started = time.perf_counter()
-        answers = engine.evaluate_many(QUERIES)
-        elapsed = time.perf_counter() - started
-        results[engine.name] = answers
-        shared = engine.shared_data_size()
-        print(f"{engine.name:>4}: batch of {len(QUERIES)} queries in "
-              f"{elapsed:.3f}s, shared data = {shared} pairs")
+    for engine_name in ("no", "full", "rtc"):
+        with GraphDB.open(graph, engine=engine_name) as db:
+            started = time.perf_counter()
+            answers = db.execute_many(QUERIES)
+            elapsed = time.perf_counter() - started
+            results[engine_name] = answers
+            shared = db.engine.shared_data_size()
+            print(f"{engine_name:>4}: batch of {len(QUERIES)} queries in "
+                  f"{elapsed:.3f}s, shared data = {shared} pairs")
 
-    assert results["No"] == results["Full"] == results["RTC"]
+    # ResultSet equality compares pair sets, engine by engine.
+    assert results["no"] == results["full"] == results["rtc"]
 
     # A concrete recommendation: groups reachable through the follow graph
     # that user0 is not already a member of.
-    rtc_engine = RTCSharingEngine(graph)
+    db = GraphDB.open(graph, engine="rtc")
     reachable_groups = {
         target
-        for source, target in rtc_engine.evaluate("follows+.member_of")
+        for source, target in db.execute("follows+.member_of")
         if source == "user0"
     }
     own_groups = {target for _label, target in graph.out_edges("user0")
@@ -116,7 +112,7 @@ def main() -> None:
 
     # The RTC doubles as a reachability index: can user0 reach user1?
     print(f"user0 reaches user1 via follows+: "
-          f"{rtc_engine.reaches('follows', 'user0', 'user1')}")
+          f"{db.engine.reaches('follows', 'user0', 'user1')}")
 
 
 if __name__ == "__main__":

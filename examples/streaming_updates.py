@@ -1,16 +1,19 @@
-"""Streaming edge insertions with incremental RTC maintenance.
+"""Streaming edge updates through the GraphDB session facade.
 
 The paper's pipeline is batch: any change to the graph invalidates the
-shared RTC.  The library's streaming extension
-(:class:`repro.core.incremental.IncrementalRTC`) repairs ``R_G``, ``G_R``
-and the RTC per inserted edge instead, falling back to a full
-``Compute_RTC`` only when an insertion merges SCCs.
+shared RTC.  The library's streaming extension keeps it alive instead:
+``db.watch(body)`` attaches an incremental maintainer
+(:class:`repro.core.incremental.IncrementalRTC`) and ``db.update(...)``
+feeds edge changes to the graph, repairing ``R_G``, ``G_R`` and the RTC
+per inserted edge and falling back to a full ``Compute_RTC`` only when
+an insertion merges SCCs (removals always rebuild).
 
-This example simulates a growing follower network: edges stream in, and
-after every batch the application asks reachability questions through
-``follows+`` that are answered from the incrementally maintained RTC.
-At the end, the incremental state is checked against a from-scratch
-batch evaluation, and the incremental-vs-rebuild counters are printed.
+This example simulates a growing follower network: edges stream in
+through ``db.update``, and after every batch the application asks
+reachability questions through ``follows+`` that are answered from the
+incrementally maintained RTC.  At the end, the incremental state is
+checked against a from-scratch batch evaluation, a few edges are
+*removed* (the rebuild path), and the maintenance counters are printed.
 
 Run:  python examples/streaming_updates.py
 """
@@ -18,8 +21,8 @@ Run:  python examples/streaming_updates.py
 import random
 import time
 
-from repro import LabeledMultigraph
-from repro.core import IncrementalRTC, compute_rtc
+from repro import GraphDB, LabeledMultigraph
+from repro.core import compute_rtc
 from repro.rpq import eval_rpq
 
 NUM_PEOPLE = 150
@@ -34,7 +37,8 @@ def main() -> None:
     for person in people:
         graph.add_vertex(person)
 
-    incremental = IncrementalRTC(graph, "follows")
+    db = GraphDB.open(graph)
+    incremental = db.watch("follows")
     print(f"streaming {NUM_STREAMED_EDGES} 'follows' edges into a "
           f"{NUM_PEOPLE}-account network...\n")
 
@@ -44,7 +48,7 @@ def main() -> None:
         followee = people[min(rng.randrange(NUM_PEOPLE), rng.randrange(NUM_PEOPLE))]
         if follower == followee or graph.has_edge(follower, "follows", followee):
             continue
-        incremental.add_edge(follower, "follows", followee)
+        db.update(add=[(follower, "follows", followee)])
         streamed += 1
         if streamed % BATCH == 0:
             snapshot = incremental.snapshot()
@@ -70,11 +74,23 @@ def main() -> None:
           f"{batch_time * 1000:.1f}ms -- the incremental path amortises "
           f"this across the stream)")
 
-    # The maintained RTC answers queries instantly.
+    # Removals take the rebuild path but keep the session consistent.
+    removable = list(graph.edges())[:3]
+    db.update(remove=removable)
+    assert incremental.plus_pairs() == compute_rtc(
+        eval_rpq(graph, "follows")
+    ).expand()
+    print(f"after removing {len(removable)} edges: still consistent "
+          f"({incremental.full_rebuilds} full rebuilds total)")
+
+    # The maintained RTC answers queries instantly; ordinary RPQs keep
+    # flowing through the same session.
     sample = people[:5]
     for source in sample:
         reachable = incremental.reaches(source, "user0")
         print(f"  {source} -follows+-> user0: {reachable}")
+    result = db.execute("follows+")
+    print(f"db.execute('follows+') after the stream: {len(result)} pairs")
 
 
 if __name__ == "__main__":

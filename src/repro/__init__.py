@@ -8,17 +8,19 @@ A from-scratch Python reproduction of
 
 Quickstart::
 
-    from repro import LabeledMultigraph, RTCSharingEngine
+    from repro import GraphDB
 
-    g = LabeledMultigraph.from_edges([
+    db = GraphDB.open([
         (0, "d", 1), (1, "b", 2), (2, "c", 1), (2, "c", 3),
     ])
-    engine = RTCSharingEngine(g)
-    pairs = engine.evaluate("d.(b.c)+.c")
+    result = db.execute("d.(b.c)+.c")   # a ResultSet
+    pairs = result.pairs
 
 The top-level package re-exports the most commonly used names; the full
 surface lives in the subpackages:
 
+* :mod:`repro.db`       -- the session facade: :class:`GraphDB`,
+  :class:`PreparedQuery`, :class:`ResultSet`, the engine registry;
 * :mod:`repro.graph`    -- graph data model, SCC, transitive closures;
 * :mod:`repro.regex`    -- RPQ syntax, automata, language equality;
 * :mod:`repro.rpq`      -- automaton / join evaluation primitives;
@@ -38,11 +40,20 @@ from repro.core.engines import (
 )
 from repro.core.reduction import edge_level_reduce, reduce_graph, vertex_level_reduce
 from repro.core.rtc import ReducedTransitiveClosure, compute_rtc
+from repro.db import (
+    GraphDB,
+    PreparedQuery,
+    ResultSet,
+    available_engines,
+    create_engine,
+    register_engine,
+)
 from repro.errors import (
     EvaluationError,
     GraphError,
     ReproError,
     RPQSyntaxError,
+    UnknownEngineError,
     UnknownLabelError,
 )
 from repro.graph.digraph import DiGraph
@@ -50,9 +61,15 @@ from repro.graph.multigraph import LabeledMultigraph
 from repro.regex.parser import parse
 from repro.rpq.evaluate import eval_rpq
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "GraphDB",
+    "PreparedQuery",
+    "ResultSet",
+    "register_engine",
+    "available_engines",
+    "create_engine",
     "LabeledMultigraph",
     "DiGraph",
     "parse",
@@ -72,5 +89,6 @@ __all__ = [
     "RPQSyntaxError",
     "EvaluationError",
     "UnknownLabelError",
+    "UnknownEngineError",
     "__version__",
 ]

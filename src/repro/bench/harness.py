@@ -24,8 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
-from repro.core.engines import make_engine
 from repro.core.timing import PHASE_PRE_JOIN, PHASE_REMAINDER, PHASE_SHARED_DATA
+from repro.db import GraphDB
 from repro.errors import EvaluationError
 from repro.graph.multigraph import LabeledMultigraph
 
@@ -82,15 +82,21 @@ def run_rpq_set(
     collect_counters: bool = False,
     check_equal: bool = True,
 ) -> SetMeasurement:
-    """Evaluate one multiple-RPQ set with each method and measure it."""
+    """Evaluate one multiple-RPQ set with each method and measure it.
+
+    Each method runs on a fresh :class:`~repro.db.GraphDB` session (so
+    the measurement includes the one-time shared-data construction); the
+    measurement rows are aggregated from the sessions' engines.
+    """
     per_method: dict[str, MethodMeasurement] = {}
-    reference_results: list[set] | None = None
+    reference_results: list[frozenset] | None = None
     for method in methods:
         kwargs = dict(engine_kwargs or {})
         if collect_counters:
             kwargs["collect_counters"] = True
-        engine = make_engine(_ENGINE_NAMES[method], graph, **kwargs)
-        results = engine.evaluate_many(list(queries))
+        db = GraphDB.open(graph, engine=_ENGINE_NAMES[method], **kwargs)
+        result_sets = db.execute_many(list(queries))
+        results = [result.pairs for result in result_sets]
         if check_equal:
             if reference_results is None:
                 reference_results = results
@@ -99,6 +105,7 @@ def run_rpq_set(
                     f"method {method} disagreed with {methods[0]} on "
                     f"queries {list(queries)}"
                 )
+        engine = db.engine
         per_method[method] = MethodMeasurement(
             method=method,
             total_time=engine.total_time,

@@ -1,10 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
 Five subcommands cover the interactive workflow a downstream user wants
-before writing any code:
+before writing any code; all of them run through the
+:class:`~repro.db.GraphDB` session facade:
 
 * ``query``  -- evaluate one or more RPQs against an edge-list file with a
-  chosen engine; prints result pairs (or just counts) and timing;
+  registered engine; prints result pairs (or just counts) and timing;
 * ``reduce`` -- show the two-level reduction statistics of a closure body
   on a graph (the Fig. 12/13 quantities for your own data);
 * ``stats``  -- Table-IV style statistics of an edge-list file;
@@ -13,10 +14,17 @@ before writing any code:
 * ``dot``    -- render the graph, a reduction, or a query automaton as
   Graphviz DOT text.
 
+``query``, ``stats`` and ``reduce`` accept ``--json`` for machine-
+readable output (``query``'s is built on ``ResultSet.to_dict``).  The
+``--engine`` option accepts any name in the engine registry; ``--load
+module`` imports a Python module first, so third-party engines that call
+:func:`repro.db.register_engine` at import time are usable by name.
+
 Examples::
 
-    python -m repro stats graph.txt
+    python -m repro stats graph.txt --json
     python -m repro query graph.txt "a.(b.c)+.c" --engine rtc --show-pairs
+    python -m repro query graph.txt "b.c" --load my_engines --engine mine
     python -m repro reduce graph.txt "b.c"
     python -m repro dot graph.txt --query "b.c" --view condensation
 """
@@ -24,13 +32,14 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import importlib
+import json
 import sys
-import time
 
 from repro.bench.formatting import format_seconds, format_table
-from repro.core.engines import make_engine
 from repro.core.reduction import reduce_graph
 from repro.core.stats import reduction_stats
+from repro.db import GraphDB, available_engines
 from repro.errors import ReproError
 from repro.graph.io import load_edge_list
 from repro.regex.nfa import compile_nfa
@@ -53,9 +62,22 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("queries", nargs="+", help="one or more RPQ strings")
     query.add_argument(
         "--engine",
-        choices=["no", "full", "rtc"],
         default="rtc",
-        help="evaluation method (default: rtc)",
+        metavar="NAME",
+        help=(
+            "evaluation engine from the registry (default: rtc; "
+            f"registered: {', '.join(available_engines())})"
+        ),
+    )
+    query.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help=(
+            "import a Python module before opening the session "
+            "(so it can register third-party engines); repeatable"
+        ),
     )
     query.add_argument(
         "--show-pairs",
@@ -67,15 +89,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="share RTCs between language-equal closure bodies",
     )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of tables",
+    )
 
     reduce = commands.add_parser(
         "reduce", help="show two-level reduction statistics for a closure body"
     )
     reduce.add_argument("graph", help="edge-list file")
     reduce.add_argument("body", help="the closure body R (as in (R)+)")
+    reduce.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of tables",
+    )
 
     stats = commands.add_parser("stats", help="dataset statistics of a graph")
     stats.add_argument("graph", help="edge-list file")
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of tables",
+    )
 
     explain = commands.add_parser(
         "explain", help="show the RTCSharing evaluation plan of a query"
@@ -98,22 +135,35 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_query(args) -> int:
-    graph = load_edge_list(args.graph)
+    for module_name in args.load:
+        importlib.import_module(module_name)
     kwargs = {}
     if args.semantic_cache and args.engine == "rtc":
         kwargs["cache_mode"] = "semantic"
-    engine = make_engine(args.engine, graph, **kwargs)
+    db = GraphDB.open(args.graph, engine=args.engine, **kwargs)
+    results = db.execute_many(args.queries)
+    shared = getattr(db.engine, "shared_data_size", lambda: 0)()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "engine": db.engine_name,
+                    "graph": args.graph,
+                    "shared_pairs": shared,
+                    "results": [result.to_dict() for result in results],
+                },
+                indent=2,
+                default=str,
+            )
+        )
+        return 0
     rows = []
-    for query in args.queries:
-        started = time.perf_counter()
-        result = engine.evaluate(query)
-        elapsed = time.perf_counter() - started
-        rows.append([query, len(result), format_seconds(elapsed)])
+    for result in results:
+        rows.append([result.query, len(result), format_seconds(result.total_time)])
         if args.show_pairs:
-            for source, target in sorted(result, key=lambda p: (str(p[0]), str(p[1]))):
+            for source, target in result:
                 print(f"{source}\t{target}")
     print(format_table(["query", "pairs", "time"], rows))
-    shared = engine.shared_data_size()
     if shared:
         print(f"shared data: {shared} pairs")
     return 0
@@ -122,6 +172,27 @@ def _cmd_query(args) -> int:
 def _cmd_reduce(args) -> int:
     graph = load_edge_list(args.graph)
     stats = reduction_stats(graph, args.body)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "graph": args.graph,
+                    "body": args.body,
+                    "graph_vertices": stats.num_graph_vertices,
+                    "graph_edges": stats.num_graph_edges,
+                    "gr_vertices": stats.num_gr_vertices,
+                    "gr_edges": stats.num_gr_edges,
+                    "condensed_vertices": stats.num_condensed_vertices,
+                    "condensed_edges": stats.num_condensed_edges,
+                    "rtc_pairs": stats.rtc_pairs,
+                    "full_closure_pairs": stats.full_closure_pairs,
+                    "average_scc_size": stats.average_scc_size,
+                    "shared_size_ratio": stats.shared_size_ratio,
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(
         format_table(
             ["quantity", "value"],
@@ -144,6 +215,20 @@ def _cmd_reduce(args) -> int:
 
 def _cmd_stats(args) -> int:
     graph = load_edge_list(args.graph)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "graph": args.graph,
+                    "vertices": graph.num_vertices,
+                    "edges": graph.num_edges,
+                    "labels": graph.num_labels,
+                    "density_per_label": graph.average_degree_per_label(),
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(
         format_table(
             ["|V|", "|E|", "|Σ|", "|E|/(|V||Σ|)"],
@@ -161,10 +246,8 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_explain(args) -> int:
-    from repro.core.explain import explain as build_plan
-
-    graph = load_edge_list(args.graph)
-    print(build_plan(graph, args.query).describe())
+    db = GraphDB.open(args.graph)
+    print(db.explain(args.query).describe())
     return 0
 
 
@@ -203,6 +286,9 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ModuleNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except ReproError as error:

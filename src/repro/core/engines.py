@@ -453,11 +453,21 @@ _ENGINES = {
 
 
 def make_engine(name: str, graph: LabeledMultigraph, **kwargs) -> RPQEngine:
-    """Engine factory: ``name`` in ``{"no", "full", "rtc"}`` (case-blind)."""
-    try:
-        engine_class = _ENGINES[name.lower()]
-    except KeyError:
-        raise ValueError(
-            f"unknown engine {name!r}; expected one of {sorted(_ENGINES)}"
-        ) from None
-    return engine_class(graph, **kwargs)
+    """Deprecated engine factory; use :mod:`repro.db` instead.
+
+    Thin shim over the :mod:`repro.db.registry` (so engines registered
+    there resolve here too).  Unknown names raise
+    :class:`~repro.errors.UnknownEngineError`, which still ``isinstance``-
+    checks as the ``ValueError`` this function used to raise.
+    """
+    import warnings
+
+    warnings.warn(
+        "make_engine() is deprecated; use repro.db.GraphDB.open(..., "
+        "engine=name) or repro.db.create_engine() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.db.registry import create_engine
+
+    return create_engine(name, graph, **kwargs)

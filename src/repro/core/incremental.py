@@ -27,6 +27,7 @@ re-evaluation, pair for pair.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Iterable
 
 from repro.core.rtc import ReducedTransitiveClosure, compute_rtc
 from repro.errors import GraphError
@@ -136,7 +137,23 @@ class IncrementalRTC:
             v for v in (source, target) if not self.graph.has_vertex(v)
         ]
         self.graph.add_edge(source, label, target)
+        self.notify_edge_added(source, label, target, new_vertices)
 
+    def notify_edge_added(
+        self,
+        source: object,
+        label: str,
+        target: object,
+        new_vertices: Iterable[object] = (),
+    ) -> None:
+        """Repair state for an edge *already inserted* into the bound graph.
+
+        The entry point for multi-watcher setups (``GraphDB.update``):
+        the session mutates the shared graph once, then notifies every
+        watcher.  ``new_vertices`` are the edge endpoints that did not
+        exist before the insertion (they seed identity pairs when ``R``
+        is nullable).
+        """
         delta = self._rg_delta(source, label, target)
         if self._nfa.nullable:
             for vertex in new_vertices:
@@ -159,34 +176,21 @@ class IncrementalRTC:
             raise GraphError(
                 f"edge ({source!r}, {label!r}, {target!r}) is not in the graph"
             )
-        remaining = [
-            edge
-            for edge in self.graph.edges()
-            if edge != (source, label, target)
-        ]
-        vertices = list(self.graph.vertices())
-        rebuilt = LabeledMultigraph()
-        for vertex in vertices:
-            rebuilt.add_vertex(vertex)
-        rebuilt.add_edges(remaining)
-        # Swap content into the caller's graph object in place, so every
-        # external reference to the graph observes the deletion.
-        self._replace_graph(rebuilt)
+        self.graph.remove_edge(source, label, target)
+        self.notify_graph_replaced()
+
+    def notify_graph_replaced(self) -> None:
+        """Recompute ``R_G``, ``G_R`` and the RTC from the current graph.
+
+        Used after deletions or arbitrary external graph surgery; counted
+        as a full rebuild.
+        """
         self._gr = DiGraph.from_pairs(eval_rpq(self.graph, self._nfa))
         if self._nfa.nullable:
             for vertex in self.graph.vertices():
                 self._gr.add_edge(vertex, vertex)
         self._rebuild()
         self.full_rebuilds += 1
-
-    def _replace_graph(self, rebuilt: LabeledMultigraph) -> None:
-        """Copy ``rebuilt``'s indexes into the bound graph object."""
-        graph = self.graph
-        graph._out = rebuilt._out
-        graph._in = rebuilt._in
-        graph._by_label = rebuilt._by_label
-        graph._vertices = rebuilt._vertices
-        graph._num_edges = rebuilt._num_edges
 
     def _rg_delta(
         self, source: object, label: str, target: object

@@ -1,0 +1,88 @@
+"""Prepared queries: parse/normalise once, execute many times.
+
+``GraphDB.prepare(q)`` front-loads everything about a query that does not
+depend on the graph's *data*: the parsed AST, the DNF clauses (closures
+as literals, Algorithm 1 line 2), and each clause's ``(Pre, R, Type,
+Post)`` batch-unit decomposition (line 4).  The handle can then be
+executed repeatedly -- each execution reuses the parse and rides the
+session engine's shared caches -- and can explain itself without running.
+"""
+
+from __future__ import annotations
+
+from repro.core.decompose import BatchUnit, decompose_clause
+from repro.core.dnf import clause_to_regex, to_dnf
+from repro.core.explain import QueryPlan, explain as build_plan
+from repro.regex.ast import RegexNode
+
+__all__ = ["PreparedQuery"]
+
+
+class PreparedQuery:
+    """One RPQ, parsed and decomposed, bound to a :class:`GraphDB` session.
+
+    Attributes
+    ----------
+    text:
+        Normalised query text (``node.to_string()``).
+    node:
+        The parsed :class:`~repro.regex.ast.RegexNode` AST.
+    clauses:
+        The DNF clauses as normalised regex strings, in clause order.
+    units:
+        One :class:`~repro.core.decompose.BatchUnit` per clause.
+    """
+
+    def __init__(self, db, node: RegexNode, max_clauses: int = 4096) -> None:
+        self._db = db
+        self.node = node
+        self.text = node.to_string()
+        self.max_clauses = max_clauses
+        self._clause_objects = tuple(to_dnf(node, max_clauses))
+        self.clauses: tuple[str, ...] = tuple(
+            clause_to_regex(clause).to_string() for clause in self._clause_objects
+        )
+        self.units: tuple[BatchUnit, ...] = tuple(
+            decompose_clause(clause) for clause in self._clause_objects
+        )
+
+    @property
+    def db(self):
+        """The owning :class:`~repro.db.GraphDB` session."""
+        return self._db
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    @property
+    def batch_units(self) -> tuple[BatchUnit, ...]:
+        """The genuine ``Pre.R{+,*}.Post`` units (closure-free clauses excluded)."""
+        return tuple(unit for unit in self.units if unit.has_closure)
+
+    def explain(self) -> QueryPlan:
+        """Static evaluation plan against the session engine's cache state.
+
+        Nothing is evaluated; repeated calls on an untouched session
+        return equal plans (plan stability), and only the per-clause
+        ``rtc_cached`` flags may change after executions warm the cache.
+        """
+        engine = self._db.engine
+        return build_plan(
+            self._db.graph,
+            self.node,
+            rtc_cache=getattr(engine, "rtc_cache", None),
+            max_clauses=self.max_clauses,
+        )
+
+    def execute(self, *, lazy: bool = False):
+        """Run this query through the session; returns a :class:`ResultSet`."""
+        return self._db.execute(self, lazy=lazy)
+
+    __call__ = execute
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery({self.text!r}, clauses={len(self.clauses)}, "
+            f"batch_units={len(self.batch_units)})"
+        )

@@ -1,0 +1,266 @@
+"""The :class:`GraphDB` session -- the library's database-style facade.
+
+One session owns one graph, one engine instance (chosen by name from the
+:mod:`repro.db.registry`), that engine's shared caches, and any number of
+incremental watchers.  The lifecycle mirrors a classical database
+driver::
+
+    with GraphDB.open("graph.txt", engine="rtc") as db:
+        plan = db.prepare("d.(b.c)+.c")
+        print(plan.explain().describe())
+        rs = plan.execute()                  # ResultSet, not a bare set
+        for start, end in rs:
+            ...
+        db.execute_many(["a.(b.c)+", "(b.c)+.c"])   # caches shared
+
+    # streaming: watch a closure body, then feed edge updates
+    db = GraphDB.open(graph)
+    follows = db.watch("follows")
+    db.update(add=[("ann", "follows", "bob")])
+    follows.reaches("ann", "bob")
+
+``open`` accepts a :class:`~repro.graph.LabeledMultigraph`, an edge-list
+path, or an iterable of ``(source, label, target)`` triples.  Sharing is
+the point: every ``execute`` on a session reuses the engine's shared
+structures, which is what the paper means by evaluating *multiple* RPQs.
+"""
+
+from __future__ import annotations
+
+import time
+from os import PathLike
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+
+from repro.core.incremental import IncrementalRTC
+from repro.db.prepared import PreparedQuery
+from repro.db.registry import create_engine
+from repro.db.resultset import ExecutionStats, ResultSet
+from repro.errors import ReproError
+from repro.graph.io import load_edge_list
+from repro.graph.multigraph import LabeledMultigraph
+from repro.regex.ast import RegexNode
+from repro.regex.parser import parse
+
+__all__ = ["GraphDB"]
+
+
+class GraphDB:
+    """A session over one graph with one registered engine and its caches."""
+
+    def __init__(
+        self,
+        graph: LabeledMultigraph,
+        engine: str = "rtc",
+        **engine_kwargs,
+    ) -> None:
+        if not isinstance(graph, LabeledMultigraph):
+            raise TypeError(
+                f"GraphDB binds a LabeledMultigraph, got {type(graph).__name__}; "
+                "use GraphDB.open() to load paths or edge iterables"
+            )
+        self.graph = graph
+        self.engine_name = engine.lower()
+        self.engine = create_engine(self.engine_name, graph, **engine_kwargs)
+        self._watchers: dict[str, IncrementalRTC] = {}
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        source: LabeledMultigraph | str | PathLike | Iterable,
+        engine: str = "rtc",
+        **engine_kwargs,
+    ) -> "GraphDB":
+        """Open a session over a graph, an edge-list file, or edge triples."""
+        if isinstance(source, LabeledMultigraph):
+            graph = source
+        elif isinstance(source, (str, PathLike, Path)):
+            graph = load_edge_list(source)
+        else:
+            graph = LabeledMultigraph.from_edges(source)
+        return cls(graph, engine=engine, **engine_kwargs)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Drop shared caches and watchers; further queries raise."""
+        if self._closed:
+            return
+        self._reset_engine_cache()
+        self._watchers.clear()
+        self._closed = True
+
+    def _reset_engine_cache(self) -> None:
+        # Minimal duck-typed engines (evaluate() only) have no caches.
+        reset = getattr(self.engine, "reset_cache", None)
+        if reset is not None:
+            reset()
+
+    def __enter__(self) -> "GraphDB":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ReproError("this GraphDB session is closed")
+
+    # -- querying --------------------------------------------------------
+    def prepare(self, query: str | RegexNode) -> PreparedQuery:
+        """Parse and decompose ``query`` into a reusable handle."""
+        self._check_open()
+        max_clauses = getattr(self.engine, "max_clauses", 4096)
+        return PreparedQuery(self, parse(query), max_clauses=max_clauses)
+
+    def execute(
+        self, query: str | RegexNode | PreparedQuery, *, lazy: bool = False
+    ) -> ResultSet:
+        """Evaluate one RPQ; returns a :class:`ResultSet`.
+
+        ``lazy=True`` defers evaluation until the result's pairs (or any
+        derived statistic) are first touched.
+        """
+        self._check_open()
+        if isinstance(query, PreparedQuery):
+            text, node = query.text, query.node
+        else:
+            node = parse(query)
+            text, node = node.to_string(), node
+
+        def fetch() -> tuple[set, ExecutionStats]:
+            self._check_open()
+            return self._run(node)
+
+        result = ResultSet(text, self.engine_name, fetch=fetch)
+        if not lazy:
+            result.pairs  # noqa: B018 -- force evaluation now
+        return result
+
+    def execute_many(
+        self, queries: Sequence, *, lazy: bool = False
+    ) -> list[ResultSet]:
+        """Evaluate a multiple-RPQ set on the shared session caches."""
+        return [self.execute(query, lazy=lazy) for query in queries]
+
+    def explain(self, query: str | RegexNode | PreparedQuery):
+        """Static evaluation plan of ``query`` (nothing is evaluated)."""
+        self._check_open()
+        if not isinstance(query, PreparedQuery):
+            query = self.prepare(query)
+        return query.explain()
+
+    def _run(self, node: RegexNode) -> tuple[set, ExecutionStats]:
+        """Evaluate ``node`` and attribute timer deltas to this query."""
+        engine = self.engine
+        timer = getattr(engine, "timer", None)
+        before = timer.snapshot() if timer is not None else {}
+        started = time.perf_counter()
+        pairs = engine.evaluate(node)
+        elapsed = time.perf_counter() - started
+        after = timer.snapshot() if timer is not None else {}
+        phases = {
+            phase: after[phase] - before.get(phase, 0.0) for phase in after
+        }
+        shared_size = getattr(engine, "shared_data_size", lambda: 0)()
+        return pairs, ExecutionStats(
+            total_time=elapsed, phase_times=phases, shared_pairs=shared_size
+        )
+
+    # -- updates ---------------------------------------------------------
+    def watch(self, body: str | RegexNode) -> IncrementalRTC:
+        """Maintain the RTC of closure body ``body`` across :meth:`update`.
+
+        Returns the (idempotently created) incremental maintainer; its
+        ``reaches``/``snapshot`` answer streaming reachability without
+        re-running the batch pipeline.
+        """
+        self._check_open()
+        key = parse(body).to_string()
+        watcher = self._watchers.get(key)
+        if watcher is None:
+            watcher = IncrementalRTC(self.graph, key)
+            self._watchers[key] = watcher
+        return watcher
+
+    @property
+    def watchers(self) -> dict[str, IncrementalRTC]:
+        """Active incremental watchers, keyed by normalised closure body."""
+        return dict(self._watchers)
+
+    def update(
+        self,
+        add: Iterable[tuple] = (),
+        remove: Iterable[tuple] = (),
+    ) -> None:
+        """Apply streaming edge changes to the graph.
+
+        Inserted edges are repaired incrementally in every watcher
+        (:mod:`repro.core.incremental`); removals recompute the watchers
+        from the updated graph.  The engine's shared caches are dropped
+        either way -- they describe the pre-update graph.
+
+        A failing edge (duplicate insertion, removal of an absent edge)
+        raises after the earlier edges of the batch were applied; the
+        session stays consistent with the partially-updated graph -- the
+        watchers are rebuilt from it and the engine caches dropped before
+        the error propagates.
+        """
+        self._check_open()
+        watchers = list(self._watchers.values())
+        mutated = False
+        try:
+            for source, label, target in add:
+                new_vertices = [
+                    vertex
+                    for vertex in (source, target)
+                    if not self.graph.has_vertex(vertex)
+                ]
+                self.graph.add_edge(source, label, target)
+                mutated = True
+                for watcher in watchers:
+                    watcher.notify_edge_added(source, label, target, new_vertices)
+            removed = False
+            for source, label, target in remove:
+                self.graph.remove_edge(source, label, target)
+                mutated = True
+                removed = True
+            if removed:
+                for watcher in watchers:
+                    watcher.notify_graph_replaced()
+        except BaseException:
+            if mutated:
+                for watcher in watchers:
+                    watcher.notify_graph_replaced()
+            raise
+        finally:
+            self._reset_engine_cache()
+
+    # -- introspection ---------------------------------------------------
+    def stats(self) -> dict:
+        """Session statistics: the graph, the engine, and its sharing state."""
+        self._check_open()
+        engine = self.engine
+        return {
+            "engine": self.engine_name,
+            "graph": {
+                "vertices": self.graph.num_vertices,
+                "edges": self.graph.num_edges,
+                "labels": self.graph.num_labels,
+            },
+            "queries_evaluated": getattr(engine, "queries_evaluated", 0),
+            "total_time": getattr(engine, "total_time", 0.0),
+            "shared_pairs": getattr(engine, "shared_data_size", lambda: 0)(),
+            "watchers": sorted(self._watchers),
+        }
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"GraphDB(engine={self.engine_name!r}, |V|={self.graph.num_vertices}, "
+            f"|E|={self.graph.num_edges}, {state})"
+        )

@@ -53,6 +53,25 @@ class EvaluationError(ReproError):
     """An RPQ could not be evaluated against the given graph."""
 
 
+class UnknownEngineError(ReproError, ValueError):
+    """An engine name is not present in the engine registry.
+
+    Also derives from :class:`ValueError` so code written against the old
+    ``make_engine`` contract (which raised a bare ``ValueError``) keeps
+    working.  Carries the offending ``name`` and the ``available`` engine
+    names at raise time.
+    """
+
+    def __init__(self, name: object, available: tuple = ()) -> None:
+        available = tuple(sorted(available))
+        message = f"unknown engine {name!r}"
+        if available:
+            message += f"; registered engines: {', '.join(available)}"
+        super().__init__(message)
+        self.name = name
+        self.available = available
+
+
 class UnknownLabelError(EvaluationError):
     """The query references an edge label absent from the graph's alphabet.
 

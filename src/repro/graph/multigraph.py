@@ -103,6 +103,36 @@ class LabeledMultigraph:
         self.add_edge(source, label, target)
         return True
 
+    def remove_edge(self, source: object, label: str, target: object) -> None:
+        """Remove the edge ``e(source, label, target)``.
+
+        Endpoint vertices stay in the graph even when they become
+        isolated (``|V|`` is unchanged, matching the data model where
+        ``V`` is independent of ``E``).  Raises
+        :class:`~repro.errors.GraphError` when the edge is absent.
+        """
+        targets = self._out.get(source, {}).get(label)
+        if targets is None or target not in targets:
+            raise GraphError(
+                f"edge ({source!r}, {label!r}, {target!r}) is not in the graph"
+            )
+        targets.discard(target)
+        if not targets:
+            del self._out[source][label]
+            if not self._out[source]:
+                del self._out[source]
+        sources = self._in[target][label]
+        sources.discard(source)
+        if not sources:
+            del self._in[target][label]
+            if not self._in[target]:
+                del self._in[target]
+        by_label = self._by_label[label]
+        by_label.discard((source, target))
+        if not by_label:
+            del self._by_label[label]
+        self._num_edges -= 1
+
     @classmethod
     def from_edges(
         cls, edges: Iterable[tuple[object, str, object]]

@@ -167,11 +167,24 @@ class TestMetricsAndErrors:
             RTCSharingEngine(fig1).evaluate("a..b")
 
     def test_make_engine_factory(self, fig1):
-        assert isinstance(make_engine("no", fig1), NoSharingEngine)
-        assert isinstance(make_engine("FULL", fig1), FullSharingEngine)
-        assert isinstance(make_engine("rtc", fig1), RTCSharingEngine)
-        with pytest.raises(ValueError):
-            make_engine("quantum", fig1)
+        with pytest.warns(DeprecationWarning, match="make_engine"):
+            assert isinstance(make_engine("no", fig1), NoSharingEngine)
+        with pytest.warns(DeprecationWarning):
+            assert isinstance(make_engine("FULL", fig1), FullSharingEngine)
+        with pytest.warns(DeprecationWarning):
+            assert isinstance(make_engine("rtc", fig1), RTCSharingEngine)
+
+    def test_make_engine_unknown_name(self, fig1):
+        from repro.errors import ReproError, UnknownEngineError
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(UnknownEngineError) as info:
+                make_engine("quantum", fig1)
+        assert isinstance(info.value, ReproError)
+        # Old callers caught ValueError; the new error still is one.
+        assert isinstance(info.value, ValueError)
+        assert info.value.name == "quantum"
+        assert "rtc" in info.value.available
 
     def test_invalid_clause_evaluator(self, fig1):
         with pytest.raises(ValueError):

@@ -1,0 +1,89 @@
+"""PreparedQuery tests: decomposition payload, plan stability, execution."""
+
+import pytest
+
+from repro.db import GraphDB, PreparedQuery
+from repro.errors import RPQSyntaxError
+
+
+@pytest.fixture
+def db(fig1):
+    return GraphDB.open(fig1)
+
+
+class TestPreparation:
+    def test_carries_ast_and_clauses(self, db):
+        prepared = db.prepare("d.(b.c)+.c|a")
+        assert isinstance(prepared, PreparedQuery)
+        assert prepared.text == prepared.node.to_string()
+        assert prepared.num_clauses == 2
+        assert prepared.clauses == ("d.(b.c)+.c", "a")
+        assert len(prepared.units) == 2
+        assert len(prepared.batch_units) == 1
+
+    def test_batch_unit_decomposition(self, db):
+        (unit,) = db.prepare("d.(b.c)+.c").batch_units
+        assert unit.pre.to_string() == "d"
+        assert unit.r.to_string() == "b.c"
+        assert unit.type == "+"
+        assert unit.post_labels == ("c",)
+
+    def test_syntax_error_at_prepare_time(self, db):
+        with pytest.raises(RPQSyntaxError):
+            db.prepare("a..b")
+
+    def test_db_backref(self, db):
+        assert db.prepare("a").db is db
+
+
+class TestExplain:
+    def test_plan_stability(self, db):
+        prepared = db.prepare("d.(b.c)+.c|a")
+        first = prepared.explain()
+        second = prepared.explain()
+        assert first == second  # frozen dataclasses, value equality
+        assert first.describe() == second.describe()
+
+    def test_plan_reflects_cache_warming(self, db):
+        prepared = db.prepare("d.(b.c)+.c")
+        assert prepared.explain().clauses[0].rtc_cached is False
+        prepared.execute()
+        plan = prepared.explain()
+        assert plan.clauses[0].rtc_cached is True
+        # Everything except the cache flag is unchanged.
+        assert plan.query == prepared.text
+        assert plan.clauses[0].r == "b.c"
+
+    def test_explain_is_side_effect_free(self, db):
+        prepared = db.prepare("d.(b.c)+.c")
+        for _ in range(3):
+            prepared.explain()
+        assert db.engine.rtc_cache.stats.lookups == 0
+        assert db.engine.queries_evaluated == 0
+
+
+class TestExecution:
+    def test_execute_and_call_are_aliases(self, db):
+        prepared = db.prepare("d.(b.c)+.c")
+        assert prepared.execute() == prepared() == {(7, 3), (7, 5)}
+
+    def test_repeated_execution_hits_cache(self, db):
+        prepared = db.prepare("d.(b.c)+.c")
+        prepared.execute()
+        prepared.execute()
+        stats = db.engine.rtc_cache.stats
+        assert stats.misses == 1 and stats.hits == 1
+
+    def test_executes_through_session_engine(self, db, oracle_eval):
+        prepared = db.prepare("a.(b.c)+")
+        assert prepared.execute() == oracle_eval(db.graph, "a.(b.c)+")
+
+    def test_lazy_execution(self, db):
+        result = db.prepare("b.c").execute(lazy=True)
+        assert not result.is_materialised
+        assert len(result) == 5
+        assert result.is_materialised
+
+    def test_repr(self, db):
+        text = repr(db.prepare("d.(b.c)+.c|a"))
+        assert "clauses=2" in text and "batch_units=1" in text

@@ -1,0 +1,184 @@
+"""GraphDB session lifecycle tests: open, execute, update, close."""
+
+import pytest
+
+from repro.core import compute_rtc
+from repro.db import GraphDB
+from repro.errors import GraphError, ReproError
+from repro.graph.io import dump_edge_list
+from repro.graph.multigraph import LabeledMultigraph
+from repro.rpq import eval_rpq
+
+EDGES = [
+    (0, "d", 1), (1, "b", 2), (2, "c", 1), (2, "c", 3),
+]
+
+
+class TestOpen:
+    def test_open_graph_binds_it(self, fig1):
+        db = GraphDB.open(fig1)
+        assert db.graph is fig1
+        assert db.engine_name == "rtc"
+
+    def test_open_path(self, fig1, tmp_path):
+        path = tmp_path / "g.txt"
+        dump_edge_list(fig1, path)
+        db = GraphDB.open(str(path))
+        assert db.graph.num_edges == fig1.num_edges
+        assert db.execute("d.(b.c)+.c") == {(7, 3), (7, 5)}
+
+    def test_open_pathlib_path(self, fig1, tmp_path):
+        path = tmp_path / "g.txt"
+        dump_edge_list(fig1, path)
+        assert GraphDB.open(path).graph.num_vertices == fig1.num_vertices
+
+    def test_open_edge_iterable(self):
+        db = GraphDB.open(EDGES)
+        assert db.graph.num_edges == len(EDGES)
+        assert db.execute("d.(b.c)+") == {(0, 1), (0, 3)}
+
+    def test_engine_selection_and_kwargs(self, fig1):
+        db = GraphDB.open(fig1, engine="RTC", cache_mode="semantic")
+        assert db.engine_name == "rtc"
+        assert db.engine.rtc_cache.mode == "semantic"
+
+    def test_constructor_rejects_non_graph(self):
+        with pytest.raises(TypeError, match="GraphDB.open"):
+            GraphDB("not a graph")
+
+
+class TestExecute:
+    def test_execute_accepts_ast(self, fig1):
+        from repro.regex.parser import parse
+
+        assert GraphDB.open(fig1).execute(parse("b.c")) == eval_rpq(fig1, "b.c")
+
+    def test_execute_many_shares_caches(self, fig1):
+        db = GraphDB.open(fig1)
+        db.execute_many(["d.(b.c)+.c", "a.(b.c)+", "(b.c)+.c"])
+        stats = db.engine.rtc_cache.stats
+        assert stats.entries == 1
+        assert stats.hits == 3 and stats.misses == 1
+
+    def test_explain_matches_prepared(self, fig1):
+        db = GraphDB.open(fig1)
+        assert db.explain("d.(b.c)+.c") == db.prepare("d.(b.c)+.c").explain()
+
+
+class TestUpdate:
+    def test_add_edges_visible_to_queries(self):
+        db = GraphDB.open([("a", "f", "b")])
+        assert ("a", "c") not in db.execute("f+")
+        db.update(add=[("b", "f", "c")])
+        assert ("a", "c") in db.execute("f+")
+
+    def test_update_invalidates_engine_cache(self):
+        db = GraphDB.open([("a", "f", "b")])
+        db.execute("f+")
+        assert db.engine.shared_data_size() > 0
+        db.update(add=[("b", "f", "c")])
+        assert db.engine.shared_data_size() == 0  # stale RTC dropped
+
+    def test_remove_edge(self):
+        db = GraphDB.open([("a", "f", "b"), ("b", "f", "c")])
+        db.update(remove=[("b", "f", "c")])
+        assert db.execute("f+") == {("a", "b")}
+        with pytest.raises(GraphError):
+            db.update(remove=[("b", "f", "c")])
+
+    def test_remove_keeps_vertices(self):
+        db = GraphDB.open([("a", "f", "b")])
+        db.update(remove=[("a", "f", "b")])
+        assert db.graph.num_vertices == 2
+        assert db.graph.num_edges == 0
+
+    def test_partial_failure_keeps_session_consistent(self):
+        db = GraphDB.open([("a", "f", "b")])
+        db.execute("f+")  # warm the engine cache
+        watcher = db.watch("f")
+        with pytest.raises(GraphError):
+            # The add applies, then the bad removal raises mid-batch.
+            db.update(add=[("b", "f", "c")], remove=[("x", "f", "y")])
+        # Queries see the partially-applied graph, not a stale cache.
+        assert db.execute("f+") == {("a", "b"), ("a", "c"), ("b", "c")}
+        assert watcher.plus_pairs() == compute_rtc(
+            eval_rpq(db.graph, "f")
+        ).expand()
+
+    def test_duplicate_add_raises_but_resets_cache(self):
+        db = GraphDB.open([("a", "f", "b")])
+        db.execute("f+")
+        with pytest.raises(GraphError):
+            db.update(add=[("a", "f", "b")])
+        assert db.engine.shared_data_size() == 0  # cache dropped anyway
+
+
+class TestWatchers:
+    def test_watch_is_idempotent_per_body(self):
+        db = GraphDB.open([("a", "f", "b")])
+        assert db.watch("f") is db.watch("(f)")  # same normalised body
+        assert list(db.watchers) == ["f"]
+
+    def test_multiple_watchers_stay_consistent(self):
+        db = GraphDB.open([("a", "f", "b"), ("b", "g", "c")])
+        wf = db.watch("f")
+        wg = db.watch("f|g")
+        db.update(add=[("b", "f", "a"), ("c", "g", "a"), ("c", "f", "d")])
+        db.update(remove=[("a", "f", "b")])
+        for watcher, body in ((wf, "f"), (wg, "f|g")):
+            expected = compute_rtc(eval_rpq(db.graph, body)).expand()
+            assert watcher.plus_pairs() == expected
+
+    def test_watcher_sees_new_vertices(self):
+        db = GraphDB.open([("a", "f", "b")])
+        watcher = db.watch("f*")  # nullable body: identity spans V
+        db.update(add=[("x", "f", "y")])
+        assert watcher.reaches("x", "x")
+        assert watcher.reaches("x", "y")
+
+
+class TestLifecycle:
+    def test_context_manager_closes(self, fig1):
+        with GraphDB.open(fig1) as db:
+            db.execute("b.c")
+            assert not db.closed
+        assert db.closed
+        with pytest.raises(ReproError, match="closed"):
+            db.execute("b.c")
+        with pytest.raises(ReproError, match="closed"):
+            db.prepare("b.c")
+
+    def test_close_idempotent(self, fig1):
+        db = GraphDB.open(fig1)
+        db.close()
+        db.close()
+
+    def test_lazy_result_on_closed_session_raises(self, fig1):
+        db = GraphDB.open(fig1)
+        result = db.execute("b.c", lazy=True)
+        db.close()
+        with pytest.raises(ReproError, match="closed"):
+            result.pairs
+
+    def test_stats_shape(self, fig1):
+        db = GraphDB.open(fig1)
+        db.execute("b.c")
+        db.watch("b.c")
+        stats = db.stats()
+        assert stats["engine"] == "rtc"
+        assert stats["graph"] == {"vertices": 10, "edges": 16, "labels": 6}
+        assert stats["queries_evaluated"] == 1
+        assert stats["watchers"] == ["b.c"]
+
+    def test_repr(self, fig1):
+        db = GraphDB.open(fig1)
+        assert "open" in repr(db)
+        db.close()
+        assert "closed" in repr(db)
+
+    def test_isolated_vertices_preserved_via_graph_binding(self):
+        graph = LabeledMultigraph()
+        graph.add_vertex("lonely")
+        graph.add_edge("a", "f", "b")
+        db = GraphDB.open(graph)
+        assert db.graph.num_vertices == 3

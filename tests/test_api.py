@@ -11,6 +11,7 @@ from repro.errors import (
     GraphFormatError,
     ReproError,
     RPQSyntaxError,
+    UnknownEngineError,
     UnknownLabelError,
     VertexNotFoundError,
     WorkloadError,
@@ -22,6 +23,7 @@ PACKAGES = [
     "repro.regex",
     "repro.rpq",
     "repro.core",
+    "repro.db",
     "repro.relalg",
     "repro.datasets",
     "repro.workloads",
@@ -38,10 +40,16 @@ class TestExports:
             assert hasattr(package, name), f"{package_name}.{name}"
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_top_level_quickstart_names(self):
         for name in (
+            "GraphDB",
+            "PreparedQuery",
+            "ResultSet",
+            "register_engine",
+            "available_engines",
+            "create_engine",
             "LabeledMultigraph",
             "DiGraph",
             "RTCSharingEngine",
@@ -67,12 +75,20 @@ class TestErrorHierarchy:
             VertexNotFoundError,
             RPQSyntaxError,
             EvaluationError,
+            UnknownEngineError,
             UnknownLabelError,
             WorkloadError,
         ],
     )
     def test_all_derive_from_repro_error(self, error_class):
         assert issubclass(error_class, ReproError)
+
+    def test_unknown_engine_is_also_value_error(self):
+        error = UnknownEngineError("warp", ("no", "rtc"))
+        assert isinstance(error, ValueError)
+        assert error.name == "warp"
+        assert error.available == ("no", "rtc")
+        assert "warp" in str(error) and "rtc" in str(error)
 
     def test_unknown_label_carries_label(self):
         error = UnknownLabelError("zz")

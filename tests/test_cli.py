@@ -1,5 +1,9 @@
 """Tests for the command-line interface."""
 
+import json
+import sys
+import textwrap
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -49,6 +53,56 @@ class TestQueryCommand:
         assert main(["query", "/nonexistent/graph.txt", "a"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_unknown_engine_exit_code(self, graph_file, capsys):
+        assert main(["query", graph_file, "a", "--engine", "warp"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown engine" in err and "rtc" in err
+
+    def test_json_output(self, graph_file, capsys):
+        assert main(["query", graph_file, "d.(b.c)+.c", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "rtc"
+        assert payload["shared_pairs"] == 3
+        (result,) = payload["results"]
+        assert result["query"] == "d.(b.c)+.c"
+        assert result["count"] == 2
+        assert [7, 3] in result["pairs"] and [7, 5] in result["pairs"]
+        assert result["timings"]["total"] >= 0.0
+
+    def test_third_party_engine_via_load(self, graph_file, tmp_path, capsys):
+        (tmp_path / "my_engines.py").write_text(
+            textwrap.dedent(
+                """
+                from repro.core.engines import NoSharingEngine
+                from repro.db import register_engine
+
+                @register_engine("echo", replace=True)
+                class EchoEngine(NoSharingEngine):
+                    name = "Echo"
+                """
+            )
+        )
+        sys.path.insert(0, str(tmp_path))
+        try:
+            code = main(
+                ["query", graph_file, "b.c", "--engine", "echo",
+                 "--load", "my_engines", "--json"]
+            )
+            assert code == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["engine"] == "echo"
+            assert payload["results"][0]["count"] == 5
+        finally:
+            sys.path.remove(str(tmp_path))
+            from repro.db.registry import reset_registry
+
+            reset_registry()
+            sys.modules.pop("my_engines", None)
+
+    def test_load_missing_module(self, graph_file, capsys):
+        assert main(["query", graph_file, "a", "--load", "no_such_mod"]) == 2
+        assert "error" in capsys.readouterr().err
+
 
 class TestReduceCommand:
     def test_fig12_quantities(self, graph_file, capsys):
@@ -59,6 +113,13 @@ class TestReduceCommand:
         assert "| 3" in out  # 3 RTC pairs
         assert "| 10" in out  # 10 closure pairs
 
+    def test_json_output(self, graph_file, capsys):
+        assert main(["reduce", graph_file, "b.c", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["body"] == "b.c"
+        assert payload["rtc_pairs"] == 3
+        assert payload["full_closure_pairs"] == 10
+
 
 class TestStatsCommand:
     def test_table4_row(self, graph_file, capsys):
@@ -66,6 +127,13 @@ class TestStatsCommand:
         out = capsys.readouterr().out
         assert "| 10" in out  # vertices
         assert "| 16" in out  # edges
+
+    def test_json_output(self, graph_file, capsys):
+        assert main(["stats", graph_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["vertices"] == 10
+        assert payload["edges"] == 16
+        assert payload["labels"] == 6
 
 
 class TestExplainCommand:
@@ -111,6 +179,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_engine_choices(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["query", "g.txt", "a", "--engine", "warp"])
+    def test_engine_accepts_any_registered_name(self):
+        # --engine is registry-checked at open time, not an argparse choice,
+        # so third-party names parse fine.
+        args = build_parser().parse_args(
+            ["query", "g.txt", "a", "--engine", "warp"]
+        )
+        assert args.engine == "warp"
+
+    def test_engine_help_lists_registry(self):
+        query_parser = build_parser()._subparsers._group_actions[0].choices["query"]
+        help_text = query_parser.format_help()
+        for name in ("no", "full", "rtc"):
+            assert name in help_text
