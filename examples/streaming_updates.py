@@ -15,6 +15,12 @@ incrementally maintained RTC.  At the end, the incremental state is
 checked against a from-scratch batch evaluation, a few edges are
 *removed* (the rebuild path), and the maintenance counters are printed.
 
+The second part replays the same pattern *through a live server*
+(:mod:`repro.server`): a producer client streams edge updates over TCP
+while a separate consumer client watches the closure body and asks
+``reaches``/``query`` questions -- two connections, one shared session,
+same incremental maintenance underneath.
+
 Run:  python examples/streaming_updates.py
 """
 
@@ -24,6 +30,7 @@ import time
 from repro import GraphDB, LabeledMultigraph
 from repro.core import compute_rtc
 from repro.rpq import eval_rpq
+from repro.server import Client, ServerThread
 
 NUM_PEOPLE = 150
 NUM_STREAMED_EDGES = 600
@@ -91,6 +98,52 @@ def main() -> None:
         print(f"  {source} -follows+-> user0: {reachable}")
     result = db.execute("follows+")
     print(f"db.execute('follows+') after the stream: {len(result)} pairs")
+
+    live_server_demo()
+
+
+def live_server_demo() -> None:
+    """The same streaming pattern over TCP: a writer and a watcher client."""
+    print("\n--- live server: update + query from two clients ---")
+    rng = random.Random(7)
+    people = [f"acct{i}" for i in range(30)]
+    graph = LabeledMultigraph()
+    for person in people:
+        graph.add_vertex(person)
+
+    db = GraphDB.open(graph)
+    with ServerThread(db) as handle:
+        host, port = handle.address
+        print(f"server listening on {host}:{port}")
+        with Client(host, port) as producer, Client(host, port) as watcher:
+            # The watcher attaches the incremental maintainer server-side.
+            watcher.watch("follows")
+            streamed = 0
+            while streamed < 120:
+                follower, followee = rng.sample(people, 2)
+                if graph.has_edge(follower, "follows", followee):
+                    continue
+                producer.update(add=[(follower, "follows", followee)])
+                streamed += 1
+                if streamed % 40 == 0:
+                    reaches = watcher.reaches("follows", people[0], people[1])
+                    count = watcher.query("follows+", pairs=False).count
+                    print(
+                        f"after {streamed:3d} streamed edges: "
+                        f"{people[0]} -follows+-> {people[1]}: {reaches}; "
+                        f"follows+ has {count} pairs"
+                    )
+            stats = watcher.stats()
+            print(
+                f"server served {stats['scheduler']['completed']} queries and "
+                f"{stats['scheduler']['updates']} updates over "
+                f"{stats['server']['connections']} connections"
+            )
+    # The served session state survives the server: verify against batch.
+    assert db.watchers["follows"].plus_pairs() == compute_rtc(
+        eval_rpq(graph, "follows")
+    ).expand()
+    print("served state equals a from-scratch batch computation")
 
 
 if __name__ == "__main__":

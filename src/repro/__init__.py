@@ -28,7 +28,9 @@ surface lives in the subpackages:
 * :mod:`repro.relalg`   -- the paper's relational-algebra expressions;
 * :mod:`repro.datasets` -- R-MAT and Table-IV dataset stand-ins;
 * :mod:`repro.workloads`-- the Section V-A multiple-RPQ-set generator;
-* :mod:`repro.bench`    -- the experiment harness behind ``benchmarks/``.
+* :mod:`repro.bench`    -- the experiment harness behind ``benchmarks/``;
+* :mod:`repro.server`   -- the concurrent, sharing-aware query server
+  (``repro serve`` / ``repro.server.Client``).
 """
 
 from repro.core.batch_unit import BatchUnitOptions
@@ -49,10 +51,14 @@ from repro.db import (
     register_engine,
 )
 from repro.errors import (
+    AdmissionError,
+    DeadlineExpiredError,
     EvaluationError,
     GraphError,
+    ProtocolError,
     ReproError,
     RPQSyntaxError,
+    ServerError,
     UnknownEngineError,
     UnknownLabelError,
 )
@@ -61,7 +67,7 @@ from repro.graph.multigraph import LabeledMultigraph
 from repro.regex.parser import parse
 from repro.rpq.evaluate import eval_rpq
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "GraphDB",
@@ -90,5 +96,9 @@ __all__ = [
     "EvaluationError",
     "UnknownLabelError",
     "UnknownEngineError",
+    "ServerError",
+    "AdmissionError",
+    "DeadlineExpiredError",
+    "ProtocolError",
     "__version__",
 ]

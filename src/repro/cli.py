@@ -1,11 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the interactive workflow a downstream user wants
+Six subcommands cover the interactive workflow a downstream user wants
 before writing any code; all of them run through the
 :class:`~repro.db.GraphDB` session facade:
 
 * ``query``  -- evaluate one or more RPQs against an edge-list file with a
-  registered engine; prints result pairs (or just counts) and timing;
+  registered engine (or, with ``--connect host:port``, against a running
+  ``repro serve`` instance); prints result pairs (or just counts) and
+  timing;
+* ``serve``  -- run the concurrent JSON-lines query server of
+  :mod:`repro.server` over an edge-list file;
 * ``reduce`` -- show the two-level reduction statistics of a closure body
   on a graph (the Fig. 12/13 quantities for your own data);
 * ``stats``  -- Table-IV style statistics of an edge-list file;
@@ -25,6 +29,8 @@ Examples::
     python -m repro stats graph.txt --json
     python -m repro query graph.txt "a.(b.c)+.c" --engine rtc --show-pairs
     python -m repro query graph.txt "b.c" --load my_engines --engine mine
+    python -m repro serve graph.txt --port 7687 --workers 4
+    python -m repro query --connect 127.0.0.1:7687 "a.(b.c)+.c"
     python -m repro reduce graph.txt "b.c"
     python -m repro dot graph.txt --query "b.c" --view condensation
 """
@@ -57,9 +63,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    query = commands.add_parser("query", help="evaluate RPQs against a graph")
-    query.add_argument("graph", help="edge-list file (source label target)")
-    query.add_argument("queries", nargs="+", help="one or more RPQ strings")
+    query = commands.add_parser(
+        "query", help="evaluate RPQs against a graph file or a running server"
+    )
+    query.add_argument(
+        "graph",
+        nargs="?",
+        help=(
+            "edge-list file (source label target); with --connect this is "
+            "treated as the first query instead"
+        ),
+    )
+    query.add_argument("queries", nargs="*", help="one or more RPQ strings")
+    query.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="send the queries to a running 'repro serve' instance",
+    )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline when using --connect",
+    )
     query.add_argument(
         "--engine",
         default="rtc",
@@ -93,6 +120,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit machine-readable JSON instead of tables",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the concurrent JSON-lines query server over a graph"
+    )
+    serve.add_argument("graph", help="edge-list file (source label target)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7687, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--engine",
+        default="rtc",
+        metavar="NAME",
+        help="evaluation engine from the registry (default: rtc)",
+    )
+    serve.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help="import a Python module first (third-party engines); repeatable",
+    )
+    serve.add_argument(
+        "--semantic-cache",
+        action="store_true",
+        help="share RTCs between language-equal closure bodies",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="worker threads (default: 4)"
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=256,
+        help="admission-control queue bound (default: 256)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="micro-batch collection window (default: 0.005)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="largest micro-batch per dispatch (default: 64)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="default per-request deadline (0 disables; default: 30)",
     )
 
     reduce = commands.add_parser(
@@ -135,6 +218,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_query(args) -> int:
+    if args.connect:
+        return _query_remote(args)
+    if args.graph is None or not args.queries:
+        print(
+            "error: query needs a graph file and at least one RPQ "
+            "(or --connect host:port)",
+            file=sys.stderr,
+        )
+        return 2
     for module_name in args.load:
         importlib.import_module(module_name)
     kwargs = {}
@@ -166,6 +258,84 @@ def _cmd_query(args) -> int:
     print(format_table(["query", "pairs", "time"], rows))
     if shared:
         print(f"shared data: {shared} pairs")
+    return 0
+
+
+def _query_remote(args) -> int:
+    """The ``query --connect`` path: same output, served remotely."""
+    from repro.server import Client
+
+    queries = ([args.graph] if args.graph else []) + args.queries
+    if not queries:
+        print("error: no queries given", file=sys.stderr)
+        return 2
+    want_pairs = args.show_pairs or args.json
+    with Client.connect(args.connect) as client:
+        results = client.query_many(
+            queries, timeout=args.timeout, pairs=want_pairs
+        )
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "connect": args.connect,
+                        "results": [
+                            {
+                                "query": result.query,
+                                "count": result.count,
+                                "time": result.time,
+                                "pairs": list(result),
+                            }
+                            for result in results
+                        ],
+                    },
+                    indent=2,
+                    default=str,
+                )
+            )
+            return 0
+        rows = []
+        for result in results:
+            rows.append(
+                [result.query, result.count, format_seconds(result.time)]
+            )
+            if args.show_pairs:
+                for source, target in result:
+                    print(f"{source}\t{target}")
+        print(format_table(["query", "pairs", "time"], rows))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.server import QueryServer, ServerConfig
+
+    for module_name in args.load:
+        importlib.import_module(module_name)
+    engine_kwargs = {}
+    if args.semantic_cache and args.engine == "rtc":
+        engine_kwargs["cache_mode"] = "semantic"
+    db = GraphDB.open(args.graph, engine=args.engine, **engine_kwargs)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.queue_size,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        default_timeout=args.timeout if args.timeout > 0 else None,
+        engine_kwargs=engine_kwargs,
+    )
+    server = QueryServer(db, config)
+
+    def announce(address) -> None:
+        host, port = address
+        print(
+            f"serving {args.graph} (engine={db.engine_name}, "
+            f"workers={config.workers}) on {host}:{port} -- Ctrl-C to stop",
+            flush=True,
+        )
+
+    server.run(ready_callback=announce)
     return 0
 
 
@@ -272,6 +442,7 @@ def _cmd_dot(args) -> int:
 
 _COMMANDS = {
     "query": _cmd_query,
+    "serve": _cmd_serve,
     "reduce": _cmd_reduce,
     "stats": _cmd_stats,
     "explain": _cmd_explain,

@@ -20,10 +20,26 @@ Keys are computed by a pluggable canonicaliser:
 
 Hit/miss statistics feed the Experiment-2 analysis (amortisation of
 ``Shared_Data`` across RPQs).
+
+Concurrency contract
+--------------------
+Caches are shared between the per-worker engines of
+:mod:`repro.server`, so every public operation (``lookup`` / ``store`` /
+``clear`` / ``total_shared_pairs`` / ``len`` / ``in``) is individually
+atomic: an internal :class:`threading.RLock` serialises them, and the
+hit/miss statistics are updated under the same lock.  The
+*lookup-then-store* sequence engines perform on a miss is deliberately
+**not** atomic -- two threads missing on the same key may both compute
+the value and store it twice.  That race is benign (both compute equal
+values for the same immutable graph; the second ``store`` overwrites
+with an equivalent entry) and the server's sharing-aware scheduler makes
+it rare by routing queries with a common closure body to one worker
+batch.  Cached values are treated as immutable by all engines.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Generic, TypeVar
 
@@ -64,7 +80,12 @@ class CacheStats:
 
 @dataclass
 class SharedDataCache(Generic[Value]):
-    """A keyed cache with stats; the common machinery of both caches."""
+    """A keyed cache with stats; the common machinery of both caches.
+
+    Thread-safe at the granularity of individual operations (see the
+    module docstring for the full concurrency contract); safe to share
+    between engines running on different threads.
+    """
 
     mode: str = "syntactic"
     stats: CacheStats = field(default_factory=CacheStats)
@@ -72,36 +93,57 @@ class SharedDataCache(Generic[Value]):
     def __post_init__(self) -> None:
         self._key_function = make_key_function(self.mode)
         self._entries: dict[str, Value] = {}
+        self._lock = threading.RLock()
 
     def key_for(self, node: RegexNode) -> str:
         """The cache key of a closure body."""
         return self._key_function(node)
 
     def lookup(self, node: RegexNode) -> tuple[str, Value | None]:
-        """Return ``(key, value-or-None)`` and record the hit/miss."""
+        """Return ``(key, value-or-None)`` and record the hit/miss.
+
+        Atomic; but a miss followed by :meth:`store` is not, so
+        concurrent threads may each compute the missing value once
+        (benign -- see the module concurrency contract).
+        """
         key = self.key_for(node)
-        value = self._entries.get(key)
-        if value is None:
-            self.stats.misses += 1
-        else:
-            self.stats.hits += 1
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
         return key, value
 
     def store(self, key: str, value: Value) -> None:
-        """Insert a freshly computed entry."""
-        self._entries[key] = value
-        self.stats.entries = len(self._entries)
+        """Insert a freshly computed entry (last writer wins)."""
+        with self._lock:
+            self._entries[key] = value
+            self.stats.entries = len(self._entries)
 
     def clear(self) -> None:
         """Drop all entries (stats are kept)."""
-        self._entries.clear()
-        self.stats.entries = 0
+        with self._lock:
+            self._entries.clear()
+            self.stats.entries = 0
+
+    def snapshot_stats(self) -> CacheStats:
+        """A point-in-time copy of the stats, taken under the lock."""
+        with self._lock:
+            return CacheStats(
+                hits=self.stats.hits,
+                misses=self.stats.misses,
+                entries=self.stats.entries,
+            )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, node: RegexNode) -> bool:
-        return self.key_for(node) in self._entries
+        key = self.key_for(node)
+        with self._lock:
+            return key in self._entries
 
 
 class RTCCache(SharedDataCache[ReducedTransitiveClosure]):
@@ -113,7 +155,8 @@ class RTCCache(SharedDataCache[ReducedTransitiveClosure]):
 
     def total_shared_pairs(self) -> int:
         """Sum of ``num_pairs`` over all cached RTCs."""
-        return sum(rtc.num_pairs for rtc in self._entries.values())
+        with self._lock:
+            return sum(rtc.num_pairs for rtc in self._entries.values())
 
 
 class ClosureCache(SharedDataCache[dict]):
@@ -130,4 +173,5 @@ class ClosureCache(SharedDataCache[dict]):
 
     def total_shared_pairs(self) -> int:
         """Sum of pair counts over all cached closures."""
-        return sum(self.entry_size(entry) for entry in self._entries.values())
+        with self._lock:
+            return sum(self.entry_size(entry) for entry in self._entries.values())

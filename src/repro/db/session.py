@@ -23,10 +23,23 @@ driver::
 path, or an iterable of ``(source, label, target)`` triples.  Sharing is
 the point: every ``execute`` on a session reuses the engine's shared
 structures, which is what the paper means by evaluating *multiple* RPQs.
+
+Concurrency contract
+--------------------
+A session may be shared across threads: every stateful operation
+(``execute``'s evaluation step, ``update``, ``watch``, ``stats``,
+``close``) is serialised by one internal :class:`threading.RLock`, so
+concurrent callers see a consistent graph/watcher/cache state but do
+**not** evaluate in parallel.  For parallel evaluation, run multiple
+engines over the same (thread-safe) shared-data cache -- that is exactly
+what :mod:`repro.server` does with its worker pool, using the session
+only for updates, watchers and statistics.  Lazy result sets capture the
+session; forcing them from another thread takes the same lock.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from os import PathLike
 from pathlib import Path
@@ -64,6 +77,9 @@ class GraphDB:
         self.engine = create_engine(self.engine_name, graph, **engine_kwargs)
         self._watchers: dict[str, IncrementalRTC] = {}
         self._closed = False
+        # Serialises execute/update/watch/stats/close across threads --
+        # see the module docstring's concurrency contract.
+        self._lock = threading.RLock()
 
     # -- lifecycle -------------------------------------------------------
     @classmethod
@@ -88,11 +104,12 @@ class GraphDB:
 
     def close(self) -> None:
         """Drop shared caches and watchers; further queries raise."""
-        if self._closed:
-            return
-        self._reset_engine_cache()
-        self._watchers.clear()
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._reset_engine_cache()
+            self._watchers.clear()
+            self._closed = True
 
     def _reset_engine_cache(self) -> None:
         # Minimal duck-typed engines (evaluate() only) have no caches.
@@ -155,18 +172,23 @@ class GraphDB:
         return query.explain()
 
     def _run(self, node: RegexNode) -> tuple[set, ExecutionStats]:
-        """Evaluate ``node`` and attribute timer deltas to this query."""
-        engine = self.engine
-        timer = getattr(engine, "timer", None)
-        before = timer.snapshot() if timer is not None else {}
-        started = time.perf_counter()
-        pairs = engine.evaluate(node)
-        elapsed = time.perf_counter() - started
-        after = timer.snapshot() if timer is not None else {}
-        phases = {
-            phase: after[phase] - before.get(phase, 0.0) for phase in after
-        }
-        shared_size = getattr(engine, "shared_data_size", lambda: 0)()
+        """Evaluate ``node`` and attribute timer deltas to this query.
+
+        Holds the session lock for the whole evaluation: queries on one
+        session are serialised against each other and against updates.
+        """
+        with self._lock:
+            engine = self.engine
+            timer = getattr(engine, "timer", None)
+            before = timer.snapshot() if timer is not None else {}
+            started = time.perf_counter()
+            pairs = engine.evaluate(node)
+            elapsed = time.perf_counter() - started
+            after = timer.snapshot() if timer is not None else {}
+            phases = {
+                phase: after[phase] - before.get(phase, 0.0) for phase in after
+            }
+            shared_size = getattr(engine, "shared_data_size", lambda: 0)()
         return pairs, ExecutionStats(
             total_time=elapsed, phase_times=phases, shared_pairs=shared_size
         )
@@ -179,18 +201,31 @@ class GraphDB:
         ``reaches``/``snapshot`` answer streaming reachability without
         re-running the batch pipeline.
         """
-        self._check_open()
         key = parse(body).to_string()
-        watcher = self._watchers.get(key)
-        if watcher is None:
-            watcher = IncrementalRTC(self.graph, key)
-            self._watchers[key] = watcher
+        with self._lock:
+            self._check_open()
+            watcher = self._watchers.get(key)
+            if watcher is None:
+                watcher = IncrementalRTC(self.graph, key)
+                self._watchers[key] = watcher
         return watcher
 
     @property
     def watchers(self) -> dict[str, IncrementalRTC]:
         """Active incremental watchers, keyed by normalised closure body."""
-        return dict(self._watchers)
+        with self._lock:
+            return dict(self._watchers)
+
+    def reaches(self, body: str | RegexNode, source: object, target: object) -> bool:
+        """Streaming reachability: ``(source, target) in (body+)_G``.
+
+        Answered from the (idempotently created) incremental watcher of
+        ``body`` *under the session lock*, so a probe never observes the
+        torn intermediate state of a concurrent :meth:`update` rebuild.
+        """
+        watcher = self.watch(body)
+        with self._lock:
+            return bool(watcher.reaches(source, target))
 
     def update(
         self,
@@ -210,6 +245,10 @@ class GraphDB:
         watchers are rebuilt from it and the engine caches dropped before
         the error propagates.
         """
+        with self._lock:
+            self._update_locked(add, remove)
+
+    def _update_locked(self, add: Iterable[tuple], remove: Iterable[tuple]) -> None:
         self._check_open()
         watchers = list(self._watchers.values())
         mutated = False
@@ -243,7 +282,11 @@ class GraphDB:
     # -- introspection ---------------------------------------------------
     def stats(self) -> dict:
         """Session statistics: the graph, the engine, and its sharing state."""
-        self._check_open()
+        with self._lock:
+            self._check_open()
+            return self._stats_locked()
+
+    def _stats_locked(self) -> dict:
         engine = self.engine
         return {
             "engine": self.engine_name,

@@ -87,3 +87,58 @@ class UnknownLabelError(EvaluationError):
 
 class WorkloadError(ReproError):
     """A synthetic workload could not be generated with the given settings."""
+
+
+class ServerError(ReproError):
+    """Base class for errors raised by the :mod:`repro.server` subsystem.
+
+    Raised on the server for scheduling/lifecycle failures and re-raised
+    on the client when a response carries an error payload.  Carries the
+    wire-protocol error ``code`` so callers can dispatch without string
+    matching.
+    """
+
+    #: Wire-protocol error code (see :mod:`repro.server.protocol`).
+    code = "internal"
+
+
+class AdmissionError(ServerError):
+    """The server refused a request because its queue is full.
+
+    The backpressure signal of the server's admission control: the
+    bounded scheduler queue is at capacity, so the request was rejected
+    *before* consuming any evaluation resources.  Clients should back
+    off and retry.
+    """
+
+    code = "rejected"
+
+    def __init__(self, message: str | None = None, queue_depth: int | None = None) -> None:
+        if message is None:
+            message = "server queue is full; retry later"
+            if queue_depth is not None:
+                message = f"server queue is full ({queue_depth} queued); retry later"
+        super().__init__(message)
+        self.queue_depth = queue_depth
+
+
+class DeadlineExpiredError(ServerError):
+    """A request's deadline passed before (or while) it was evaluated.
+
+    Admission control attaches a deadline to every request (client
+    ``timeout`` or the server default); workers drop expired requests
+    instead of evaluating them, so an overloaded server sheds exactly the
+    work nobody is waiting for any more.
+    """
+
+    code = "deadline"
+
+
+class ProtocolError(ServerError):
+    """A wire message violated the JSON-lines protocol.
+
+    Raised for unparseable JSON, non-object payloads, oversized lines,
+    unknown operations and missing required fields.
+    """
+
+    code = "bad_request"

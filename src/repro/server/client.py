@@ -1,0 +1,206 @@
+"""A small blocking client for the JSON-lines query server.
+
+One socket, one request/response in flight at a time (the instance is
+internally locked, so sharing one ``Client`` between threads serialises
+their requests -- give each thread its own client for parallelism).
+Server-side failures are re-raised locally as the same
+:class:`~repro.errors.ReproError` subclasses the library throws, so code
+is portable between embedding :class:`~repro.db.GraphDB` directly and
+talking to a server::
+
+    with Client.connect("127.0.0.1:7687") as client:
+        result = client.query("a.(b.c)+")
+        print(result.count, result.time, sorted(result.pairs))
+        client.update(add=[("ann", "follows", "bob")])
+        print(client.stats()["scheduler"]["qps"])
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError, ServerError
+from repro.server import protocol
+
+__all__ = ["Client", "QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    """One query's answer as it came over the wire."""
+
+    query: str
+    count: int
+    time: float
+    pairs: set | None  # None when the request asked for counts only
+
+    def __iter__(self):
+        if self.pairs is None:
+            raise ServerError(
+                "this result was fetched with pairs=False; only .count is known"
+            )
+        return iter(sorted(self.pairs, key=lambda p: (str(p[0]), str(p[1]))))
+
+    def __len__(self) -> int:
+        return self.count
+
+
+class Client:
+    """Blocking JSON-lines client; safe to share (requests serialise)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7687,
+        connect_timeout: float = 10.0,
+        socket_timeout: float | None = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self._lock = threading.Lock()
+        self._next_id = 0
+        try:
+            self._socket = socket.create_connection(
+                (self.host, self.port), timeout=connect_timeout
+            )
+        except OSError as error:
+            raise ServerError(
+                f"cannot connect to {self.host}:{self.port}: {error}"
+            ) from error
+        self._socket.settimeout(socket_timeout)
+        self._file = self._socket.makefile("rwb")
+        self._closed = False
+
+    @classmethod
+    def connect(cls, address: str | tuple, **kwargs) -> "Client":
+        """Open a client from ``"host:port"`` or a ``(host, port)`` pair."""
+        if isinstance(address, str):
+            host, separator, port = address.rpartition(":")
+            if not separator or not port.isdigit():
+                raise ServerError(
+                    f"address must look like host:port, got {address!r}"
+                )
+            return cls(host or "127.0.0.1", int(port), **kwargs)
+        host, port = address
+        return cls(host, port, **kwargs)
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- transport -------------------------------------------------------
+    def _call(self, payload: dict) -> dict:
+        """One request/response round trip; raises on error responses."""
+        if self._closed:
+            raise ServerError("client is closed")
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            payload = {"id": request_id, **payload}
+            try:
+                self._file.write(protocol.encode(payload))
+                self._file.flush()
+                line = self._file.readline()
+            except OSError as error:
+                raise ServerError(f"connection lost: {error}") from error
+        if not line:
+            raise ServerError("server closed the connection")
+        response = protocol.decode_line(line)
+        if response.get("id") not in (None, request_id):
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}"
+            )
+        if not response.get("ok"):
+            raise protocol.exception_from_payload(response.get("error", {}))
+        return response
+
+    # -- verbs -----------------------------------------------------------
+    def ping(self) -> int:
+        """Liveness check; returns the server's protocol version."""
+        return self._call({"op": "ping"})["version"]
+
+    def query(
+        self,
+        query: str,
+        timeout: float | None = None,
+        pairs: bool = True,
+    ) -> QueryResult:
+        """Evaluate one RPQ; raises the server-side error if it failed."""
+        return self.query_many([query], timeout=timeout, pairs=pairs)[0]
+
+    def query_many(
+        self,
+        queries: list[str],
+        timeout: float | None = None,
+        pairs: bool = True,
+    ) -> list[QueryResult]:
+        """Evaluate a multiple-RPQ set in one request.
+
+        The server batches the set (and any concurrently in-flight
+        queries sharing the same closure bodies) through its scheduler.
+        Raises on the first per-query error.
+        """
+        payload: dict = {"op": "query", "queries": list(queries), "pairs": pairs}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        response = self._call(payload)
+        results = []
+        for entry in response["results"]:
+            if "error" in entry:
+                raise protocol.exception_from_payload(entry["error"])
+            results.append(
+                QueryResult(
+                    query=entry["query"],
+                    count=entry["count"],
+                    time=entry.get("time", 0.0),
+                    pairs=(
+                        protocol.wire_to_pairs(entry["pairs"])
+                        if "pairs" in entry
+                        else None
+                    ),
+                )
+            )
+        return results
+
+    def stats(self) -> dict:
+        """The server's live ``stats`` document."""
+        return self._call({"op": "stats"})["stats"]
+
+    def update(self, add=(), remove=()) -> dict:
+        """Apply streaming edge changes on the server's session."""
+        return self._call(
+            {
+                "op": "update",
+                "add": [list(edge) for edge in add],
+                "remove": [list(edge) for edge in remove],
+            }
+        )
+
+    def watch(self, body: str) -> str:
+        """Attach an incremental watcher; returns the normalised body."""
+        return self._call({"op": "watch", "body": body})["body"]
+
+    def reaches(self, body: str, source, target) -> bool:
+        """One reachability probe against the watcher of ``body``."""
+        return self._call(
+            {"op": "reaches", "body": body, "source": source, "target": target}
+        )["reaches"]
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Client({self.host}:{self.port}, {state})"

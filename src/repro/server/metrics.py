@@ -1,0 +1,136 @@
+"""Live serving metrics: QPS, latency percentiles, batch shapes.
+
+One :class:`ServerMetrics` instance is shared by the asyncio front end,
+the scheduler and every worker thread, so all mutators take an internal
+lock.  Latencies are kept in a bounded reservoir (the most recent
+``window`` completions) -- percentiles describe recent behaviour, not
+the full history, which is what a live ``stats`` probe wants.
+
+The shared-cache hit/miss counts are *not* tracked here; they live in
+the engine's :class:`~repro.core.cache.SharedDataCache` stats and are
+merged into the ``stats`` response by the scheduler, so one counter
+serves both the library and the server.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["ServerMetrics", "percentile"]
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``values`` by nearest-rank (0 if empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+class ServerMetrics:
+    """Thread-safe counters and latency reservoir for one server."""
+
+    def __init__(self, window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._latencies: deque[float] = deque(maxlen=window)
+        self.admitted = 0
+        self.rejected = 0
+        self.expired = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.completed = 0
+        self.updates = 0
+        self.batches = 0
+        self.batched_queries = 0
+        self.max_batch_size = 0
+
+    # -- recording (one call per event, all under the lock) --------------
+    def record_admitted(self) -> None:
+        with self._lock:
+            self.admitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_expired(self) -> None:
+        with self._lock:
+            self.expired += 1
+
+    def record_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def record_cancelled(self) -> None:
+        """An admitted job was cancelled before a worker claimed it."""
+        with self._lock:
+            self.cancelled += 1
+
+    def record_completed(self, latency: float) -> None:
+        """One query finished ``latency`` seconds after admission."""
+        with self._lock:
+            self.completed += 1
+            self._latencies.append(latency)
+
+    def record_update(self) -> None:
+        with self._lock:
+            self.updates += 1
+
+    def record_batch(self, size: int) -> None:
+        """One micro-batch of ``size`` queries was dispatched to a worker."""
+        with self._lock:
+            self.batches += 1
+            self.batched_queries += size
+            if size > self.max_batch_size:
+                self.max_batch_size = size
+
+    # -- reading ---------------------------------------------------------
+    @property
+    def uptime(self) -> float:
+        return time.monotonic() - self._started
+
+    def snapshot(self) -> dict:
+        """A point-in-time metrics dict (the ``stats`` verb's core)."""
+        with self._lock:
+            latencies = list(self._latencies)
+            uptime = time.monotonic() - self._started
+            completed = self.completed
+            # Admission counts queries and updates; each leaves in-flight
+            # through exactly one of the five outcome counters below.
+            in_flight = (
+                self.admitted
+                - completed
+                - self.expired
+                - self.failed
+                - self.cancelled
+                - self.updates
+            )
+            snapshot = {
+                "uptime": uptime,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "expired": self.expired,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "completed": completed,
+                "updates": self.updates,
+                "in_flight": in_flight,
+                "qps": completed / uptime if uptime > 0 else 0.0,
+                "batches": self.batches,
+                "mean_batch_size": (
+                    self.batched_queries / self.batches if self.batches else 0.0
+                ),
+                "max_batch_size": self.max_batch_size,
+            }
+        snapshot["latency"] = {
+            "window": len(latencies),
+            "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+            "p50": percentile(latencies, 0.50),
+            "p95": percentile(latencies, 0.95),
+            "p99": percentile(latencies, 0.99),
+        }
+        return snapshot

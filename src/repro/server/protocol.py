@@ -1,0 +1,179 @@
+"""The JSON-lines wire protocol of the query server.
+
+One request per line, one response per line, both UTF-8 JSON objects.
+Requests carry an ``op`` (the protocol verb) and an optional ``id`` the
+server echoes back, so clients can pipeline.  Responses always carry
+``ok``; failures add an ``error`` object with a machine-readable
+``code`` (mirrored by the :class:`~repro.errors.ServerError` hierarchy)
+and a human-readable ``message``.
+
+Verbs
+-----
+``query``
+    ``{"op": "query", "queries": ["a.(b.c)+"], "timeout": 5.0,
+    "pairs": true}`` -- evaluate one or more RPQs.  ``query`` (a single
+    string) is accepted as shorthand for a one-element ``queries``.
+    ``pairs: false`` returns only counts (cheaper on the wire).  The
+    response carries one entry per query, each either a result
+    (``count``/``pairs``/``time``) or a per-query ``error``.
+``stats``
+    Live server metrics (QPS, latency percentiles, batch sizes, queue
+    depth, shared-cache hits) merged with the session's graph/engine
+    statistics.
+``update``
+    ``{"op": "update", "add": [["v", "label", "w"], ...],
+    "remove": [...]}`` -- streaming edge changes, applied exclusively
+    (the scheduler drains in-flight batches first).
+``watch`` / ``reaches``
+    Attach an incremental watcher to a closure body / answer one
+    reachability probe from it.
+``ping``
+    Liveness check; echoes the protocol version.
+
+Error codes
+-----------
+``bad_request`` (malformed JSON / unknown verb / bad fields),
+``syntax`` (RPQ parse error), ``rejected`` (admission control: queue
+full), ``deadline`` (request expired before evaluation), ``closed``
+(server shutting down), ``evaluation`` and ``internal``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import (
+    AdmissionError,
+    DeadlineExpiredError,
+    ProtocolError,
+    ReproError,
+    RPQSyntaxError,
+    ServerError,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "VERBS",
+    "encode",
+    "decode_line",
+    "ok_response",
+    "error_response",
+    "error_payload",
+    "pairs_to_wire",
+    "wire_to_pairs",
+    "exception_from_payload",
+]
+
+#: Bumped on incompatible wire changes; echoed by ``ping``.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request/response line (also the asyncio read limit).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: The protocol verbs the server dispatches on.
+VERBS = ("query", "stats", "update", "watch", "reaches", "ping")
+
+_CODE_TO_ERROR = {
+    "rejected": AdmissionError,
+    "deadline": DeadlineExpiredError,
+    "bad_request": ProtocolError,
+    "syntax": RPQSyntaxError,
+}
+
+
+def encode(message: dict) -> bytes:
+    """Serialise one protocol message to a newline-terminated line."""
+    return (
+        json.dumps(message, separators=(",", ":"), default=str) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one wire line into a request/response object.
+
+    Raises :class:`~repro.errors.ProtocolError` for oversized lines,
+    invalid JSON and non-object payloads.
+    """
+    if isinstance(line, str):
+        line = line.encode("utf-8")
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"line exceeds {MAX_LINE_BYTES} bytes ({len(line)} received)"
+        )
+    try:
+        message = json.loads(line)
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"invalid JSON line: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"protocol messages are JSON objects, got {type(message).__name__}"
+        )
+    return message
+
+
+def ok_response(request_id: object = None, **payload) -> dict:
+    """A success response echoing the request ``id``."""
+    response = {"ok": True, **payload}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def error_payload(error: BaseException) -> dict:
+    """The ``{"code", "message"}`` wire form of an exception."""
+    if isinstance(error, RPQSyntaxError):
+        code = "syntax"
+    elif isinstance(error, ServerError):
+        code = error.code
+    elif isinstance(error, ReproError):
+        code = "evaluation"
+    else:
+        code = "internal"
+    return {"code": code, "message": str(error)}
+
+
+def error_response(request_id: object, error: BaseException | dict) -> dict:
+    """A failure response; ``error`` is an exception or a ready payload."""
+    if isinstance(error, BaseException):
+        error = error_payload(error)
+    response = {"ok": False, "error": error}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def exception_from_payload(payload: dict) -> ServerError | RPQSyntaxError:
+    """Rehydrate a client-side exception from a wire error payload.
+
+    The inverse of :func:`error_payload`, used by
+    :class:`repro.server.Client` so callers catch the same
+    :class:`~repro.errors.ReproError` subclasses locally and remotely.
+    """
+    code = payload.get("code", "internal")
+    message = payload.get("message", "server error")
+    error_class = _CODE_TO_ERROR.get(code)
+    if error_class is RPQSyntaxError:
+        return RPQSyntaxError(message)
+    if error_class is not None:
+        return error_class(message)
+    error = ServerError(message)
+    error.code = code
+    return error
+
+
+def pairs_to_wire(pairs) -> list:
+    """Result pairs as a deterministically ordered list of 2-lists.
+
+    Vertices may be ints or strings; ordering is by string form purely
+    for wire determinism (clients compare as sets).
+    """
+    return [
+        list(pair)
+        for pair in sorted(pairs, key=lambda p: (str(p[0]), str(p[1])))
+    ]
+
+
+def wire_to_pairs(wire: list) -> set:
+    """The client-side inverse of :func:`pairs_to_wire`."""
+    return {(source, target) for source, target in wire}

@@ -1,0 +1,447 @@
+"""The sharing-aware scheduler: micro-batches grouped by closure body.
+
+The paper's economics -- many RPQs become cheap once they share one
+reduced transitive closure -- only pay off under concurrency if the
+server notices *which* in-flight queries share a closure body.  This
+scheduler does exactly that:
+
+1.  Every submitted query is keyed by the set of Kleene-closure bodies
+    it contains (:func:`closure_group_key`, the same canonical keys the
+    engine caches use, so ``"syntactic"``/``"semantic"`` cache modes
+    group identically to how they share).
+2.  A dispatcher thread collects requests for one *batch window*
+    (or until ``max_batch``), partitions them by group key
+    (:func:`group_jobs`), and hands each group to the worker pool as
+    one micro-batch.
+3.  Workers are plain threads, each holding its own engine handle
+    (engines keep per-thread timers/counters) over the **shared,
+    lock-protected RTC cache** of the session's primary engine -- so the
+    first query of a group computes the RTC and every other query in
+    that group (and every later group with the same body) hits the
+    cache.  Grouping also makes the cache's benign lookup/store race
+    (see :mod:`repro.core.cache`) rare: a body's queries land on one
+    worker back to back.
+
+Admission control is a bounded queue (``queue.Full`` surfaces as
+:class:`~repro.errors.AdmissionError` *before* any work happens) plus a
+per-request deadline: workers drop expired jobs with
+:class:`~repro.errors.DeadlineExpiredError` instead of evaluating them.
+
+Graph updates are exclusive: the dispatcher stops batching, drains every
+in-flight micro-batch, applies the update through the (thread-safe)
+:class:`~repro.db.GraphDB` session -- which repairs watchers and resets
+the shared caches -- and only then resumes query dispatch.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.core.cache import make_key_function
+from repro.core.decompose import decompose_clause
+from repro.core.dnf import to_dnf
+from repro.db.registry import create_engine
+from repro.db.session import GraphDB
+from repro.errors import AdmissionError, DeadlineExpiredError, ReproError, ServerError
+from repro.regex.ast import RegexNode, contains_closure
+from repro.regex.parser import parse
+from repro.server.metrics import ServerMetrics
+
+__all__ = [
+    "QueryJob",
+    "UpdateJob",
+    "SharingScheduler",
+    "closure_group_key",
+    "group_jobs",
+    "make_worker_engines",
+]
+
+#: Sentinel telling the dispatcher thread to exit.
+_STOP = object()
+
+
+def closure_group_key(
+    node: RegexNode, key_function, max_clauses: int = 4096
+) -> str:
+    """The batching key of a query: its sorted closure-body cache keys.
+
+    Walks the DNF/batch-unit decomposition exactly like the engines (and
+    :func:`~repro.core.sharing_analysis.analyse_sharing`) do, collecting
+    the cache key of every closure body, nested ones included.  Queries
+    with equal keys would populate/hit the same shared-cache entries, so
+    they belong in one micro-batch.  Closure-free queries key to ``""``.
+    Queries whose decomposition fails (e.g. DNF blow-up past
+    ``max_clauses``) also key to ``""``; the engine will raise the real
+    error at evaluation time.
+    """
+    keys: set[str] = set()
+
+    def visit(current: RegexNode) -> None:
+        for clause in to_dnf(current, max_clauses):
+            unit = decompose_clause(clause)
+            if unit.r is None:
+                continue
+            keys.add(key_function(unit.r))
+            if contains_closure(unit.pre):
+                visit(unit.pre)
+            if contains_closure(unit.r):
+                visit(unit.r)
+
+    try:
+        visit(node)
+    except ReproError:
+        return ""
+    return "|".join(sorted(keys))
+
+
+@dataclass
+class QueryJob:
+    """One admitted query waiting for (or undergoing) evaluation.
+
+    ``group_key`` is ``None`` until the dispatcher computes it -- key
+    extraction walks the query's DNF, which must happen on the
+    dispatcher thread, never on the submitting (event-loop) thread.
+    """
+
+    text: str
+    node: RegexNode
+    future: Future
+    group_key: str | None = None
+    deadline: float | None = None  # time.monotonic() deadline, None = none
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+
+@dataclass
+class UpdateJob:
+    """An exclusive graph update waiting for the dispatcher."""
+
+    add: tuple
+    remove: tuple
+    future: Future
+
+
+def group_jobs(jobs: list[QueryJob]) -> list[list[QueryJob]]:
+    """Partition a drained batch into micro-batches by group key.
+
+    Order-preserving both across groups (first arrival wins) and within
+    a group, so batching never reorders one client's pipeline.  Jobs
+    whose key was never computed (``None``) group with the closure-free
+    ones.
+    """
+    groups: dict[str, list[QueryJob]] = {}
+    for job in jobs:
+        groups.setdefault(job.group_key or "", []).append(job)
+    return list(groups.values())
+
+
+def make_worker_engines(db: GraphDB, count: int, engine_kwargs: dict | None = None):
+    """``count`` fresh engine handles sharing the session engine's caches.
+
+    Each worker gets its own engine instance (timers and counters are
+    per-engine, hence per-worker), but the shared-data cache objects are
+    replaced by the primary engine's -- the lock-protected caches of
+    :mod:`repro.core.cache` -- so all workers share one RTC store.
+    """
+    primary = db.engine
+    engines = []
+    for _ in range(count):
+        engine = create_engine(db.engine_name, db.graph, **(engine_kwargs or {}))
+        for attribute in ("rtc_cache", "closure_cache"):
+            shared = getattr(primary, attribute, None)
+            if shared is not None and hasattr(engine, attribute):
+                setattr(engine, attribute, shared)
+        engines.append(engine)
+    return engines
+
+
+class SharingScheduler:
+    """Bounded-queue admission + sharing-aware micro-batch dispatch.
+
+    Parameters
+    ----------
+    db:
+        The (thread-safe) session; updates and stats go through it, and
+        its engine's caches are shared by all workers.
+    workers:
+        Worker threads = concurrent micro-batches = engine handles.
+    max_queue:
+        Admission bound: jobs waiting for dispatch beyond the in-flight
+        batches.  Full queue -> :class:`~repro.errors.AdmissionError`.
+    batch_window:
+        Seconds the dispatcher keeps collecting after the first job of a
+        batch -- the sharing/latency trade-off knob.
+    max_batch:
+        Upper bound on one drain, regardless of the window.
+    engine_kwargs:
+        Forwarded to the per-worker engine constructors (must mirror the
+        session's engine options, e.g. ``cache_mode``).
+    start:
+        Pass ``False`` to create the scheduler stopped (tests use this
+        to fill the queue deterministically), then call :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        db: GraphDB,
+        workers: int = 4,
+        max_queue: int = 256,
+        batch_window: float = 0.005,
+        max_batch: int = 64,
+        engine_kwargs: dict | None = None,
+        start: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.db = db
+        self.workers = workers
+        self.batch_window = batch_window
+        self.max_batch = max(1, max_batch)
+        self.metrics = ServerMetrics()
+        cache = self.shared_cache
+        self._key_function = make_key_function(cache.mode if cache else "syntactic")
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._engines: queue.SimpleQueue = queue.SimpleQueue()
+        for engine in make_worker_engines(db, workers, engine_kwargs):
+            self._engines.put(engine)
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-worker"
+        )
+        self._inflight: set[Future] = set()
+        self._inflight_lock = threading.Lock()
+        # Serialises admission against shutdown: once stop() flips
+        # _stopped under this lock, no submit can slip a job past the
+        # shutdown drain (which would leave its future forever pending).
+        self._admission_lock = threading.Lock()
+        self._dispatcher: threading.Thread | None = None
+        self._running = False
+        self._stopped = False
+        if start:
+            self.start()
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        """Start the dispatcher thread (idempotent)."""
+        if self._running or self._stopped:
+            return
+        self._running = True
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    def stop(self) -> None:
+        """Drain, stop the dispatcher and the pool; fail leftover jobs."""
+        with self._admission_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        was_running = self._running
+        self._running = False
+        if was_running and self._dispatcher is not None:
+            self._queue.put(_STOP)
+            self._dispatcher.join()
+        self._pool.shutdown(wait=True)
+        # Jobs still queued (submitted before _stopped flipped but never
+        # dispatched) are failed loudly rather than silently dropped.
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if job is _STOP:
+                continue
+            if job.future.set_running_or_notify_cancel():
+                self.metrics.record_failed()
+                job.future.set_exception(self._closed_error())
+            else:
+                self.metrics.record_cancelled()
+
+    @staticmethod
+    def _closed_error() -> ServerError:
+        error = ServerError("server is shutting down")
+        error.code = "closed"
+        return error
+
+    # -- admission -------------------------------------------------------
+    def submit(
+        self,
+        text: str,
+        node: RegexNode | None = None,
+        timeout: float | None = None,
+    ) -> Future:
+        """Admit one query; returns a future of ``(pairs, engine_time)``.
+
+        Raises :class:`~repro.errors.AdmissionError` when the queue is
+        full (backpressure) and :class:`~repro.errors.ServerError` after
+        :meth:`stop`.  Parse errors propagate as
+        :class:`~repro.errors.RPQSyntaxError` before admission.  The
+        batching group key is computed later, on the dispatcher thread,
+        so a pathological query cannot stall the submitting thread.
+        """
+        if node is None:
+            node = parse(text)
+        job = QueryJob(
+            text=text,
+            node=node,
+            future=Future(),
+            deadline=(time.monotonic() + timeout) if timeout is not None else None,
+        )
+        self._admit(job)
+        return job.future
+
+    def submit_update(self, add=(), remove=()) -> Future:
+        """Admit an exclusive graph update; returns a future of ``None``."""
+        job = UpdateJob(add=tuple(add), remove=tuple(remove), future=Future())
+        self._admit(job)
+        return job.future
+
+    def _admit(self, job) -> None:
+        """Enqueue under the admission lock (atomic w.r.t. :meth:`stop`)."""
+        with self._admission_lock:
+            if self._stopped:
+                raise self._closed_error()
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                self.metrics.record_rejected()
+                raise AdmissionError(queue_depth=self._queue.qsize()) from None
+            self.metrics.record_admitted()
+
+    # -- dispatch --------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        stopping = False
+        while not stopping:
+            head = self._queue.get()
+            if head is _STOP:
+                break
+            if isinstance(head, UpdateJob):
+                self._execute_update(head)
+                continue
+            batch = [head]
+            update_job = None
+            window_end = time.monotonic() + self.batch_window
+            while len(batch) < self.max_batch:
+                remaining = window_end - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _STOP:
+                    stopping = True
+                    break
+                if isinstance(item, UpdateJob):
+                    update_job = item
+                    break
+                batch.append(item)
+            # Key extraction (DNF walk) runs here, on the dispatcher --
+            # admission threads only parse.
+            for job in batch:
+                if job.group_key is None:
+                    job.group_key = closure_group_key(
+                        job.node, self._key_function
+                    )
+            for group in group_jobs(batch):
+                self.metrics.record_batch(len(group))
+                future = self._pool.submit(self._run_batch, group)
+                with self._inflight_lock:
+                    self._inflight.add(future)
+                future.add_done_callback(self._forget_inflight)
+            if update_job is not None:
+                self._execute_update(update_job)
+
+    def _forget_inflight(self, future: Future) -> None:
+        with self._inflight_lock:
+            self._inflight.discard(future)
+
+    def _drain_inflight(self) -> None:
+        while True:
+            with self._inflight_lock:
+                pending = list(self._inflight)
+            if not pending:
+                return
+            wait(pending)
+
+    def _run_batch(self, jobs: list[QueryJob]) -> None:
+        """Worker body: evaluate one micro-batch on one engine handle."""
+        engine = self._engines.get()
+        try:
+            for job in jobs:
+                # Claim the future first: once running, a late cancel()
+                # (e.g. all-or-nothing admission rollback) cannot race
+                # our set_result/set_exception below.
+                if not job.future.set_running_or_notify_cancel():
+                    self.metrics.record_cancelled()
+                    continue
+                if job.expired:
+                    self.metrics.record_expired()
+                    job.future.set_exception(
+                        DeadlineExpiredError(
+                            f"deadline expired before evaluating {job.text!r}"
+                        )
+                    )
+                    continue
+                try:
+                    started = time.perf_counter()
+                    pairs = engine.evaluate(job.node)
+                    elapsed = time.perf_counter() - started
+                except Exception as error:  # noqa: BLE001 -- goes to the future
+                    self.metrics.record_failed()
+                    job.future.set_exception(error)
+                else:
+                    self.metrics.record_completed(
+                        time.monotonic() - job.enqueued_at
+                    )
+                    job.future.set_result((pairs, elapsed))
+        finally:
+            self._engines.put(engine)
+
+    def _execute_update(self, job: UpdateJob) -> None:
+        """Apply one update exclusively: drain workers first."""
+        self._drain_inflight()
+        if not job.future.set_running_or_notify_cancel():
+            self.metrics.record_cancelled()
+            return
+        try:
+            self.db.update(add=job.add, remove=job.remove)
+        except Exception as error:  # noqa: BLE001 -- goes to the future
+            self.metrics.record_failed()
+            job.future.set_exception(error)
+        else:
+            self.metrics.record_update()
+            job.future.set_result(None)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def shared_cache(self):
+        """The primary engine's shared-data cache (None for ``no``)."""
+        engine = self.db.engine
+        return getattr(engine, "rtc_cache", None) or getattr(
+            engine, "closure_cache", None
+        )
+
+    def stats(self) -> dict:
+        """Scheduler metrics merged with queue and shared-cache state."""
+        stats = self.metrics.snapshot()
+        stats["queue_depth"] = self._queue.qsize()
+        stats["workers"] = self.workers
+        cache = self.shared_cache
+        if cache is not None:
+            cache_stats = cache.snapshot_stats()
+            stats["cache"] = {
+                "mode": cache.mode,
+                "hits": cache_stats.hits,
+                "misses": cache_stats.misses,
+                "entries": cache_stats.entries,
+                "hit_rate": cache_stats.hit_rate,
+            }
+        return stats

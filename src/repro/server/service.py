@@ -1,0 +1,375 @@
+"""The asyncio JSON-lines TCP server fronting one :class:`GraphDB`.
+
+The event loop owns the sockets only: requests are decoded, validated
+and handed to the :class:`~repro.server.scheduler.SharingScheduler`,
+whose worker threads do the CPU-bound evaluation -- the loop stays free
+to accept and multiplex clients while workers grind.  Responses are
+written back on the connection the request arrived on, tagged with the
+request ``id``.
+
+Three entry points:
+
+* :class:`QueryServer` -- the async server proper (``await start()`` /
+  ``serve_forever()`` / ``stop()``);
+* :meth:`QueryServer.run` -- blocking convenience for the CLI
+  (``repro serve``);
+* :class:`ServerThread` -- runs the whole server on a background
+  daemon thread; the handle tests, benchmarks and examples use
+  (``with ServerThread(db) as handle: Client(*handle.address)``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from dataclasses import dataclass, field
+
+from repro.db.session import GraphDB
+from repro.errors import (
+    AdmissionError,
+    ProtocolError,
+    RPQSyntaxError,
+    ServerError,
+)
+from repro.regex.parser import parse
+from repro.server import protocol
+from repro.server.scheduler import SharingScheduler
+
+__all__ = ["ServerConfig", "QueryServer", "ServerThread"]
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one :class:`QueryServer` (defaults suit tests/dev)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is in server.address
+    workers: int = 4
+    max_queue: int = 256
+    batch_window: float = 0.005
+    max_batch: int = 64
+    #: Per-request deadline in seconds when the client sends none.
+    default_timeout: float | None = 30.0
+    #: Forwarded to the per-worker engines (mirror the session's options).
+    engine_kwargs: dict = field(default_factory=dict)
+
+
+class QueryServer:
+    """Concurrent, sharing-aware RPQ server over one session."""
+
+    def __init__(self, db: GraphDB, config: ServerConfig | None = None) -> None:
+        self.db = db
+        self.config = config or ServerConfig()
+        self.scheduler = SharingScheduler(
+            db,
+            workers=self.config.workers,
+            max_queue=self.config.max_queue,
+            batch_window=self.config.batch_window,
+            max_batch=self.config.max_batch,
+            engine_kwargs=self.config.engine_kwargs,
+            start=False,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._connections = 0
+        self._handlers = {
+            "query": self._op_query,
+            "stats": self._op_stats,
+            "update": self._op_update,
+            "watch": self._op_watch,
+            "reaches": self._op_reaches,
+            "ping": self._op_ping,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ``port=0``)."""
+        if self._server is None or not self._server.sockets:
+            raise ServerError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> None:
+        """Bind the listener and start the scheduler."""
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Close the listener, then drain and stop the scheduler."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # stop() joins worker threads -- keep it off the event loop.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.scheduler.stop
+        )
+
+    def run(self, ready_callback=None) -> None:
+        """Blocking entry point (the CLI): serve until interrupted."""
+
+        async def main() -> None:
+            await self.start()
+            if ready_callback is not None:
+                ready_callback(self.address)
+            try:
+                await self._server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await self.stop()
+
+        try:
+            asyncio.run(main())
+        except KeyboardInterrupt:
+            pass
+
+    # -- connection handling ---------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        self._connections += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):  # line longer than the read limit
+                    response = protocol.error_response(
+                        None, ProtocolError("request line too long")
+                    )
+                    writer.write(protocol.encode(response))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response = await self._handle_line(line)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_line(self, line: bytes) -> dict:
+        request_id = None
+        try:
+            request = protocol.decode_line(line)
+            request_id = request.get("id")
+            op = request.get("op")
+            handler = self._handlers.get(op)
+            if handler is None:
+                raise ProtocolError(
+                    f"unknown op {op!r}; expected one of {', '.join(protocol.VERBS)}"
+                )
+            return await handler(request_id, request)
+        except Exception as error:  # noqa: BLE001 -- never kill the connection
+            return protocol.error_response(request_id, error)
+
+    # -- verbs -----------------------------------------------------------
+    async def _op_query(self, request_id, request) -> dict:
+        queries = request.get("queries")
+        if queries is None and "query" in request:
+            queries = [request["query"]]
+        if (
+            not isinstance(queries, list)
+            or not queries
+            or not all(isinstance(q, str) for q in queries)
+        ):
+            raise ProtocolError(
+                "'query' op needs 'queries' (a non-empty list of strings) "
+                "or 'query' (a string)"
+            )
+        timeout = request.get("timeout", self.config.default_timeout)
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            raise ProtocolError("'timeout' must be a number of seconds")
+        include_pairs = bool(request.get("pairs", True))
+
+        # Parse everything before admitting anything: a syntax error
+        # rejects the request without consuming queue slots.
+        try:
+            nodes = [parse(text) for text in queries]
+        except RPQSyntaxError as error:
+            return protocol.error_response(request_id, error)
+
+        futures = []
+        try:
+            for text, node in zip(queries, nodes):
+                futures.append(self.scheduler.submit(text, node, timeout=timeout))
+        except AdmissionError as error:
+            # All-or-nothing admission: cancel what we already queued.
+            for future in futures:
+                future.cancel()
+            return protocol.error_response(request_id, error)
+
+        results = []
+        for text, future in zip(queries, futures):
+            entry: dict = {"query": text}
+            try:
+                pairs, elapsed = await asyncio.wrap_future(future)
+            except Exception as error:  # noqa: BLE001 -- per-query outcome
+                entry["error"] = protocol.error_payload(error)
+            else:
+                entry["count"] = len(pairs)
+                entry["time"] = elapsed
+                if include_pairs:
+                    entry["pairs"] = protocol.pairs_to_wire(pairs)
+            results.append(entry)
+        return protocol.ok_response(request_id, results=results)
+
+    async def _op_stats(self, request_id, request) -> dict:
+        # db.stats() takes the session lock; keep the wait off the loop.
+        session_stats = await self._in_executor(self.db.stats)
+        stats = {
+            "server": {
+                "address": list(self.address),
+                "connections": self._connections,
+                "version": protocol.PROTOCOL_VERSION,
+            },
+            "scheduler": self.scheduler.stats(),
+            "session": session_stats,
+        }
+        return protocol.ok_response(request_id, stats=stats)
+
+    @staticmethod
+    async def _in_executor(function, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            None, function, *args
+        )
+
+    async def _op_update(self, request_id, request) -> dict:
+        add = self._edge_list(request.get("add", ()), "add")
+        remove = self._edge_list(request.get("remove", ()), "remove")
+        if not add and not remove:
+            raise ProtocolError("'update' op needs 'add' and/or 'remove' edges")
+        future = self.scheduler.submit_update(add=add, remove=remove)
+        await asyncio.wrap_future(future)
+        return protocol.ok_response(
+            request_id, added=len(add), removed=len(remove)
+        )
+
+    @staticmethod
+    def _edge_list(raw, which: str) -> list[tuple]:
+        if not isinstance(raw, (list, tuple)):
+            raise ProtocolError(f"'{which}' must be a list of [source, label, target]")
+        edges = []
+        for entry in raw:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                raise ProtocolError(
+                    f"'{which}' entries must be [source, label, target], got {entry!r}"
+                )
+            edges.append(tuple(entry))
+        return edges
+
+    async def _op_watch(self, request_id, request) -> dict:
+        body = request.get("body")
+        if not isinstance(body, str) or not body:
+            raise ProtocolError("'watch' op needs 'body' (a closure-body string)")
+        # Creating a watcher computes its initial RTC -- off the loop.
+        await self._in_executor(self.db.watch, body)
+        return protocol.ok_response(request_id, body=parse(body).to_string())
+
+    async def _op_reaches(self, request_id, request) -> dict:
+        body = request.get("body")
+        if not isinstance(body, str) or not body:
+            raise ProtocolError("'reaches' op needs 'body' (a closure-body string)")
+        if "source" not in request or "target" not in request:
+            raise ProtocolError("'reaches' op needs 'source' and 'target'")
+
+        def probe() -> bool:
+            # db.reaches holds the session lock, so the probe cannot see
+            # a concurrent update's half-rebuilt watcher state.
+            return self.db.reaches(body, request["source"], request["target"])
+
+        return protocol.ok_response(
+            request_id, reaches=await self._in_executor(probe)
+        )
+
+    async def _op_ping(self, request_id, request) -> dict:
+        return protocol.ok_response(
+            request_id, pong=True, version=protocol.PROTOCOL_VERSION
+        )
+
+
+class ServerThread:
+    """A :class:`QueryServer` on a background daemon thread.
+
+    The in-process deployment used by tests, the benchmark and the
+    streaming example::
+
+        with ServerThread(db) as handle:
+            client = Client(*handle.address)
+            ...
+
+    ``start`` blocks until the listener is bound (so ``address`` is
+    immediately usable) and re-raises any startup failure.
+    """
+
+    def __init__(self, db: GraphDB, config: ServerConfig | None = None) -> None:
+        self.server = QueryServer(db, config)
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    def start(self) -> "ServerThread":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-server",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise ServerError("server thread failed to start in time")
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as error:  # noqa: BLE001 -- re-raised by start()
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.server.stop()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=30)
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -79,3 +79,42 @@ class TestClosureCache:
         cache.store("k1", {0: frozenset({1, 2})})
         cache.store("k2", {5: frozenset({6})})
         assert cache.total_shared_pairs() == 3
+
+
+class TestThreadSafety:
+    """The concurrency contract: individually atomic operations."""
+
+    def test_snapshot_stats_is_a_copy(self):
+        cache = RTCCache()
+        node = parse("a")
+        cache.lookup(node)
+        snapshot = cache.snapshot_stats()
+        cache.lookup(node)
+        assert snapshot.misses == 1
+        assert cache.stats.misses == 2
+
+    def test_concurrent_lookup_store_counts_consistently(self):
+        import threading
+
+        cache = RTCCache()
+        node = parse("a.b")
+        rtc = compute_rtc({(0, 1)})
+        workers, rounds = 8, 200
+
+        def hammer() -> None:
+            for _ in range(rounds):
+                key, value = cache.lookup(node)
+                if value is None:
+                    cache.store(key, rtc)
+                cache.total_shared_pairs()
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = cache.snapshot_stats()
+        assert stats.hits + stats.misses == workers * rounds
+        assert stats.entries == 1
+        _key, value = cache.lookup(node)
+        assert value is rtc

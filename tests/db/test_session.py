@@ -136,6 +136,14 @@ class TestWatchers:
         assert watcher.reaches("x", "x")
         assert watcher.reaches("x", "y")
 
+    def test_session_reaches_probe(self):
+        db = GraphDB.open([("a", "f", "b"), ("b", "f", "c")])
+        assert db.reaches("f", "a", "c") is True
+        assert db.reaches("f", "c", "a") is False
+        db.update(add=[("c", "f", "a")])
+        assert db.reaches("f", "c", "a") is True  # locked, update-aware
+        assert list(db.watchers) == ["f"]  # probes share one watcher
+
 
 class TestLifecycle:
     def test_context_manager_closes(self, fig1):

@@ -1,0 +1,111 @@
+"""Wire-protocol unit tests: framing, error mapping, pair encoding."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    DeadlineExpiredError,
+    ProtocolError,
+    RPQSyntaxError,
+    ServerError,
+)
+from repro.server import protocol
+
+
+class TestFraming:
+    def test_encode_is_one_terminated_line(self):
+        line = protocol.encode({"op": "ping", "id": 3})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert json.loads(line) == {"op": "ping", "id": 3}
+
+    def test_roundtrip(self):
+        message = {"op": "query", "queries": ["a.(b.c)+"], "timeout": 1.5}
+        assert protocol.decode_line(protocol.encode(message)) == message
+
+    def test_decode_accepts_str(self):
+        assert protocol.decode_line('{"op":"ping"}') == {"op": "ping"}
+
+    def test_decode_rejects_invalid_json(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            protocol.decode_line(b"{nope\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON objects"):
+            protocol.decode_line(b"[1, 2]\n")
+
+    def test_decode_rejects_oversized_line(self):
+        line = b'{"op": "' + b"x" * protocol.MAX_LINE_BYTES + b'"}\n'
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.decode_line(line)
+
+
+class TestResponses:
+    def test_ok_response_echoes_id(self):
+        assert protocol.ok_response(7, pong=True) == {
+            "ok": True,
+            "pong": True,
+            "id": 7,
+        }
+
+    def test_ok_response_without_id(self):
+        assert "id" not in protocol.ok_response(None)
+
+    def test_error_response_from_exception(self):
+        response = protocol.error_response(1, AdmissionError())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "rejected"
+        assert "retry" in response["error"]["message"]
+
+    @pytest.mark.parametrize(
+        ("error", "code"),
+        [
+            (AdmissionError(), "rejected"),
+            (DeadlineExpiredError("late"), "deadline"),
+            (ProtocolError("bad"), "bad_request"),
+            (RPQSyntaxError("oops", position=2), "syntax"),
+            (ValueError("boom"), "internal"),
+        ],
+    )
+    def test_error_payload_codes(self, error, code):
+        assert protocol.error_payload(error)["code"] == code
+
+    @pytest.mark.parametrize(
+        ("code", "expected"),
+        [
+            ("rejected", AdmissionError),
+            ("deadline", DeadlineExpiredError),
+            ("bad_request", ProtocolError),
+            ("syntax", RPQSyntaxError),
+            ("evaluation", ServerError),
+            ("internal", ServerError),
+        ],
+    )
+    def test_exception_roundtrip(self, code, expected):
+        error = protocol.exception_from_payload(
+            {"code": code, "message": "why"}
+        )
+        assert isinstance(error, expected)
+        assert "why" in str(error)
+
+    def test_unknown_code_keeps_code(self):
+        error = protocol.exception_from_payload({"code": "weird"})
+        assert isinstance(error, ServerError)
+        assert error.code == "weird"
+
+
+class TestPairs:
+    def test_wire_order_is_deterministic(self):
+        pairs = {(3, 1), (1, 2), (10, 0)}
+        assert protocol.pairs_to_wire(pairs) == [[1, 2], [10, 0], [3, 1]]
+
+    def test_roundtrip_preserves_set(self):
+        pairs = {(3, 1), ("a", "b"), (1, 2)}
+        wire = json.loads(json.dumps(protocol.pairs_to_wire(pairs)))
+        assert protocol.wire_to_pairs(wire) == pairs
+
+    def test_empty(self):
+        assert protocol.pairs_to_wire(set()) == []
+        assert protocol.wire_to_pairs([]) == set()

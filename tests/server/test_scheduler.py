@@ -1,0 +1,249 @@
+"""Scheduler unit tests: grouping, admission, deadlines, updates."""
+
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.core.cache import make_key_function
+from repro.db import GraphDB
+from repro.errors import AdmissionError, DeadlineExpiredError, ServerError
+from repro.regex.parser import parse
+from repro.server.scheduler import (
+    QueryJob,
+    SharingScheduler,
+    closure_group_key,
+    group_jobs,
+    make_worker_engines,
+)
+
+KEY = make_key_function("syntactic")
+
+
+def job(text: str) -> QueryJob:
+    node = parse(text)
+    return QueryJob(
+        text=text,
+        node=node,
+        group_key=closure_group_key(node, KEY),
+        future=Future(),
+    )
+
+
+class TestGroupKey:
+    def test_same_body_same_key(self):
+        first = closure_group_key(parse("a.(b.c)+"), KEY)
+        second = closure_group_key(parse("d.(b.c)+.c"), KEY)
+        assert first == second != ""
+
+    def test_different_bodies_differ(self):
+        assert closure_group_key(parse("a.(b.c)+"), KEY) != closure_group_key(
+            parse("a.(c.b)+"), KEY
+        )
+
+    def test_closure_free_is_empty(self):
+        assert closure_group_key(parse("a.b.c"), KEY) == ""
+
+    def test_nested_bodies_contribute(self):
+        flat = closure_group_key(parse("(b)+"), KEY)
+        nested = closure_group_key(parse("((b)+.c)+"), KEY)
+        assert flat != nested
+        assert KEY(parse("b")) in nested
+
+    def test_semantic_mode_identifies_equal_languages(self):
+        semantic = make_key_function("semantic")
+        assert closure_group_key(
+            parse("(a.b|a.c)+"), semantic
+        ) == closure_group_key(parse("(a.(b|c))+"), semantic)
+
+
+class TestGrouping:
+    def test_groups_by_key_preserving_order(self):
+        jobs = [
+            job("a.(b.c)+"),
+            job("x.y"),
+            job("d.(b.c)+.c"),
+            job("(c.b)+"),
+        ]
+        groups = group_jobs(jobs)
+        assert [[item.text for item in group] for group in groups] == [
+            ["a.(b.c)+", "d.(b.c)+.c"],
+            ["x.y"],
+            ["(c.b)+"],
+        ]
+
+    def test_single_group(self):
+        groups = group_jobs([job("(b.c)+"), job("(b.c)+")])
+        assert len(groups) == 1 and len(groups[0]) == 2
+
+    def test_uncomputed_keys_group_with_closure_free(self):
+        pending = QueryJob(text="(b.c)+", node=parse("(b.c)+"), future=Future())
+        assert pending.group_key is None
+        groups = group_jobs([pending, job("x.y")])
+        assert len(groups) == 1
+
+
+class TestWorkerEngines:
+    def test_engines_share_primary_cache(self, fig1):
+        db = GraphDB.open(fig1, engine="rtc")
+        engines = make_worker_engines(db, 3)
+        assert len(engines) == 3
+        for engine in engines:
+            assert engine is not db.engine
+            assert engine.rtc_cache is db.engine.rtc_cache
+
+    def test_no_engine_has_no_cache_to_share(self, fig1):
+        db = GraphDB.open(fig1, engine="no")
+        engines = make_worker_engines(db, 2)
+        assert all(not hasattr(engine, "rtc_cache") for engine in engines)
+
+
+class TestAdmission:
+    def test_queue_full_rejects(self, fig1):
+        scheduler = SharingScheduler(
+            GraphDB.open(fig1), workers=1, max_queue=2, start=False
+        )
+        scheduler.submit("a.(b.c)+")
+        scheduler.submit("a.(b.c)+")
+        with pytest.raises(AdmissionError, match="queue is full"):
+            scheduler.submit("a.(b.c)+")
+        assert scheduler.metrics.rejected == 1
+        assert scheduler.metrics.admitted == 2
+        scheduler.stop()
+
+    def test_rejected_update_when_full(self, fig1):
+        scheduler = SharingScheduler(
+            GraphDB.open(fig1), workers=1, max_queue=1, start=False
+        )
+        scheduler.submit("a.(b.c)+")
+        with pytest.raises(AdmissionError):
+            scheduler.submit_update(add=[("x", "b", "y")])
+        scheduler.stop()
+
+    def test_queued_jobs_fail_on_stop(self, fig1):
+        scheduler = SharingScheduler(
+            GraphDB.open(fig1), workers=1, max_queue=4, start=False
+        )
+        future = scheduler.submit("a.(b.c)+")
+        scheduler.stop()
+        with pytest.raises(ServerError, match="shutting down"):
+            future.result(timeout=5)
+        # The outcome ledger balances: nothing reads as still in flight.
+        assert scheduler.metrics.snapshot()["in_flight"] == 0
+
+    def test_cancelled_jobs_leave_ledger_balanced(self, fig1):
+        scheduler = SharingScheduler(
+            GraphDB.open(fig1), workers=1, max_queue=4, start=False
+        )
+        future = scheduler.submit("a.(b.c)+")
+        assert future.cancel()
+        scheduler.stop()
+        snapshot = scheduler.metrics.snapshot()
+        assert snapshot["cancelled"] == 1
+        assert snapshot["in_flight"] == 0
+
+    def test_submit_after_stop_raises(self, fig1):
+        scheduler = SharingScheduler(GraphDB.open(fig1), workers=1)
+        scheduler.stop()
+        with pytest.raises(ServerError, match="shutting down"):
+            scheduler.submit("a")
+
+
+class TestDeadlines:
+    def test_expired_job_is_dropped(self, fig1):
+        scheduler = SharingScheduler(
+            GraphDB.open(fig1), workers=1, start=False
+        )
+        future = scheduler.submit("a.(b.c)+", timeout=0.0)
+        time.sleep(0.01)  # guarantee the deadline is in the past
+        scheduler.start()
+        with pytest.raises(DeadlineExpiredError):
+            future.result(timeout=5)
+        assert scheduler.metrics.expired == 1
+        scheduler.stop()
+
+    def test_generous_deadline_completes(self, fig1):
+        scheduler = SharingScheduler(GraphDB.open(fig1), workers=1)
+        future = scheduler.submit("d.(b.c)+.c", timeout=30.0)
+        pairs, elapsed = future.result(timeout=5)
+        assert pairs == {(7, 3), (7, 5)}
+        assert elapsed >= 0.0
+        scheduler.stop()
+
+
+class TestExecution:
+    def test_results_match_direct_evaluation(self, fig1):
+        db = GraphDB.open(fig1)
+        scheduler = SharingScheduler(db, workers=2)
+        queries = ["d.(b.c)+.c", "a.(b.c)+", "(b.c)+.c", "b.c"]
+        futures = [scheduler.submit(query) for query in queries]
+        served = [future.result(timeout=10)[0] for future in futures]
+        scheduler.stop()
+        expected = [
+            set(result) for result in GraphDB.open(fig1).execute_many(queries)
+        ]
+        assert served == expected
+
+    def test_sharing_across_submissions_hits_cache(self, fig1):
+        db = GraphDB.open(fig1)
+        scheduler = SharingScheduler(db, workers=2)
+        futures = [
+            scheduler.submit(query)
+            for query in ["a.(b.c)+", "d.(b.c)+.c", "(b.c)+.c"]
+        ]
+        for future in futures:
+            future.result(timeout=10)
+        stats = scheduler.stats()
+        scheduler.stop()
+        assert stats["cache"]["misses"] == 1
+        assert stats["cache"]["hits"] >= 2
+
+    def test_evaluation_error_goes_to_future(self, fig1):
+        db = GraphDB.open(fig1, engine="rtc", max_clauses=1)
+        scheduler = SharingScheduler(
+            db, workers=1, engine_kwargs={"max_clauses": 1}
+        )
+        future = scheduler.submit("a|b")
+        with pytest.raises(Exception, match="clauses"):
+            future.result(timeout=10)
+        assert scheduler.metrics.failed == 1
+        scheduler.stop()
+
+    def test_batched_queries_counted(self, fig1):
+        scheduler = SharingScheduler(GraphDB.open(fig1), workers=1)
+        scheduler.submit("b.c").result(timeout=10)
+        scheduler.stop()
+        assert scheduler.metrics.batches >= 1
+        assert scheduler.metrics.max_batch_size >= 1
+
+
+class TestUpdates:
+    def test_update_applies_and_invalidates(self, fig1):
+        db = GraphDB.open(fig1)
+        scheduler = SharingScheduler(db, workers=2)
+        before = scheduler.submit("(b.c)+").result(timeout=10)[0]
+        scheduler.submit_update(add=[(8, "b", 1)]).result(timeout=10)
+        after = scheduler.submit("(b.c)+").result(timeout=10)[0]
+        scheduler.stop()
+        assert db.graph.has_edge(8, "b", 1)
+        assert before != after
+        assert after == set(GraphDB.open(db.graph).execute("(b.c)+"))
+
+    def test_failed_update_surfaces(self, fig1):
+        db = GraphDB.open(fig1)
+        scheduler = SharingScheduler(db, workers=1)
+        future = scheduler.submit_update(remove=[("missing", "b", "gone")])
+        with pytest.raises(Exception):
+            future.result(timeout=10)
+        scheduler.stop()
+
+    def test_update_repairs_watchers(self, fig1):
+        db = GraphDB.open(fig1)
+        watcher = db.watch("b.c")
+        scheduler = SharingScheduler(db, workers=1)
+        assert not watcher.reaches(5, 2)
+        scheduler.submit_update(add=[(5, "b", 0), (0, "c", 2)]).result(
+            timeout=10
+        )
+        scheduler.stop()
+        assert watcher.reaches(5, 2)

@@ -1,0 +1,236 @@
+"""End-to-end tests: QueryServer + Client over a real TCP socket."""
+
+import json
+import socket
+
+import pytest
+
+from repro.cli import main
+from repro.db import GraphDB
+from repro.errors import ProtocolError, RPQSyntaxError, ServerError
+from repro.server import Client, ServerConfig, ServerThread
+
+
+@pytest.fixture
+def served(fig1):
+    """A live server over the Fig. 1 graph plus one connected client."""
+    db = GraphDB.open(fig1)
+    with ServerThread(db) as handle:
+        with Client(*handle.address) as client:
+            yield db, handle, client
+
+
+class TestQueryVerb:
+    def test_single_query_pairs(self, served):
+        _, _, client = served
+        result = client.query("d.(b.c)+.c")
+        assert result.count == 2
+        assert result.pairs == {(7, 3), (7, 5)}
+        assert result.time >= 0.0
+
+    def test_query_matches_local_session(self, served, fig1):
+        _, _, client = served
+        queries = ["a.(b.c)+", "(b.c)+.c", "b.c|a", "(a|d).(b.c)*"]
+        remote = [r.pairs for r in client.query_many(queries)]
+        local = [set(r) for r in GraphDB.open(fig1).execute_many(queries)]
+        assert remote == local
+
+    def test_counts_only(self, served):
+        _, _, client = served
+        result = client.query("b.c", pairs=False)
+        assert result.count == 5
+        assert result.pairs is None
+        with pytest.raises(ServerError, match="pairs=False"):
+            iter(result)
+
+    def test_iteration_and_len(self, served):
+        _, _, client = served
+        result = client.query("d.(b.c)+.c")
+        assert len(result) == 2
+        assert list(result) == [(7, 3), (7, 5)]
+
+    def test_syntax_error_raised_remotely(self, served):
+        _, _, client = served
+        with pytest.raises(RPQSyntaxError):
+            client.query("a..b")
+
+    def test_connection_survives_errors(self, served):
+        _, _, client = served
+        with pytest.raises(RPQSyntaxError):
+            client.query("a..b")
+        assert client.query("b.c").count == 5
+
+    def test_empty_query_list_rejected(self, served):
+        _, _, client = served
+        with pytest.raises(ProtocolError):
+            client.query_many([])
+
+
+class TestOtherVerbs:
+    def test_ping(self, served):
+        _, _, client = served
+        assert client.ping() == 1
+
+    def test_stats_document(self, served):
+        _, _, client = served
+        client.query_many(["a.(b.c)+", "d.(b.c)+.c"])
+        stats = client.stats()
+        assert stats["server"]["connections"] >= 1
+        assert stats["session"]["engine"] == "rtc"
+        scheduler = stats["scheduler"]
+        assert scheduler["completed"] >= 2
+        assert scheduler["qps"] > 0
+        assert {"p50", "p95", "p99", "mean"} <= set(scheduler["latency"])
+        assert scheduler["cache"]["hits"] + scheduler["cache"]["misses"] >= 2
+
+    def test_update_visible_to_other_clients(self, served):
+        db, handle, writer = served
+        with Client(*handle.address) as reader:
+            before = reader.query("(b.c)+").pairs
+            response = writer.update(add=[(8, "b", 1)])
+            assert response["added"] == 1
+            after = reader.query("(b.c)+").pairs
+        assert before != after
+        assert after == set(GraphDB.open(db.graph).execute("(b.c)+"))
+
+    def test_update_needs_edges(self, served):
+        _, _, client = served
+        with pytest.raises(ProtocolError, match="update"):
+            client.update()
+
+    def test_watch_and_reaches(self, served):
+        _, _, client = served
+        assert client.watch("b.c") == "b.c"
+        assert client.reaches("b.c", 2, 6) is True
+        assert client.reaches("b.c", 5, 2) is False
+        client.update(add=[(5, "b", 0), (0, "c", 2)])
+        assert client.reaches("b.c", 5, 2) is True
+
+
+class TestRawProtocol:
+    def send_raw(self, address, line: bytes) -> dict:
+        with socket.create_connection(address, timeout=10) as sock:
+            sock.sendall(line)
+            data = b""
+            while not data.endswith(b"\n"):
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        return json.loads(data)
+
+    def test_unknown_op(self, served):
+        _, handle, _ = served
+        response = self.send_raw(handle.address, b'{"op": "warp", "id": 9}\n')
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+        assert response["id"] == 9
+
+    def test_invalid_json(self, served):
+        _, handle, _ = served
+        response = self.send_raw(handle.address, b"{nope\n")
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+
+    def test_query_shorthand(self, served):
+        _, handle, _ = served
+        response = self.send_raw(
+            handle.address, b'{"op": "query", "query": "b.c", "pairs": false}\n'
+        )
+        assert response["ok"] is True
+        assert response["results"][0]["count"] == 5
+
+    def test_bad_timeout_type(self, served):
+        _, handle, _ = served
+        response = self.send_raw(
+            handle.address,
+            b'{"op": "query", "queries": ["b.c"], "timeout": "soon"}\n',
+        )
+        assert response["error"]["code"] == "bad_request"
+
+
+class TestClientLifecycle:
+    def test_connect_parses_address(self, served):
+        _, handle, _ = served
+        host, port = handle.address
+        with Client.connect(f"{host}:{port}") as client:
+            assert client.ping() == 1
+
+    def test_connect_rejects_bad_address(self):
+        with pytest.raises(ServerError, match="host:port"):
+            Client.connect("nonsense")
+
+    def test_connection_refused(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        with pytest.raises(ServerError, match="cannot connect"):
+            Client("127.0.0.1", free_port, connect_timeout=1.0)
+
+    def test_closed_client_raises(self, served):
+        _, handle, _ = served
+        client = Client(*handle.address)
+        client.close()
+        with pytest.raises(ServerError, match="closed"):
+            client.ping()
+
+
+class TestCliIntegration:
+    def test_query_connect_table(self, served, capsys):
+        _, handle, _ = served
+        host, port = handle.address
+        code = main(["query", "--connect", f"{host}:{port}", "d.(b.c)+.c"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "d.(b.c)+.c" in out and "| 2" in out
+
+    def test_query_connect_json(self, served, capsys):
+        _, handle, _ = served
+        host, port = handle.address
+        code = main(
+            ["query", "--connect", f"{host}:{port}", "d.(b.c)+.c", "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["results"][0]["count"] == 2
+        assert [7, 3] in document["results"][0]["pairs"]
+
+    def test_query_connect_refused(self, capsys):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        code = main(["query", "--connect", f"127.0.0.1:{free_port}", "b.c"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_query_without_graph_or_connect(self, capsys):
+        assert main(["query"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "g.txt"])
+        assert args.port == 7687
+        assert args.workers == 4
+        assert args.queue_size == 256
+
+
+class TestServerThreadLifecycle:
+    def test_start_is_idempotent(self, fig1):
+        handle = ServerThread(GraphDB.open(fig1))
+        try:
+            assert handle.start() is handle.start()
+        finally:
+            handle.stop()
+
+    def test_stop_twice_is_safe(self, fig1):
+        handle = ServerThread(GraphDB.open(fig1)).start()
+        handle.stop()
+        handle.stop()
+
+    def test_custom_config(self, fig1):
+        config = ServerConfig(workers=1, max_queue=8, batch_window=0.001)
+        with ServerThread(GraphDB.open(fig1), config) as handle:
+            with Client(*handle.address) as client:
+                assert client.stats()["scheduler"]["workers"] == 1

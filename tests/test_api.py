@@ -6,11 +6,15 @@ import pytest
 
 import repro
 from repro.errors import (
+    AdmissionError,
+    DeadlineExpiredError,
     EvaluationError,
     GraphError,
     GraphFormatError,
+    ProtocolError,
     ReproError,
     RPQSyntaxError,
+    ServerError,
     UnknownEngineError,
     UnknownLabelError,
     VertexNotFoundError,
@@ -28,6 +32,7 @@ PACKAGES = [
     "repro.datasets",
     "repro.workloads",
     "repro.bench",
+    "repro.server",
 ]
 
 
@@ -40,7 +45,7 @@ class TestExports:
             assert hasattr(package, name), f"{package_name}.{name}"
 
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_top_level_quickstart_names(self):
         for name in (
@@ -78,10 +83,22 @@ class TestErrorHierarchy:
             UnknownEngineError,
             UnknownLabelError,
             WorkloadError,
+            ServerError,
+            AdmissionError,
+            DeadlineExpiredError,
+            ProtocolError,
         ],
     )
     def test_all_derive_from_repro_error(self, error_class):
         assert issubclass(error_class, ReproError)
+
+    def test_server_errors_carry_wire_codes(self):
+        assert AdmissionError().code == "rejected"
+        assert DeadlineExpiredError("late").code == "deadline"
+        assert ProtocolError("bad").code == "bad_request"
+        assert issubclass(AdmissionError, ServerError)
+        assert AdmissionError(queue_depth=7).queue_depth == 7
+        assert "7" in str(AdmissionError(queue_depth=7))
 
     def test_unknown_engine_is_also_value_error(self):
         error = UnknownEngineError("warp", ("no", "rtc"))
