@@ -1,0 +1,167 @@
+"""Cluster benchmark: sharded vs single-node QPS under a mixed workload.
+
+Drives the :mod:`repro.cluster` stack (real TCP, real threads) with a
+closure-sharing workload over a multi-component R-MAT graph, comparing a
+1-shard deployment against an N-shard one at high client concurrency --
+once read-only (expected: parity; component-disjoint evaluation is
+work-conserving) and once with streaming updates interleaved (expected:
+the sharded deployment wins, because an update drains and cache-flushes
+only its owning shard instead of the whole service).
+
+Emits ``BENCH_cluster.json`` at the repository root (plus a table under
+``benchmarks/results/``).  The headline gate: the sharded rtc
+deployment's QPS beats the 1-shard deployment's under the mixed
+workload at the full client count.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+
+Environment overrides: ``REPRO_BENCH_CLUSTER_BLOCKS`` (R-MAT blocks,
+default 8), ``REPRO_BENCH_CLUSTER_SCALE`` (log2 vertices per block,
+default 6), ``REPRO_BENCH_CLUSTER_SHARDS`` (comma list, default
+``1,4``), ``REPRO_BENCH_CLUSTER_REPLICAS`` (default 2),
+``REPRO_BENCH_CLUSTER_CLIENTS`` (default 32),
+``REPRO_BENCH_CLUSTER_REQUESTS`` (requests per client, default 16),
+``REPRO_BENCH_CLUSTER_UPDATE_EVERY`` (default 2).
+
+Not collected by pytest (no ``test_`` prefix); CI runs it as a script.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+OUTPUT_PATH = REPO_ROOT / "BENCH_cluster.json"
+
+BLOCKS = int(os.environ.get("REPRO_BENCH_CLUSTER_BLOCKS", "8"))
+SCALE = int(os.environ.get("REPRO_BENCH_CLUSTER_SCALE", "6"))
+SHARD_COUNTS = tuple(
+    int(value)
+    for value in os.environ.get("REPRO_BENCH_CLUSTER_SHARDS", "1,4").split(",")
+)
+REPLICAS = int(os.environ.get("REPRO_BENCH_CLUSTER_REPLICAS", "2"))
+CLIENTS = int(os.environ.get("REPRO_BENCH_CLUSTER_CLIENTS", "32"))
+REQUESTS_PER_CLIENT = int(os.environ.get("REPRO_BENCH_CLUSTER_REQUESTS", "16"))
+UPDATE_EVERY = int(os.environ.get("REPRO_BENCH_CLUSTER_UPDATE_EVERY", "2"))
+WORKERS = int(os.environ.get("REPRO_BENCH_CLUSTER_WORKERS", "2"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def build_workload():
+    """A multi-component R-MAT graph plus closure-sharing queries."""
+    from repro.datasets.rmat import rmat_component_graph
+    from repro.workloads.generator import generate_workload
+
+    graph = rmat_component_graph(
+        components=BLOCKS, scale=SCALE, num_labels=3, seed=SEED
+    )
+    sets = generate_workload(
+        graph,
+        num_sets=2,
+        lengths=(1, 2),
+        max_rpqs=5,
+        seed=SEED,
+        require_nonempty=True,
+    )
+    queries = [query for rpq_set in sets for query in rpq_set.queries]
+    return graph, queries
+
+
+def main() -> int:
+    from repro.bench.cluster_bench import (
+        format_cluster_rows,
+        run_cluster_benchmark,
+    )
+
+    graph, queries = build_workload()
+    print(
+        f"cluster benchmark: {BLOCKS} blocks x 2^{SCALE} vertices "
+        f"({graph.num_edges} edges), {len(queries)} queries, "
+        f"{CLIENTS} clients x {REQUESTS_PER_CLIENT} requests, "
+        f"shards {SHARD_COUNTS} x {REPLICAS} replicas, "
+        f"1 update per {UPDATE_EVERY} requests in the mixed workload"
+    )
+    rows = run_cluster_benchmark(
+        graph,
+        queries,
+        shard_counts=SHARD_COUNTS,
+        replicas=REPLICAS,
+        num_clients=CLIENTS,
+        requests_per_client=REQUESTS_PER_CLIENT,
+        workers=WORKERS,
+        update_every=UPDATE_EVERY,
+    )
+    table = format_cluster_rows(rows)
+    print(table)
+
+    def qps(shards: int, update_every: int) -> float:
+        for row in rows:
+            if row["shards"] == shards and row["update_every"] == update_every:
+                return row["qps"]
+        raise KeyError((shards, update_every))
+
+    baseline = min(SHARD_COUNTS)
+    comparisons = {}
+    for shards in SHARD_COUNTS:
+        if shards == baseline:
+            continue
+        comparisons[str(shards)] = {
+            "mixed_qps": qps(shards, UPDATE_EVERY),
+            "single_shard_mixed_qps": qps(baseline, UPDATE_EVERY),
+            "mixed_speedup": qps(shards, UPDATE_EVERY)
+            / qps(baseline, UPDATE_EVERY),
+            "read_only_qps": qps(shards, 0),
+            "single_shard_read_only_qps": qps(baseline, 0),
+            "read_only_speedup": qps(shards, 0) / qps(baseline, 0),
+        }
+
+    document = {
+        "benchmark": (
+            "repro.cluster QPS, sharded vs single-shard, "
+            "read-only and mixed-update workloads"
+        ),
+        "config": {
+            "blocks": BLOCKS,
+            "scale": SCALE,
+            "edges": graph.num_edges,
+            "labels": graph.num_labels,
+            "queries": queries,
+            "shard_counts": list(SHARD_COUNTS),
+            "replicas": REPLICAS,
+            "clients": CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "update_every": UPDATE_EVERY,
+            "workers_per_replica": WORKERS,
+            "seed": SEED,
+        },
+        "rows": rows,
+        "qps_comparison": comparisons,
+    }
+    OUTPUT_PATH.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_cluster.txt").write_text(table + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT_PATH}")
+
+    slower = [
+        shards
+        for shards, entry in comparisons.items()
+        if entry["mixed_speedup"] < 1.0
+    ]
+    if slower:
+        print(
+            f"WARNING: sharded mixed-workload QPS below the {baseline}-shard "
+            f"configuration at {', '.join(slower)} shards",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

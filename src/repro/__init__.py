@@ -30,7 +30,9 @@ surface lives in the subpackages:
 * :mod:`repro.workloads`-- the Section V-A multiple-RPQ-set generator;
 * :mod:`repro.bench`    -- the experiment harness behind ``benchmarks/``;
 * :mod:`repro.server`   -- the concurrent, sharing-aware query server
-  (``repro serve`` / ``repro.server.Client``).
+  (``repro serve`` / ``repro.server.Client``);
+* :mod:`repro.cluster`  -- the sharded, replicated serving layer
+  (``repro serve --shards N --replicas R``).
 """
 
 from repro.core.batch_unit import BatchUnitOptions
@@ -67,7 +69,7 @@ from repro.graph.multigraph import LabeledMultigraph
 from repro.regex.parser import parse
 from repro.rpq.evaluate import eval_rpq
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "GraphDB",

@@ -9,7 +9,9 @@ before writing any code; all of them run through the
   ``repro serve`` instance); prints result pairs (or just counts) and
   timing;
 * ``serve``  -- run the concurrent JSON-lines query server of
-  :mod:`repro.server` over an edge-list file;
+  :mod:`repro.server` over an edge-list file; with ``--shards N`` /
+  ``--replicas R`` the graph is partitioned and served by the
+  :mod:`repro.cluster` router instead (same protocol, same clients);
 * ``reduce`` -- show the two-level reduction statistics of a closure body
   on a graph (the Fig. 12/13 quantities for your own data);
 * ``stats``  -- Table-IV style statistics of an edge-list file;
@@ -30,6 +32,7 @@ Examples::
     python -m repro query graph.txt "a.(b.c)+.c" --engine rtc --show-pairs
     python -m repro query graph.txt "b.c" --load my_engines --engine mine
     python -m repro serve graph.txt --port 7687 --workers 4
+    python -m repro serve graph.txt --shards 4 --replicas 2
     python -m repro query --connect 127.0.0.1:7687 "a.(b.c)+.c"
     python -m repro reduce graph.txt "b.c"
     python -m repro dot graph.txt --query "b.c" --view condensation
@@ -150,6 +153,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--workers", type=int, default=4, help="worker threads (default: 4)"
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "partition the graph into N component-disjoint shards behind "
+            "a cluster router (default: 1 = single-session server)"
+        ),
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="read-only replica sessions per shard (default: 1)",
     )
     serve.add_argument(
         "--queue-size",
@@ -314,7 +332,6 @@ def _cmd_serve(args) -> int:
     engine_kwargs = {}
     if args.semantic_cache and args.engine == "rtc":
         engine_kwargs["cache_mode"] = "semantic"
-    db = GraphDB.open(args.graph, engine=args.engine, **engine_kwargs)
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -325,6 +342,44 @@ def _cmd_serve(args) -> int:
         default_timeout=args.timeout if args.timeout > 0 else None,
         engine_kwargs=engine_kwargs,
     )
+
+    if args.shards > 1 or args.replicas > 1:
+        from repro.cluster import ClusterConfig, ClusterRouter, GraphCluster
+
+        cluster = GraphCluster.open(
+            args.graph,
+            engine=args.engine,
+            config=ClusterConfig(
+                shards=args.shards,
+                replicas=args.replicas,
+                workers=args.workers,
+                max_queue=args.queue_size,
+                batch_window=args.batch_window,
+                max_batch=args.max_batch,
+                engine_kwargs=engine_kwargs,
+            ),
+            start=False,
+        )
+        server = ClusterRouter(cluster, config)
+
+        def announce_cluster(address) -> None:
+            host, port = address
+            shard_edges = ", ".join(
+                str(shard["edges"])
+                for shard in cluster.partition.stats()["shards"]
+            )
+            print(
+                f"serving {args.graph} as a {args.shards}-shard x "
+                f"{args.replicas}-replica cluster (engine={args.engine}, "
+                f"{config.workers} workers/replica, shard edges: "
+                f"[{shard_edges}]) on {host}:{port} -- Ctrl-C to stop",
+                flush=True,
+            )
+
+        server.run(ready_callback=announce_cluster)
+        return 0
+
+    db = GraphDB.open(args.graph, engine=args.engine, **engine_kwargs)
     server = QueryServer(db, config)
 
     def announce(address) -> None:

@@ -1,0 +1,44 @@
+"""``repro.cluster`` -- a sharded, replicated RPQ serving layer.
+
+Scales the single-node :mod:`repro.server` stack out: one graph is
+partitioned into component-disjoint shards
+(:func:`partition_graph`), each shard is served by R replicated
+:class:`~repro.db.GraphDB` sessions with their own sharing-aware
+schedulers (:class:`GraphCluster`), and a :class:`ClusterRouter` speaks
+the existing JSON-lines protocol -- so the unchanged
+:class:`~repro.server.Client` talks to a cluster exactly as it talks to
+one server.
+
+>>> from repro.cluster import ClusterConfig, ClusterRouter, GraphCluster
+>>> from repro.server import Client, ServerThread
+>>> from repro.graph import paper_figure1_graph
+>>> cluster = GraphCluster.open(
+...     paper_figure1_graph(), config=ClusterConfig(shards=2, replicas=2)
+... )
+>>> with ServerThread(ClusterRouter(cluster)) as handle:
+...     with Client(*handle.address) as client:
+...         sorted(client.query("d.(b.c)+.c").pairs)
+[(7, 3), (7, 5)]
+"""
+
+from repro.cluster.partition import (
+    GraphPartition,
+    partition_graph,
+    weakly_connected_components,
+)
+from repro.cluster.service import (
+    ClusterConfig,
+    ClusterRouter,
+    GraphCluster,
+    ShardReplica,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterRouter",
+    "GraphCluster",
+    "GraphPartition",
+    "ShardReplica",
+    "partition_graph",
+    "weakly_connected_components",
+]

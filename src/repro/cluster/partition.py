@@ -1,0 +1,189 @@
+"""Partitioning one labeled multigraph into component-disjoint shards.
+
+The cluster's correctness rule is simple: a satisfying path of any RPQ
+stays inside one weakly-connected component of ``G`` (every step follows
+an edge, in either direction never -- so the path's vertices are all
+weakly connected to its start).  A partition that keeps every component
+whole therefore makes the per-shard answers *disjoint* and their union
+exactly the single-session answer -- no cross-shard joins, no duplicate
+elimination beyond a set union.
+
+:func:`partition_graph` computes the weakly-connected components and
+bin-packs them onto ``num_shards`` shards greedily, largest (by edge
+count) first onto the currently lightest shard.  The resulting
+:class:`GraphPartition` keeps the ``vertex -> shard`` assignment so the
+serving layer can route streaming updates to the owning shard, and can
+``assign`` brand-new vertices as updates introduce them.
+
+Graphs dominated by one giant component do not shard usefully at this
+layer (the giant component lands on one shard); that is inherent to
+component-disjoint partitioning, not to this implementation -- splitting
+a component needs cross-shard path joins, which the roadmap leaves to a
+future message-passing evaluator.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable
+
+from repro.errors import ClusterError
+from repro.graph.multigraph import LabeledMultigraph
+
+__all__ = ["GraphPartition", "partition_graph", "weakly_connected_components"]
+
+
+def weakly_connected_components(graph: LabeledMultigraph) -> list[list]:
+    """The weakly-connected components of ``graph`` (isolated vertices too).
+
+    Each component is a list of vertices; components are returned in a
+    deterministic order (sorted by string form of their representative)
+    so partitioning is reproducible across processes and hash seeds.
+    """
+    seen: set = set()
+    components: list[list] = []
+    for root in sorted(graph.vertices(), key=str):
+        if root in seen:
+            continue
+        seen.add(root)
+        component = [root]
+        stack = [root]
+        while stack:
+            vertex = stack.pop()
+            for _label, target in graph.out_edges(vertex):
+                if target not in seen:
+                    seen.add(target)
+                    component.append(target)
+                    stack.append(target)
+            for _label, source in graph.in_edges(vertex):
+                if source not in seen:
+                    seen.add(source)
+                    component.append(source)
+                    stack.append(source)
+        components.append(component)
+    return components
+
+
+class GraphPartition:
+    """A component-disjoint split of one graph into shard subgraphs.
+
+    Holds the shard subgraphs themselves plus the ``vertex -> shard``
+    assignment used for routing.  The assignment is mutable (updates can
+    introduce vertices) and internally locked, so the serving layer may
+    route from multiple threads.
+    """
+
+    def __init__(self, shards: list[LabeledMultigraph], shard_of: dict) -> None:
+        if not shards:
+            raise ClusterError("a partition needs at least one shard")
+        self.shards = shards
+        self._shard_of = dict(shard_of)
+        self._lock = threading.Lock()
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, vertex: object) -> int | None:
+        """The shard owning ``vertex``, or None for an unknown vertex."""
+        with self._lock:
+            return self._shard_of.get(vertex)
+
+    def assign(self, vertex: object, shard: int) -> int:
+        """Record ``vertex`` as owned by ``shard`` (first assignment wins).
+
+        Returns the effective shard, which may differ from the request
+        when a concurrent router already assigned the vertex.
+        """
+        if not 0 <= shard < len(self.shards):
+            raise ClusterError(
+                f"shard {shard} is out of range for {len(self.shards)} shards"
+            )
+        with self._lock:
+            return self._shard_of.setdefault(vertex, shard)
+
+    def shard_for_edge(self, source: object, target: object) -> int | None:
+        """The shard an edge between ``source`` and ``target`` belongs to.
+
+        Returns None when both endpoints are new to the cluster (the
+        caller picks a shard and :meth:`assign`\\ s them).  Raises
+        :class:`~repro.errors.ClusterError` when the endpoints live on
+        two *different* shards: adding that edge would merge two
+        components across a shard boundary, which the component-disjoint
+        topology cannot express without re-partitioning.
+        """
+        with self._lock:
+            source_shard = self._shard_of.get(source)
+            target_shard = self._shard_of.get(target)
+        if source_shard is None and target_shard is None:
+            return None
+        if source_shard is None:
+            return target_shard
+        if target_shard is None:
+            return source_shard
+        if source_shard != target_shard:
+            raise ClusterError(
+                f"edge ({source!r} -> {target!r}) crosses shards "
+                f"{source_shard} and {target_shard}; cross-shard edges "
+                "require re-partitioning and are not supported"
+            )
+        return source_shard
+
+    def stats(self) -> dict:
+        """Per-shard size statistics (the ``stats`` verb's cluster section)."""
+        return {
+            "num_shards": self.num_shards,
+            "shards": [
+                {
+                    "shard": index,
+                    "vertices": graph.num_vertices,
+                    "edges": graph.num_edges,
+                    "labels": graph.num_labels,
+                }
+                for index, graph in enumerate(self.shards)
+            ],
+        }
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(str(graph.num_edges) for graph in self.shards)
+        return f"GraphPartition(shards={self.num_shards}, edges=[{sizes}])"
+
+
+def partition_graph(
+    graph: LabeledMultigraph, num_shards: int
+) -> GraphPartition:
+    """Split ``graph`` into ``num_shards`` component-disjoint subgraphs.
+
+    Components are packed greedily by descending edge count onto the
+    currently lightest shard, so shard edge counts stay balanced whenever
+    the component size distribution allows it.  With fewer components
+    than shards, the surplus shards hold empty graphs (they simply answer
+    every query with the empty set).
+    """
+    if num_shards < 1:
+        raise ClusterError(f"num_shards must be >= 1, got {num_shards}")
+
+    components = weakly_connected_components(graph)
+
+    def component_edges(component: Iterable) -> int:
+        return sum(graph.out_degree(vertex) for vertex in component)
+
+    weighted = sorted(
+        ((component_edges(component), component) for component in components),
+        key=lambda item: (-item[0], -len(item[1]), str(item[1][0])),
+    )
+
+    loads = [0] * num_shards
+    shard_of: dict = {}
+    for weight, component in weighted:
+        shard = loads.index(min(loads))
+        loads[shard] += weight
+        for vertex in component:
+            shard_of[vertex] = shard
+
+    shards = [LabeledMultigraph() for _ in range(num_shards)]
+    for vertex, shard in shard_of.items():
+        shards[shard].add_vertex(vertex)
+    for source, label, target in graph.edges():
+        shards[shard_of[source]].add_edge(source, label, target)
+    return GraphPartition(shards, shard_of)

@@ -1,0 +1,754 @@
+"""The sharded, replicated serving layer over the PR-3 substrate.
+
+One :class:`GraphCluster` owns ``shards x replicas`` independent
+:class:`~repro.db.GraphDB` sessions, each fronted by its own
+:class:`~repro.server.SharingScheduler` (worker pool, micro-batching,
+admission control) -- the single-node serving stack, instantiated once
+per replica.  On top of that it implements the same *scheduler surface*
+the :class:`~repro.server.QueryServer` front end drives (``start`` /
+``stop`` / ``submit`` / ``submit_update`` / ``stats``), so
+:class:`ClusterRouter` is a thin :class:`~repro.server.QueryServer`
+subclass speaking the existing JSON-lines protocol -- the
+:class:`~repro.server.Client` needs no changes at all.
+
+Routing
+-------
+* **Queries fan out to shards and the pair-sets union.**  The partition
+  is component-disjoint (:mod:`repro.cluster.partition`), so per-shard
+  answers are disjoint and their union is exactly the single-session
+  answer.  Shards whose label alphabet is disjoint from the query's are
+  pruned (federated-SPARQL-style source selection); nullable queries are
+  never pruned, because every shard contributes its reflexive pairs.
+* **Replica picking is body-affine.**  A query's canonical closure-body
+  key (the same :func:`~repro.server.scheduler.closure_group_key` the
+  scheduler batches by) hashes to one replica per shard, so each
+  replica's RTC cache serves a stable subset of closure bodies and stays
+  hot; closure-free queries fall back to the least-loaded replica.
+* **Updates broadcast drain-then-apply.**  An edge change routes to the
+  shard owning its endpoints (new vertices are assigned on first
+  contact; cross-shard edges raise
+  :class:`~repro.errors.ClusterError`) and is applied through *every*
+  replica's scheduler -- each drains its in-flight batches, applies on
+  its own graph copy, and drops its caches.  The other shards keep
+  serving with hot caches throughout, which is the cluster's headline
+  win over a single session under a streaming-update load.
+
+The routing decision (closure-key extraction, a DNF walk) is memoised by
+query text, so a serving workload's repeated queries route in O(1).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import zlib
+from concurrent.futures import CancelledError, Future
+from dataclasses import dataclass, field
+from os import PathLike
+from pathlib import Path
+
+from repro.cluster.partition import GraphPartition, partition_graph
+from repro.core.cache import make_key_function
+from repro.db.session import GraphDB
+from repro.errors import ClusterError, ServerError
+from repro.graph.io import load_edge_list
+from repro.graph.multigraph import LabeledMultigraph
+from repro.regex.ast import RegexNode
+from repro.regex.nfa import compile_nfa
+from repro.regex.parser import parse
+from repro.server import protocol
+from repro.server.metrics import percentile
+from repro.server.scheduler import SharingScheduler, closure_group_key
+from repro.server.service import QueryServer, ServerConfig
+
+__all__ = ["ClusterConfig", "GraphCluster", "ClusterRouter", "ShardReplica"]
+
+#: Routing memo bound: past this many distinct query texts the memo is
+#: dropped wholesale (serving workloads repeat a small query set).
+_ROUTE_MEMO_LIMIT = 4096
+
+
+@dataclass
+class ClusterConfig:
+    """Topology and per-replica scheduler tunables of one cluster."""
+
+    shards: int = 4
+    replicas: int = 1
+    #: Worker threads *per replica scheduler*.
+    workers: int = 2
+    max_queue: int = 256
+    batch_window: float = 0.005
+    max_batch: int = 64
+    engine_kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class ShardReplica:
+    """One replica: its own session, scheduler, and load counter."""
+
+    shard_id: int
+    replica_id: int
+    db: GraphDB
+    scheduler: SharingScheduler
+    in_flight: int = 0
+
+    @property
+    def name(self) -> str:
+        return f"shard{self.shard_id}/replica{self.replica_id}"
+
+
+class _MergeState:
+    """Accumulator for one query's per-shard sub-futures."""
+
+    __slots__ = ("lock", "expected", "done", "pairs", "elapsed", "error")
+
+    def __init__(self, expected: int) -> None:
+        self.lock = threading.Lock()
+        self.expected = expected
+        self.done = 0
+        self.pairs: set = set()
+        self.elapsed = 0.0
+        self.error: BaseException | None = None
+
+
+class GraphCluster:
+    """``shards x replicas`` sessions behind one scheduler-shaped facade.
+
+    Construct over a ready :class:`~repro.cluster.GraphPartition` (or use
+    :meth:`open` to load/partition in one step), then plug into a
+    :class:`ClusterRouter` -- or drive ``submit`` / ``submit_update``
+    directly for in-process use.
+    """
+
+    def __init__(
+        self,
+        partition: GraphPartition,
+        engine: str = "rtc",
+        config: ClusterConfig | None = None,
+        start: bool = True,
+    ) -> None:
+        config = config or ClusterConfig()
+        if config.replicas < 1:
+            raise ClusterError(f"replicas must be >= 1, got {config.replicas}")
+        self.partition = partition
+        self.engine_name = engine.lower()
+        self.config = config
+        self.replicas = config.replicas
+        self._lock = threading.Lock()  # replica loads, label sets, memo
+        self._update_lock = threading.Lock()  # replica-consistent ordering
+        self._shards: list[list[ShardReplica]] = []
+        for shard_id, shard_graph in enumerate(partition.shards):
+            group = []
+            for replica_id in range(config.replicas):
+                graph = shard_graph if replica_id == 0 else shard_graph.copy()
+                db = GraphDB.open(graph, engine=engine, **config.engine_kwargs)
+                scheduler = SharingScheduler(
+                    db,
+                    workers=config.workers,
+                    max_queue=config.max_queue,
+                    batch_window=config.batch_window,
+                    max_batch=config.max_batch,
+                    engine_kwargs=config.engine_kwargs,
+                    start=False,
+                )
+                group.append(ShardReplica(shard_id, replica_id, db, scheduler))
+            self._shards.append(group)
+        # Superset of each shard's label alphabet, used for pruning.
+        # Only ever grows (updates add labels, removals leave them), so a
+        # pruned shard provably cannot contribute to the query.
+        self._labels: list[set] = [
+            set(graph.labels()) for graph in partition.shards
+        ]
+        reference = self._shards[0][0].scheduler.shared_cache
+        self._key_function = make_key_function(
+            reference.mode if reference is not None else "syntactic"
+        )
+        self._route_memo: dict[str, tuple[str, frozenset, bool]] = {}
+        # Queries answered at the router because every shard was pruned
+        # (no label overlap anywhere); folded into the aggregate stats so
+        # served traffic never disappears from the books.
+        self._answered_without_fanout = 0
+        self._started = False
+        self._stopped = False
+        if start:
+            self.start()
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        source: LabeledMultigraph | str | PathLike | object,
+        engine: str = "rtc",
+        config: ClusterConfig | None = None,
+        start: bool = True,
+    ) -> "GraphCluster":
+        """Load a graph (object, edge-list path, or edge triples), partition
+        it into ``config.shards`` shards, and bring the cluster up."""
+        config = config or ClusterConfig()
+        if isinstance(source, LabeledMultigraph):
+            graph = source
+        elif isinstance(source, (str, PathLike, Path)):
+            graph = load_edge_list(source)
+        else:
+            graph = LabeledMultigraph.from_edges(source)
+        partition = partition_graph(graph, config.shards)
+        return cls(partition, engine=engine, config=config, start=start)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def replica(self, shard: int, replica: int = 0) -> ShardReplica:
+        """Direct access to one replica (tests and diagnostics)."""
+        return self._shards[shard][replica]
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        """Start every replica's scheduler (idempotent)."""
+        if self._started or self._stopped:
+            return
+        self._started = True
+        for group in self._shards:
+            for replica in group:
+                replica.scheduler.start()
+
+    def stop(self) -> None:
+        """Drain and stop every scheduler, then close the sessions."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for group in self._shards:
+            for replica in group:
+                replica.scheduler.stop()
+        for group in self._shards:
+            for replica in group:
+                replica.db.close()
+
+    # -- routing ---------------------------------------------------------
+    def _route_info(self, text: str, node: RegexNode) -> tuple[str, frozenset, bool]:
+        """``(closure_key, labels, nullable)`` of a query, memoised by text."""
+        with self._lock:
+            info = self._route_memo.get(text)
+        if info is not None:
+            return info
+        key = closure_group_key(node, self._key_function)
+        nfa = compile_nfa(node)
+        info = (key, frozenset(nfa.labels), nfa.nullable)
+        with self._lock:
+            if len(self._route_memo) >= _ROUTE_MEMO_LIMIT:
+                self._route_memo.clear()
+            self._route_memo[text] = info
+        return info
+
+    def _target_shards(self, labels: frozenset, nullable: bool) -> list[int]:
+        """Shards that can contribute to a query (source selection).
+
+        A non-nullable query's every satisfying path uses at least one
+        edge, and all its edge labels come from the query alphabet -- so
+        a shard sharing no label with the query answers with the empty
+        set and is skipped.  Nullable queries contribute ``(v, v)`` for
+        every vertex of every shard and are never pruned.
+        """
+        if nullable:
+            return list(range(self.num_shards))
+        with self._lock:
+            return [
+                shard
+                for shard in range(self.num_shards)
+                if not self._labels[shard].isdisjoint(labels)
+            ]
+
+    def _pick_replica(self, group: list[ShardReplica], key: str) -> ShardReplica:
+        """Body-affine replica choice; least-loaded for closure-free keys."""
+        if len(group) == 1:
+            return group[0]
+        if key:
+            # crc32 keeps the body -> replica mapping stable across runs
+            # (hash() is seed-randomised), so a body's RTC lives on one
+            # replica per shard and its cache stays hot.
+            return group[zlib.crc32(key.encode("utf-8")) % len(group)]
+        with self._lock:
+            return min(group, key=lambda replica: replica.in_flight)
+
+    def _release(self, replica: ShardReplica) -> None:
+        with self._lock:
+            replica.in_flight -= 1
+
+    # -- queries ---------------------------------------------------------
+    def submit(
+        self,
+        text: str,
+        node: RegexNode | None = None,
+        timeout: float | None = None,
+    ) -> Future:
+        """Admit one query cluster-wide; future of ``(pairs, elapsed)``.
+
+        Fans out to one replica of every contributing shard and unions
+        the pair-sets; ``elapsed`` is the slowest shard's engine time.
+        Admission is all-or-nothing: if any shard's queue is full the
+        already-admitted sub-queries are cancelled and the
+        :class:`~repro.errors.AdmissionError` propagates.  Any shard
+        failure (evaluation error, expired deadline) fails the whole
+        query with that error.
+        """
+        if self._stopped:
+            raise self._closed_error()
+        if node is None:
+            node = parse(text)
+        key, labels, nullable = self._route_info(text, node)
+        targets = self._target_shards(labels, nullable)
+
+        parent: Future = Future()
+        if not targets:
+            with self._lock:
+                self._answered_without_fanout += 1
+            parent.set_running_or_notify_cancel()
+            parent.set_result((set(), 0.0))
+            return parent
+
+        children: list[Future] = []
+        try:
+            for shard in targets:
+                replica = self._pick_replica(self._shards[shard], key)
+                child = replica.scheduler.submit(text, node, timeout=timeout)
+                with self._lock:
+                    replica.in_flight += 1
+                child.add_done_callback(
+                    lambda _future, replica=replica: self._release(replica)
+                )
+                children.append(child)
+        except BaseException:
+            # All-or-nothing admission: roll back what was admitted.
+            for child in children:
+                child.cancel()
+            raise
+
+        state = _MergeState(expected=len(children))
+        for child in children:
+            child.add_done_callback(
+                lambda future, state=state, parent=parent: self._merge_child(
+                    state, parent, future
+                )
+            )
+        return parent
+
+    def _merge_child(
+        self, state: _MergeState, parent: Future, child: Future
+    ) -> None:
+        try:
+            pairs, elapsed = child.result()
+        except (CancelledError, Exception) as error:  # noqa: BLE001
+            outcome: BaseException | None = error
+        else:
+            outcome = None
+        with state.lock:
+            if outcome is not None:
+                if state.error is None:
+                    state.error = outcome
+            else:
+                state.pairs |= pairs
+                if elapsed > state.elapsed:
+                    state.elapsed = elapsed
+            state.done += 1
+            finished = state.done == state.expected
+        if not finished:
+            return
+        if not parent.set_running_or_notify_cancel():
+            return  # the caller cancelled the aggregate; drop the result
+        if state.error is not None:
+            parent.set_exception(state.error)
+        else:
+            parent.set_result((state.pairs, state.elapsed))
+
+    # -- updates ---------------------------------------------------------
+    def submit_update(self, add=(), remove=()) -> Future:
+        """Admit a streaming edge change; future of ``None``.
+
+        Each edge routes to the shard owning its endpoints; the change is
+        then applied through **every** replica scheduler of the affected
+        shards (drain-then-apply on each, caches dropped on each), so all
+        copies converge before the future resolves.  Unaffected shards
+        keep serving with hot caches.  Edges between two existing shards
+        raise :class:`~repro.errors.ClusterError`; edges with brand-new
+        endpoints are assigned to the currently smallest shard.
+
+        Routing is two-phase: every edge of the request is validated and
+        routed *before* any partition state mutates or any replica sees
+        the job, so a request rejected at routing time (cross-shard or
+        unknown edges) leaves no phantom vertex assignments or label-set
+        entries behind.  A request that routes but then fails to *apply*
+        (e.g. a duplicate edge) does keep its routing state: assignments
+        must commit before the (asynchronous) apply so that concurrent
+        updates naming the same new vertices route to the same shard --
+        releasing them on failure could split a component across shards.
+        The cost is conservative: a vertex assigned by a failed update
+        routes to its assigned shard forever, so a later edge tying it
+        to another shard is over-rejected with ClusterError even though
+        the vertex materialised nowhere.  The per-replica
+        broadcast admits with ``block=True`` -- replica queues never
+        half-accept an update, which is what keeps the copies identical
+        -- so this call can wait for a queue slot; drive it from a
+        worker thread (the router runs it in an executor), not from a
+        latency-sensitive loop.
+        """
+        if self._stopped:
+            raise self._closed_error()
+        add = [tuple(edge) for edge in add]
+        remove = [tuple(edge) for edge in remove]
+        parent: Future = Future()
+        if not add and not remove:
+            parent.set_running_or_notify_cancel()
+            parent.set_result(None)
+            return parent
+
+        with self._update_lock:
+            # Phase 1: route and validate against committed + pending
+            # state; raises before anything is mutated.
+            by_shard: dict[int, tuple[list, list]] = {}
+            pending_assign: dict[object, int] = {}
+            pending_labels: dict[int, set] = {}
+
+            def resolve(source: object, target: object) -> int | None:
+                source_shard = pending_assign.get(source)
+                if source_shard is None:
+                    source_shard = self.partition.shard_of(source)
+                target_shard = pending_assign.get(target)
+                if target_shard is None:
+                    target_shard = self.partition.shard_of(target)
+                if source_shard is not None and target_shard is not None:
+                    if source_shard != target_shard:
+                        raise ClusterError(
+                            f"edge ({source!r} -> {target!r}) crosses shards "
+                            f"{source_shard} and {target_shard}; cross-shard "
+                            "edges require re-partitioning and are not "
+                            "supported"
+                        )
+                    return source_shard
+                return source_shard if source_shard is not None else target_shard
+
+            for source, label, target in add:
+                shard = resolve(source, target)
+                if shard is None:
+                    shard = self._smallest_shard()
+                pending_assign.setdefault(source, shard)
+                pending_assign.setdefault(target, shard)
+                by_shard.setdefault(shard, ([], []))[0].append(
+                    (source, label, target)
+                )
+                pending_labels.setdefault(shard, set()).add(label)
+            for source, label, target in remove:
+                shard = resolve(source, target)
+                if shard is None:
+                    raise ClusterError(
+                        f"cannot remove edge ({source!r}, {label!r}, "
+                        f"{target!r}): neither endpoint is in the cluster"
+                    )
+                by_shard.setdefault(shard, ([], []))[1].append(
+                    (source, label, target)
+                )
+
+            # Phase 2: commit routing state, then broadcast.  Blocking
+            # admission means every replica accepts the job (or the
+            # whole cluster is shutting down), never a half-applied mix.
+            for vertex, shard in pending_assign.items():
+                self.partition.assign(vertex, shard)
+            with self._lock:
+                for shard, labels in pending_labels.items():
+                    self._labels[shard] |= labels
+            children = [
+                replica.scheduler.submit_update(
+                    add=adds, remove=removes, block=True
+                )
+                for shard, (adds, removes) in sorted(by_shard.items())
+                for replica in self._shards[shard]
+            ]
+
+        state = _MergeState(expected=len(children))
+        for child in children:
+            child.add_done_callback(
+                lambda future, state=state, parent=parent: self._merge_update(
+                    state, parent, future
+                )
+            )
+        return parent
+
+    def _smallest_shard(self) -> int:
+        sizes = [group[0].db.graph.num_edges for group in self._shards]
+        return sizes.index(min(sizes))
+
+    def _merge_update(
+        self, state: _MergeState, parent: Future, child: Future
+    ) -> None:
+        try:
+            child.result()
+        except (CancelledError, Exception) as error:  # noqa: BLE001
+            outcome: BaseException | None = error
+        else:
+            outcome = None
+        with state.lock:
+            if outcome is not None and state.error is None:
+                state.error = outcome
+            state.done += 1
+            finished = state.done == state.expected
+        if not finished:
+            return
+        if not parent.set_running_or_notify_cancel():
+            return
+        if state.error is not None:
+            parent.set_exception(state.error)
+        else:
+            parent.set_result(None)
+
+    @staticmethod
+    def _closed_error() -> ServerError:
+        error = ServerError("cluster is shutting down")
+        error.code = "closed"
+        return error
+
+    # -- watchers / reachability -----------------------------------------
+    def watch(self, body: str) -> str:
+        """Attach an incremental watcher for ``body`` on every replica."""
+        normalised = parse(body).to_string()
+        for group in self._shards:
+            for replica in group:
+                replica.db.watch(body)
+        return normalised
+
+    def reaches(self, body: str, source: object, target: object) -> bool:
+        """Streaming reachability probe, routed to the owning shard.
+
+        Components never span shards, so only ``source``'s shard can
+        contain a path; unknown sources probe every shard (and come back
+        False when the vertex exists nowhere).
+        """
+        shard = self.partition.shard_of(source)
+        if shard is not None:
+            return self._shards[shard][0].db.reaches(body, source, target)
+        return any(
+            group[0].db.reaches(body, source, target) for group in self._shards
+        )
+
+    # -- statistics ------------------------------------------------------
+    def stats(self) -> dict:
+        """Aggregate scheduler-shaped statistics (QueryServer-compatible).
+
+        Counters sum across all replicas; latency percentiles are
+        computed over the *pooled* reservoirs (not averaged per-replica
+        percentiles); QPS is the sum of per-replica rates, since the
+        replicas serve concurrently.
+        """
+        stats_list = [
+            replica.scheduler.stats()
+            for group in self._shards
+            for replica in group
+        ]
+        latencies: list[float] = []
+        for group in self._shards:
+            for replica in group:
+                latencies.extend(replica.scheduler.metrics.latency_values())
+        total = {
+            key: sum(stats[key] for stats in stats_list)
+            for key in (
+                "admitted",
+                "rejected",
+                "expired",
+                "failed",
+                "cancelled",
+                "completed",
+                "updates",
+                "in_flight",
+                "batches",
+                "queue_depth",
+                "workers",
+            )
+        }
+        batches = total["batches"]
+        batched_queries = sum(
+            stats["mean_batch_size"] * stats["batches"] for stats in stats_list
+        )
+        with self._lock:
+            answered = self._answered_without_fanout
+        # Router-answered queries count as admitted *and* completed, so
+        # the conservation law (admitted == completed + expired + failed
+        # + cancelled + updates) keeps describing what clients observed.
+        total["admitted"] += answered
+        total["completed"] += answered
+        aggregate = {
+            "uptime": max(stats["uptime"] for stats in stats_list),
+            **total,
+            "answered_without_fanout": answered,
+            "qps": sum(stats["qps"] for stats in stats_list),
+            "mean_batch_size": batched_queries / batches if batches else 0.0,
+            "max_batch_size": max(
+                stats["max_batch_size"] for stats in stats_list
+            ),
+            "latency": {
+                "window": len(latencies),
+                "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+                "p50": percentile(latencies, 0.50),
+                "p95": percentile(latencies, 0.95),
+                "p99": percentile(latencies, 0.99),
+            },
+        }
+        caches = [stats["cache"] for stats in stats_list if "cache" in stats]
+        if caches:
+            hits = sum(cache["hits"] for cache in caches)
+            misses = sum(cache["misses"] for cache in caches)
+            aggregate["cache"] = {
+                "mode": caches[0]["mode"],
+                "hits": hits,
+                "misses": misses,
+                "entries": sum(cache["entries"] for cache in caches),
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            }
+        return aggregate
+
+    def session_stats(self) -> dict:
+        """Aggregate session statistics (the ``stats`` verb's ``session``)."""
+        primaries = [group[0].db.stats() for group in self._shards]
+        engines = [
+            replica.db.stats()
+            for group in self._shards
+            for replica in group
+        ]
+        watchers: set = set()
+        for stats in engines:
+            watchers.update(stats["watchers"])
+        with self._lock:  # _labels mutates under concurrent updates
+            all_labels = set().union(*self._labels)
+        return {
+            "engine": self.engine_name,
+            "graph": {
+                "vertices": sum(s["graph"]["vertices"] for s in primaries),
+                "edges": sum(s["graph"]["edges"] for s in primaries),
+                "labels": len(all_labels),
+            },
+            "queries_evaluated": sum(s["queries_evaluated"] for s in engines),
+            "total_time": sum(s["total_time"] for s in engines),
+            "shared_pairs": sum(s["shared_pairs"] for s in engines),
+            "watchers": sorted(watchers),
+        }
+
+    def describe(self) -> dict:
+        """Topology plus per-shard replica summaries (``stats``' cluster doc)."""
+        partition_stats = self.partition.stats()
+        shards = []
+        for group, shard_stats in zip(self._shards, partition_stats["shards"]):
+            replicas = []
+            for replica in group:
+                scheduler_stats = replica.scheduler.stats()
+                summary = {
+                    "replica": replica.replica_id,
+                    "completed": scheduler_stats["completed"],
+                    "updates": scheduler_stats["updates"],
+                    "in_flight": scheduler_stats["in_flight"],
+                    "queue_depth": scheduler_stats["queue_depth"],
+                }
+                if "cache" in scheduler_stats:
+                    summary["cache_hits"] = scheduler_stats["cache"]["hits"]
+                    summary["cache_misses"] = scheduler_stats["cache"]["misses"]
+                replicas.append(summary)
+            shards.append({**shard_stats, "replicas": replicas})
+        return {
+            "shards": self.num_shards,
+            "replicas": self.replicas,
+            "engine": self.engine_name,
+            "per_shard": shards,
+        }
+
+    def __repr__(self) -> str:
+        state = "stopped" if self._stopped else (
+            "running" if self._started else "created"
+        )
+        return (
+            f"GraphCluster(shards={self.num_shards}, "
+            f"replicas={self.replicas}, engine={self.engine_name!r}, {state})"
+        )
+
+
+class ClusterRouter(QueryServer):
+    """The cluster's JSON-lines front end -- a :class:`QueryServer` whose
+    scheduler is a whole :class:`GraphCluster`.
+
+    The wire protocol, the :class:`~repro.server.Client`, admission
+    errors and per-request deadlines are all inherited unchanged; only
+    ``stats`` (cluster-wide aggregation plus topology), ``watch``
+    (broadcast) and ``reaches`` (shard-routed) are specialised.
+    """
+
+    def __init__(
+        self, cluster: GraphCluster, config: ServerConfig | None = None
+    ) -> None:
+        self.cluster = cluster
+        # The cluster plays both roles: the scheduler surface (submit /
+        # submit_update / stats) and the session surface the base
+        # ``watch`` / ``reaches`` handlers drive through ``self.db``.
+        super().__init__(db=cluster, config=config, scheduler=cluster)
+
+    async def _op_query(self, request_id, request) -> dict:
+        # Warm the routing memo off the event loop: _route_info walks
+        # the query's DNF and compiles its NFA, which is exactly the
+        # work the single-node scheduler defers to its dispatcher
+        # thread.  The base handler then routes from the memo in O(1).
+        queries = request.get("queries")
+        if queries is None and isinstance(request.get("query"), str):
+            queries = [request["query"]]
+        if isinstance(queries, list) and queries and all(
+            isinstance(query, str) for query in queries
+        ):
+            # Dict membership is GIL-atomic, so peeking without the
+            # cluster lock is safe; a concurrent memo clear only costs
+            # one on-loop recompute.  Already-memoised texts (the steady
+            # state of a serving workload) skip the executor hop.
+            missing = [
+                text
+                for text in queries
+                if text not in self.cluster._route_memo
+            ]
+            if missing:
+                def warm() -> None:
+                    for text in missing:
+                        try:
+                            self.cluster._route_info(text, parse(text))
+                        except Exception:  # noqa: BLE001 -- base reports
+                            return
+                await self._in_executor(warm)
+        return await super()._op_query(request_id, request)
+
+    async def _op_update(self, request_id, request) -> dict:
+        add = self._edge_list(request.get("add", ()), "add")
+        remove = self._edge_list(request.get("remove", ()), "remove")
+        if not add and not remove:
+            raise protocol.ProtocolError(
+                "'update' op needs 'add' and/or 'remove' edges"
+            )
+        # submit_update admits to every replica with block=True (so the
+        # copies never diverge on a full queue) -- keep that potential
+        # wait off the event loop.
+        future = await self._in_executor(
+            lambda: self.cluster.submit_update(add=add, remove=remove)
+        )
+        await asyncio.wrap_future(future)
+        return protocol.ok_response(
+            request_id, added=len(add), removed=len(remove)
+        )
+
+    async def _op_stats(self, request_id, request) -> dict:
+        def collect() -> dict:
+            return {
+                "scheduler": self.cluster.stats(),
+                "session": self.cluster.session_stats(),
+                "cluster": self.cluster.describe(),
+            }
+
+        stats = await self._in_executor(collect)
+        stats["server"] = {
+            "address": list(self.address),
+            "connections": self._connections,
+            "version": protocol.PROTOCOL_VERSION,
+        }
+        return protocol.ok_response(request_id, stats=stats)
+
+    # ``watch`` and ``reaches`` are inherited: the base handlers call
+    # self.db.watch / self.db.reaches, and GraphCluster implements both
+    # with GraphDB's signatures (broadcast / shard-routed).

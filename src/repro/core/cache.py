@@ -25,16 +25,25 @@ Concurrency contract
 --------------------
 Caches are shared between the per-worker engines of
 :mod:`repro.server`, so every public operation (``lookup`` / ``store`` /
-``clear`` / ``total_shared_pairs`` / ``len`` / ``in``) is individually
-atomic: an internal :class:`threading.RLock` serialises them, and the
-hit/miss statistics are updated under the same lock.  The
-*lookup-then-store* sequence engines perform on a miss is deliberately
-**not** atomic -- two threads missing on the same key may both compute
-the value and store it twice.  That race is benign (both compute equal
-values for the same immutable graph; the second ``store`` overwrites
-with an equivalent entry) and the server's sharing-aware scheduler makes
-it rare by routing queries with a common closure body to one worker
-batch.  Cached values are treated as immutable by all engines.
+``get_or_compute`` / ``clear`` / ``total_shared_pairs`` / ``len`` /
+``in``) is individually atomic: an internal :class:`threading.RLock`
+serialises them, and the hit/miss statistics are updated under the same
+lock.
+
+Engines populate the cache through :meth:`SharedDataCache.get_or_compute`,
+which holds a per-key in-flight latch: concurrent misses on one key
+compute the value **once** (one miss recorded), with the other threads
+blocking on the latch and then taking a hit.  The raw *lookup-then-store*
+sequence is still available and still not atomic -- two threads using it
+may both compute the value and store it twice; that legacy race is benign
+(both compute equal values for the same immutable graph; the second
+``store`` overwrites with an equivalent entry) but it double-counts
+misses, which is why the engines moved off it.  ``clear`` only drops
+stored entries: a compute already in flight stores its (pre-clear) value
+afterwards, so callers that mutate the graph must drain evaluations first
+-- exactly what :class:`~repro.db.GraphDB`'s session lock and the
+server's exclusive drain-then-apply updates guarantee.  Cached values are
+treated as immutable by all engines.
 """
 
 from __future__ import annotations
@@ -94,6 +103,10 @@ class SharedDataCache(Generic[Value]):
         self._key_function = make_key_function(self.mode)
         self._entries: dict[str, Value] = {}
         self._lock = threading.RLock()
+        # Per-key in-flight latches for get_or_compute: key -> (Event set
+        # when the owning thread finished (or failed) computing the value,
+        # id of the owning thread -- for re-entrancy detection).
+        self._inflight: dict[str, tuple[threading.Event, int]] = {}
 
     def key_for(self, node: RegexNode) -> str:
         """The cache key of a closure body."""
@@ -113,6 +126,73 @@ class SharedDataCache(Generic[Value]):
                 self.stats.misses += 1
             else:
                 self.stats.hits += 1
+        return key, value
+
+    def get_or_compute(self, node: RegexNode, factory) -> tuple[str, Value]:
+        """Return ``(key, value)``, computing the value at most once per key.
+
+        On a miss the calling thread becomes the key's *owner*: it runs
+        ``factory()`` (outside the lock) and publishes the result; any
+        other thread missing on the same key meanwhile blocks on the
+        key's latch and then returns the published value as a hit.  So a
+        burst of concurrent first-contact queries on one closure body
+        records exactly one miss and computes the shared data once.
+
+        If the owner's ``factory`` raises, the error propagates to the
+        owner only; waiters wake and race to become the next owner (each
+        actual computation attempt records one miss).
+
+        Re-entrancy: a ``factory`` may call back into ``get_or_compute``
+        with the *same* key on the same thread -- in ``semantic`` cache
+        mode a nested closure body can be language-equal to its
+        enclosing body, so their canonical keys collide.  The re-entrant
+        call must not wait on its own latch; it computes directly and
+        the enclosing computation later overwrites the entry with an
+        equal value (the legacy lookup/store behaviour, single-threaded
+        by construction).
+        """
+        key = self.key_for(node)
+        current = threading.get_ident()
+        while True:
+            with self._lock:
+                value = self._entries.get(key)
+                if value is not None:
+                    self.stats.hits += 1
+                    return key, value
+                entry = self._inflight.get(key)
+                if entry is None:
+                    latch = threading.Event()
+                    self._inflight[key] = (latch, current)
+                    self.stats.misses += 1
+                    owner = True
+                    break
+                latch, owner_thread = entry
+                if owner_thread == current:
+                    # Re-entrant same-key call from our own factory: the
+                    # latch is ours, so compute directly instead of
+                    # waiting on it forever.
+                    self.stats.misses += 1
+                    owner = False
+                    break
+            latch.wait()
+        if not owner:
+            value = factory()
+            with self._lock:
+                self._entries[key] = value
+                self.stats.entries = len(self._entries)
+            return key, value
+        try:
+            value = factory()
+        except BaseException:
+            with self._lock:
+                self._inflight.pop(key, None)
+            latch.set()
+            raise
+        with self._lock:
+            self._entries[key] = value
+            self.stats.entries = len(self._entries)
+            self._inflight.pop(key, None)
+        latch.set()
         return key, value
 
     def store(self, key: str, value: Value) -> None:

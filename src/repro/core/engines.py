@@ -283,17 +283,23 @@ class RTCSharingEngine(_SharingEngine):
         self.options = options
 
     def rtc_for(self, r: str | RegexNode) -> ReducedTransitiveClosure:
-        """The (cached) RTC of closure body ``R`` (Algorithm 1 lines 9-11)."""
+        """The (cached) RTC of closure body ``R`` (Algorithm 1 lines 9-11).
+
+        Goes through the cache's atomic
+        :meth:`~repro.core.cache.SharedDataCache.get_or_compute`, so
+        concurrent engines (the server's worker pool) missing on the same
+        body build the RTC once and count one miss.
+        """
         node = parse(r)
-        key, rtc = self.rtc_cache.lookup(node)
-        if rtc is not None:
-            return rtc
-        # Line 10: R_G by recursive evaluation (time lands in Remainder).
-        rg_pairs = self._evaluate_node(node)
-        # Line 11: Compute_RTC (time lands in Shared_Data).
-        with self.timer.measure(PHASE_SHARED_DATA):
-            rtc = compute_rtc(rg_pairs)
-        self.rtc_cache.store(key, rtc)
+
+        def build() -> ReducedTransitiveClosure:
+            # Line 10: R_G by recursive evaluation (time -> Remainder).
+            rg_pairs = self._evaluate_node(node)
+            # Line 11: Compute_RTC (time -> Shared_Data).
+            with self.timer.measure(PHASE_SHARED_DATA):
+                return compute_rtc(rg_pairs)
+
+        _key, rtc = self.rtc_cache.get_or_compute(node, build)
         return rtc
 
     def explain(self, query: str | RegexNode):
@@ -375,15 +381,19 @@ class FullSharingEngine(_SharingEngine):
         self.closure_cache = ClosureCache(mode=cache_mode)
 
     def closure_for(self, r: str | RegexNode) -> dict:
-        """The (cached) materialised ``R+_G`` indexed by start vertex."""
+        """The (cached) materialised ``R+_G`` indexed by start vertex.
+
+        Concurrent misses on one body materialise the closure once (the
+        cache's per-key in-flight latch), mirroring ``rtc_for``.
+        """
         node = parse(r)
-        key, entry = self.closure_cache.lookup(node)
-        if entry is not None:
-            return entry
-        rg_pairs = self._evaluate_node(node)  # R_G: Remainder
-        with self.timer.measure(PHASE_SHARED_DATA):
-            entry = self._materialise_closure(rg_pairs)
-        self.closure_cache.store(key, entry)
+
+        def build() -> dict:
+            rg_pairs = self._evaluate_node(node)  # R_G: Remainder
+            with self.timer.measure(PHASE_SHARED_DATA):
+                return self._materialise_closure(rg_pairs)
+
+        _key, entry = self.closure_cache.get_or_compute(node, build)
         return entry
 
     def _materialise_closure(self, rg_pairs: Pairs) -> dict:

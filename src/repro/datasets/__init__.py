@@ -10,7 +10,13 @@ Public surface:
   the published |V| / |E| / |Sigma| statistics of Table IV.
 """
 
-from repro.datasets.rmat import default_labels, rmat_edges, rmat_graph, rmat_n
+from repro.datasets.rmat import (
+    default_labels,
+    rmat_component_graph,
+    rmat_edges,
+    rmat_graph,
+    rmat_n,
+)
 from repro.datasets.standins import (
     TABLE4_SPECS,
     DatasetSpec,
@@ -23,6 +29,7 @@ from repro.datasets.standins import (
 )
 
 __all__ = [
+    "rmat_component_graph",
     "rmat_edges",
     "rmat_graph",
     "rmat_n",

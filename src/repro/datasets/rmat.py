@@ -27,7 +27,13 @@ import numpy as np
 from repro.errors import WorkloadError
 from repro.graph.multigraph import LabeledMultigraph
 
-__all__ = ["rmat_edges", "rmat_graph", "rmat_n", "default_labels"]
+__all__ = [
+    "rmat_edges",
+    "rmat_graph",
+    "rmat_n",
+    "rmat_component_graph",
+    "default_labels",
+]
 
 #: The classic R-MAT quadrant probabilities [17].
 DEFAULT_PROBABILITIES = (0.57, 0.19, 0.19, 0.05)
@@ -110,6 +116,41 @@ def rmat_graph(
             f"could not place {num_edges} distinct labeled edges in a "
             f"2^{scale}-vertex, {num_labels}-label R-MAT graph"
         )
+    return graph
+
+
+def rmat_component_graph(
+    components: int,
+    scale: int,
+    edges_per_component: int | None = None,
+    num_labels: int = 3,
+    seed: int = 0,
+) -> LabeledMultigraph:
+    """``components`` disjoint R-MAT blocks in one graph (shared alphabet).
+
+    The multi-tenant shape a sharded serving layer is built for: many
+    independent subgraphs (one per tenant / data source / federation
+    endpoint) behind one front end, all labeled from the *same* alphabet
+    so one query means the same thing everywhere.  Block ``i`` occupies
+    the vertex range ``[i * 2^scale, (i + 1) * 2^scale)``; blocks never
+    share an edge, so :func:`~repro.cluster.partition_graph` can place
+    them on shards independently.
+    """
+    if components < 1:
+        raise WorkloadError("components must be >= 1")
+    size = 1 << scale
+    if edges_per_component is None:
+        edges_per_component = 6 * size
+    graph = LabeledMultigraph()
+    for index in range(components):
+        block = rmat_graph(
+            scale, edges_per_component, num_labels, seed=seed + index
+        )
+        offset = index * size
+        for vertex in block.vertices():
+            graph.add_vertex(int(vertex) + offset)
+        for source, label, target in block.edges():
+            graph.add_edge(int(source) + offset, label, int(target) + offset)
     return graph
 
 

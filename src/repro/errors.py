@@ -134,6 +134,19 @@ class DeadlineExpiredError(ServerError):
     code = "deadline"
 
 
+class ClusterError(ServerError):
+    """A request could not be routed by the :mod:`repro.cluster` layer.
+
+    Raised for topology violations the sharded deployment cannot express,
+    most prominently an edge insertion whose endpoints live on two
+    different shards (components are the partitioning unit; merging two
+    of them across shards would require re-partitioning).  Registered in
+    the wire protocol's error-code map, so remote clients catch it too.
+    """
+
+    code = "cluster"
+
+
 class ProtocolError(ServerError):
     """A wire message violated the JSON-lines protocol.
 

@@ -72,6 +72,11 @@ class Client:
         self._socket.settimeout(socket_timeout)
         self._file = self._socket.makefile("rwb")
         self._closed = False
+        #: Set to the failure reason after a transport/protocol error.
+        #: A poisoned client's stream position is unknown (a half-read
+        #: response, or a response still in flight after a timeout), so
+        #: every later call fails fast instead of desyncing.
+        self._broken: str | None = None
 
     @classmethod
     def connect(cls, address: str | tuple, **kwargs) -> "Client":
@@ -103,11 +108,42 @@ class Client:
         self.close()
 
     # -- transport -------------------------------------------------------
+    def _poison(self, reason: str) -> None:
+        """Mark the connection unusable and release the socket.
+
+        Called (under the lock) after any failure that leaves the stream
+        in an unknown state.  Server-*reported* errors (an ``ok: false``
+        response) do not poison: the stream is still framed correctly.
+        """
+        self._broken = reason
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        finally:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+
     def _call(self, payload: dict) -> dict:
-        """One request/response round trip; raises on error responses."""
-        if self._closed:
-            raise ServerError("client is closed")
+        """One request/response round trip; raises on error responses.
+
+        Transport failures (``OSError``, a closed stream) and protocol
+        violations (unparseable response, id mismatch) poison the client:
+        the next call raises :class:`~repro.errors.ServerError`
+        immediately instead of writing onto a desynchronised stream.
+        """
         with self._lock:
+            if self._closed:
+                raise ServerError("client is closed")
+            if self._broken is not None:
+                error = ServerError(
+                    f"client is poisoned after a transport error "
+                    f"({self._broken}); open a new Client"
+                )
+                error.code = "poisoned"
+                raise error
             self._next_id += 1
             request_id = self._next_id
             payload = {"id": request_id, **payload}
@@ -116,15 +152,25 @@ class Client:
                 self._file.flush()
                 line = self._file.readline()
             except OSError as error:
+                self._poison(f"connection lost: {error}")
                 raise ServerError(f"connection lost: {error}") from error
-        if not line:
-            raise ServerError("server closed the connection")
-        response = protocol.decode_line(line)
-        if response.get("id") not in (None, request_id):
-            raise ProtocolError(
-                f"response id {response.get('id')!r} does not match "
-                f"request id {request_id!r}"
-            )
+            if not line:
+                self._poison("server closed the connection")
+                raise ServerError("server closed the connection")
+            try:
+                response = protocol.decode_line(line)
+            except ProtocolError as error:
+                self._poison(f"unparseable response: {error}")
+                raise
+            if response.get("id") not in (None, request_id):
+                self._poison(
+                    f"response id {response.get('id')!r} does not match "
+                    f"request id {request_id!r}"
+                )
+                raise ProtocolError(
+                    f"response id {response.get('id')!r} does not match "
+                    f"request id {request_id!r}"
+                )
         if not response.get("ok"):
             raise protocol.exception_from_payload(response.get("error", {}))
         return response
@@ -202,5 +248,10 @@ class Client:
         )["reaches"]
 
     def __repr__(self) -> str:
-        state = "closed" if self._closed else "open"
+        if self._closed:
+            state = "closed"
+        elif self._broken is not None:
+            state = "poisoned"
+        else:
+            state = "open"
         return f"Client({self.host}:{self.port}, {state})"

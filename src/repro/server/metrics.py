@@ -14,6 +14,7 @@ serves both the library and the server.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -22,12 +23,18 @@ __all__ = ["ServerMetrics", "percentile"]
 
 
 def percentile(values: list[float], fraction: float) -> float:
-    """The ``fraction``-quantile of ``values`` by nearest-rank (0 if empty)."""
+    """The ``fraction``-quantile of ``values`` by nearest-rank (0 if empty).
+
+    Nearest-rank: the smallest value such that at least ``fraction`` of
+    the sample is <= it, i.e. the 1-based rank ``ceil(fraction * n)``.
+    ``percentile([1, 2, 3, 4], 0.5)`` is 2 (not 3: ``int(fraction * n)``
+    is the *next* rank whenever ``fraction * n`` is exact).
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
-    return ordered[rank]
+    rank = math.ceil(fraction * len(ordered)) - 1
+    return ordered[min(len(ordered) - 1, max(0, rank))]
 
 
 class ServerMetrics:
@@ -92,6 +99,11 @@ class ServerMetrics:
     @property
     def uptime(self) -> float:
         return time.monotonic() - self._started
+
+    def latency_values(self) -> list[float]:
+        """A copy of the latency reservoir (cluster-wide percentile pooling)."""
+        with self._lock:
+            return list(self._latencies)
 
     def snapshot(self) -> dict:
         """A point-in-time metrics dict (the ``stats`` verb's core)."""

@@ -34,8 +34,10 @@ Error codes
 -----------
 ``bad_request`` (malformed JSON / unknown verb / bad fields),
 ``syntax`` (RPQ parse error), ``rejected`` (admission control: queue
-full), ``deadline`` (request expired before evaluation), ``closed``
-(server shutting down), ``evaluation`` and ``internal``.
+full), ``deadline`` (request expired before evaluation), ``cluster``
+(a sharded deployment cannot route the request, e.g. a cross-shard
+edge), ``closed`` (server shutting down), ``evaluation`` and
+``internal``.
 """
 
 from __future__ import annotations
@@ -44,6 +46,7 @@ import json
 
 from repro.errors import (
     AdmissionError,
+    ClusterError,
     DeadlineExpiredError,
     ProtocolError,
     ReproError,
@@ -78,6 +81,7 @@ _CODE_TO_ERROR = {
     "rejected": AdmissionError,
     "deadline": DeadlineExpiredError,
     "bad_request": ProtocolError,
+    "cluster": ClusterError,
     "syntax": RPQSyntaxError,
 }
 

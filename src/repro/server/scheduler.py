@@ -18,9 +18,10 @@ scheduler does exactly that:
     lock-protected RTC cache** of the session's primary engine -- so the
     first query of a group computes the RTC and every other query in
     that group (and every later group with the same body) hits the
-    cache.  Grouping also makes the cache's benign lookup/store race
-    (see :mod:`repro.core.cache`) rare: a body's queries land on one
-    worker back to back.
+    cache.  Concurrent first-contact misses on one body across workers
+    are collapsed by the cache's ``get_or_compute`` in-flight latch
+    (see :mod:`repro.core.cache`); grouping keeps even the latch wait
+    rare by landing a body's queries on one worker back to back.
 
 Admission control is a bounded queue (``queue.Full`` surfaces as
 :class:`~repro.errors.AdmissionError` *before* any work happens) plus a
@@ -206,7 +207,12 @@ class SharingScheduler:
         self.max_batch = max(1, max_batch)
         self.metrics = ServerMetrics()
         cache = self.shared_cache
-        self._key_function = make_key_function(cache.mode if cache else "syntactic")
+        # `is not None`, not truthiness: the cache defines __len__ and is
+        # always empty at construction, so `if cache` would silently key
+        # a semantic-mode scheduler syntactically.
+        self._key_function = make_key_function(
+            cache.mode if cache is not None else "syntactic"
+        )
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._engines: queue.SimpleQueue = queue.SimpleQueue()
         for engine in make_worker_engines(db, workers, engine_kwargs):
@@ -297,23 +303,45 @@ class SharingScheduler:
         self._admit(job)
         return job.future
 
-    def submit_update(self, add=(), remove=()) -> Future:
-        """Admit an exclusive graph update; returns a future of ``None``."""
+    def submit_update(self, add=(), remove=(), block: bool = False) -> Future:
+        """Admit an exclusive graph update; returns a future of ``None``.
+
+        ``block=True`` waits for a queue slot instead of raising
+        :class:`~repro.errors.AdmissionError` when the queue is full --
+        the admission mode the cluster's replica broadcast uses, where a
+        half-admitted update would leave replica copies diverged.  Never
+        call it from a latency-sensitive thread (it can wait for a whole
+        batch to drain).
+        """
         job = UpdateJob(add=tuple(add), remove=tuple(remove), future=Future())
-        self._admit(job)
+        self._admit(job, block=block)
         return job.future
 
-    def _admit(self, job) -> None:
-        """Enqueue under the admission lock (atomic w.r.t. :meth:`stop`)."""
-        with self._admission_lock:
-            if self._stopped:
-                raise self._closed_error()
-            try:
-                self._queue.put_nowait(job)
-            except queue.Full:
-                self.metrics.record_rejected()
-                raise AdmissionError(queue_depth=self._queue.qsize()) from None
-            self.metrics.record_admitted()
+    def _admit(self, job, block: bool = False) -> None:
+        """Enqueue under the admission lock (atomic w.r.t. :meth:`stop`).
+
+        The blocking mode polls instead of holding the admission lock
+        through a blocking ``put`` -- :meth:`stop` takes the same lock,
+        so a blocked holder would deadlock shutdown.  Each probe
+        re-checks ``_stopped`` under the lock, preserving the invariant
+        that no job enters the queue after the shutdown drain.
+        """
+        while True:
+            with self._admission_lock:
+                if self._stopped:
+                    raise self._closed_error()
+                try:
+                    self._queue.put_nowait(job)
+                except queue.Full:
+                    if not block:
+                        self.metrics.record_rejected()
+                        raise AdmissionError(
+                            queue_depth=self._queue.qsize()
+                        ) from None
+                else:
+                    self.metrics.record_admitted()
+                    return
+            time.sleep(0.001)
 
     # -- dispatch --------------------------------------------------------
     def _dispatch_loop(self) -> None:
@@ -423,11 +451,16 @@ class SharingScheduler:
     # -- introspection ---------------------------------------------------
     @property
     def shared_cache(self):
-        """The primary engine's shared-data cache (None for ``no``)."""
+        """The primary engine's shared-data cache (None for ``no``).
+
+        Checked against None explicitly: an *empty* cache is falsy (it
+        has ``__len__``), and an idle engine's cache is exactly that.
+        """
         engine = self.db.engine
-        return getattr(engine, "rtc_cache", None) or getattr(
-            engine, "closure_cache", None
-        )
+        cache = getattr(engine, "rtc_cache", None)
+        if cache is not None:
+            return cache
+        return getattr(engine, "closure_cache", None)
 
     def stats(self) -> dict:
         """Scheduler metrics merged with queue and shared-cache state."""

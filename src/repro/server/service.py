@@ -56,12 +56,24 @@ class ServerConfig:
 
 
 class QueryServer:
-    """Concurrent, sharing-aware RPQ server over one session."""
+    """Concurrent, sharing-aware RPQ server over one session.
 
-    def __init__(self, db: GraphDB, config: ServerConfig | None = None) -> None:
+    ``scheduler`` defaults to a :class:`SharingScheduler` over ``db``;
+    passing another object with the scheduler surface (``start`` /
+    ``stop`` / ``submit`` / ``submit_update`` / ``stats``) re-targets the
+    same protocol front end -- that is how
+    :class:`~repro.cluster.ClusterRouter` serves a sharded deployment.
+    """
+
+    def __init__(
+        self,
+        db: GraphDB,
+        config: ServerConfig | None = None,
+        scheduler=None,
+    ) -> None:
         self.db = db
         self.config = config or ServerConfig()
-        self.scheduler = SharingScheduler(
+        self.scheduler = scheduler if scheduler is not None else SharingScheduler(
             db,
             workers=self.config.workers,
             max_queue=self.config.max_queue,
@@ -317,10 +329,24 @@ class ServerThread:
 
     ``start`` blocks until the listener is bound (so ``address`` is
     immediately usable) and re-raises any startup failure.
+
+    Accepts either a :class:`~repro.db.GraphDB` (wrapped in a fresh
+    :class:`QueryServer`) or an already-configured :class:`QueryServer`
+    subclass instance, e.g. a :class:`~repro.cluster.ClusterRouter`.
     """
 
-    def __init__(self, db: GraphDB, config: ServerConfig | None = None) -> None:
-        self.server = QueryServer(db, config)
+    def __init__(
+        self, db: "GraphDB | QueryServer", config: ServerConfig | None = None
+    ) -> None:
+        if isinstance(db, QueryServer):
+            if config is not None:
+                raise ValueError(
+                    "pass the ServerConfig to the QueryServer itself; "
+                    "ServerThread(server, config) would silently ignore it"
+                )
+            self.server = db
+        else:
+            self.server = QueryServer(db, config)
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop_event: asyncio.Event | None = None

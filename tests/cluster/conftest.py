@@ -1,0 +1,38 @@
+"""Fixtures for the cluster suite: multi-component graphs to shard."""
+
+import pytest
+
+from repro.graph.builders import paper_figure1_graph
+from repro.graph.multigraph import LabeledMultigraph
+
+
+def relabeled_copies(base: LabeledMultigraph, copies: int) -> LabeledMultigraph:
+    """``copies`` disjoint relabeled copies of ``base`` in one graph."""
+    graph = LabeledMultigraph()
+    for copy in range(copies):
+        for vertex in base.vertices():
+            graph.add_vertex(f"{copy}:{vertex}")
+        for source, label, target in base.edges():
+            graph.add_edge(f"{copy}:{source}", label, f"{copy}:{target}")
+    return graph
+
+
+@pytest.fixture
+def multi_fig1():
+    """Four disjoint copies of the paper's Fig. 1 graph (one per shard)."""
+    return relabeled_copies(paper_figure1_graph(), 4)
+
+
+@pytest.fixture
+def two_worlds():
+    """Two components over disjoint alphabets (exercises shard pruning)."""
+    return LabeledMultigraph.from_edges(
+        [
+            ("a1", "x", "a2"),
+            ("a2", "x", "a3"),
+            ("a3", "y", "a1"),
+            ("b1", "p", "b2"),
+            ("b2", "q", "b1"),
+            ("b2", "p", "b3"),
+        ]
+    )

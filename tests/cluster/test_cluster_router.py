@@ -1,0 +1,91 @@
+"""ClusterRouter end-to-end: the unchanged Client against a cluster.
+
+Everything here goes over real TCP through the PR-3 wire protocol --
+the point being that a :class:`~repro.server.Client` cannot tell (except
+by reading ``stats``) whether it talks to one session or to a
+4-shard x 2-replica cluster.
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterRouter, GraphCluster
+from repro.db import GraphDB
+from repro.errors import RPQSyntaxError
+from repro.server import Client, ServerConfig, ServerThread
+
+from test_cluster import QUERIES
+
+
+@pytest.fixture
+def served(multi_fig1):
+    cluster = GraphCluster.open(
+        multi_fig1,
+        config=ClusterConfig(shards=4, replicas=2, workers=1),
+        start=False,
+    )
+    router = ClusterRouter(cluster, ServerConfig(batch_window=0.002))
+    with ServerThread(router) as handle:
+        with Client(*handle.address) as client:
+            yield client, multi_fig1
+
+
+class TestProtocolOverCluster:
+    def test_ping(self, served):
+        client, _graph = served
+        assert client.ping() >= 1
+
+    def test_query_many_matches_session(self, served):
+        client, graph = served
+        session = GraphDB.open(graph)
+        results = client.query_many(QUERIES)
+        for query, result in zip(QUERIES, results):
+            assert result.pairs == set(session.execute(query)), query
+
+    def test_counts_only(self, served):
+        client, graph = served
+        result = client.query("(b.c)+", pairs=False)
+        assert result.pairs is None
+        assert result.count == len(set(GraphDB.open(graph).execute("(b.c)+")))
+
+    def test_syntax_error_comes_back_typed(self, served):
+        client, _graph = served
+        with pytest.raises(RPQSyntaxError):
+            client.query("((")
+        assert client.ping() >= 1  # well-framed error: client stays usable
+
+    def test_update_watch_reaches(self, served):
+        client, _graph = served
+        assert client.watch("b.c") == "b.c"
+        client.update(add=[("0:1", "e", "0:90")])
+        assert client.reaches("e", "0:1", "0:90")
+        assert not client.reaches("e", "0:90", "0:1")
+        client.update(remove=[("0:1", "e", "0:90")])
+        assert not client.reaches("e", "0:1", "0:90")
+
+    def test_cross_shard_update_is_a_wire_error(self, served):
+        """ClusterError survives the wire round trip as itself."""
+        client, _graph = served
+        from repro.errors import ClusterError
+
+        with pytest.raises(ClusterError, match="crosses shards"):
+            client.update(add=[("0:1", "b", "1:1")])
+        assert client.ping() >= 1
+
+    def test_stats_document_shape(self, served):
+        client, graph = served
+        client.query_many(QUERIES)
+        stats = client.stats()
+        assert stats["server"]["version"] >= 1
+        assert stats["scheduler"]["completed"] >= len(QUERIES)
+        assert stats["scheduler"]["in_flight"] == 0
+        assert "cache" in stats["scheduler"]
+        assert stats["session"]["graph"]["edges"] == graph.num_edges
+        cluster_doc = stats["cluster"]
+        assert cluster_doc["shards"] == 4
+        assert cluster_doc["replicas"] == 2
+        per_shard_completed = sum(
+            replica["completed"]
+            for shard in cluster_doc["per_shard"]
+            for replica in shard["replicas"]
+        )
+        assert per_shard_completed == stats["scheduler"]["completed"]

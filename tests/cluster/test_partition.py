@@ -1,0 +1,96 @@
+"""Partitioner tests: component integrity, balance, routing metadata."""
+
+import pytest
+
+from repro.cluster import partition_graph, weakly_connected_components
+from repro.errors import ClusterError
+from repro.graph.multigraph import LabeledMultigraph
+
+
+class TestComponents:
+    def test_components_of_multi_fig1(self, multi_fig1):
+        components = weakly_connected_components(multi_fig1)
+        assert len(components) == 4
+        assert sorted(len(component) for component in components) == [10] * 4
+
+    def test_isolated_vertices_are_components(self):
+        graph = LabeledMultigraph()
+        graph.add_vertex("lonely")
+        graph.add_edge("a", "x", "b")
+        components = weakly_connected_components(graph)
+        assert sorted(len(component) for component in components) == [1, 2]
+
+    def test_direction_is_ignored(self):
+        graph = LabeledMultigraph.from_edges([("a", "x", "b"), ("c", "x", "b")])
+        assert len(weakly_connected_components(graph)) == 1
+
+
+class TestPartitionGraph:
+    def test_conserves_vertices_and_edges(self, multi_fig1):
+        partition = partition_graph(multi_fig1, 4)
+        assert sum(g.num_vertices for g in partition.shards) == (
+            multi_fig1.num_vertices
+        )
+        assert sum(g.num_edges for g in partition.shards) == multi_fig1.num_edges
+        all_edges = set()
+        for shard in partition.shards:
+            edges = set(shard.edges())
+            assert not all_edges & edges, "an edge landed on two shards"
+            all_edges |= edges
+        assert all_edges == set(multi_fig1.edges())
+
+    def test_components_stay_whole(self, multi_fig1):
+        partition = partition_graph(multi_fig1, 4)
+        for component in weakly_connected_components(multi_fig1):
+            shards = {partition.shard_of(vertex) for vertex in component}
+            assert len(shards) == 1
+
+    def test_balance_four_equal_components(self, multi_fig1):
+        partition = partition_graph(multi_fig1, 4)
+        edges = [g.num_edges for g in partition.shards]
+        assert edges == [16, 16, 16, 16]
+
+    def test_more_shards_than_components(self, two_worlds):
+        partition = partition_graph(two_worlds, 4)
+        edges = sorted(g.num_edges for g in partition.shards)
+        assert edges == [0, 0, 3, 3]
+
+    def test_single_shard_is_the_whole_graph(self, multi_fig1):
+        partition = partition_graph(multi_fig1, 1)
+        assert partition.shards[0] == multi_fig1
+
+    def test_deterministic_assignment(self, multi_fig1):
+        first = partition_graph(multi_fig1, 4)
+        second = partition_graph(multi_fig1, 4)
+        for vertex in multi_fig1.vertices():
+            assert first.shard_of(vertex) == second.shard_of(vertex)
+
+    def test_invalid_shard_count(self, multi_fig1):
+        with pytest.raises(ClusterError):
+            partition_graph(multi_fig1, 0)
+
+
+class TestRoutingMetadata:
+    def test_shard_for_edge_within_one_shard(self, two_worlds):
+        partition = partition_graph(two_worlds, 2)
+        shard = partition.shard_of("a1")
+        assert partition.shard_for_edge("a1", "a3") == shard
+
+    def test_shard_for_edge_cross_shard_raises(self, two_worlds):
+        partition = partition_graph(two_worlds, 2)
+        assert partition.shard_of("a1") != partition.shard_of("b1")
+        with pytest.raises(ClusterError, match="crosses shards"):
+            partition.shard_for_edge("a1", "b1")
+
+    def test_new_vertices_resolve_and_assign(self, two_worlds):
+        partition = partition_graph(two_worlds, 2)
+        shard = partition.shard_of("a1")
+        assert partition.shard_for_edge("a1", "brand-new") == shard
+        assert partition.shard_for_edge("both", "new") is None
+        assert partition.assign("both", 1) == 1
+        assert partition.assign("both", 0) == 1, "first assignment wins"
+
+    def test_stats_document(self, multi_fig1):
+        stats = partition_graph(multi_fig1, 4).stats()
+        assert stats["num_shards"] == 4
+        assert [shard["edges"] for shard in stats["shards"]] == [16] * 4

@@ -81,6 +81,169 @@ class TestClosureCache:
         assert cache.total_shared_pairs() == 3
 
 
+class TestGetOrCompute:
+    """The atomic miss path: one computation per key, race or no race."""
+
+    def test_single_threaded_semantics(self):
+        cache = RTCCache()
+        node = parse("a.b")
+        rtc = compute_rtc({(0, 1)})
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return rtc
+
+        key, value = cache.get_or_compute(node, factory)
+        assert value is rtc
+        assert cache.stats.misses == 1
+        _key, again = cache.get_or_compute(node, factory)
+        assert again is rtc
+        assert len(calls) == 1
+        assert cache.stats.hits == 1
+        assert key == cache.key_for(node)
+
+    def test_concurrent_misses_compute_once(self):
+        import threading
+        import time
+
+        cache = RTCCache()
+        node = parse("a.b")
+        rtc = compute_rtc({(0, 1)})
+        calls = []
+        barrier = threading.Barrier(8)
+        results = []
+
+        def factory():
+            calls.append(1)
+            time.sleep(0.05)  # hold the latch long enough for real overlap
+            return rtc
+
+        def racer() -> None:
+            barrier.wait()
+            results.append(cache.get_or_compute(node, factory)[1])
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1, "concurrent misses must compute once"
+        assert all(value is rtc for value in results)
+        stats = cache.snapshot_stats()
+        assert stats.misses == 1
+        assert stats.hits == 7
+
+    def test_failed_factory_releases_the_latch(self):
+        import threading
+
+        cache = RTCCache()
+        node = parse("a.b")
+        rtc = compute_rtc({(0, 1)})
+        attempts = []
+        owner_in_factory = threading.Event()
+        gate = threading.Event()
+
+        def failing():
+            attempts.append(1)
+            owner_in_factory.set()
+            gate.wait(timeout=5)
+            raise RuntimeError("boom")
+
+        errors = []
+
+        def owner() -> None:
+            try:
+                cache.get_or_compute(node, failing)
+            except RuntimeError as error:
+                errors.append(error)
+
+        waiter_result = []
+
+        def waiter() -> None:
+            waiter_result.append(cache.get_or_compute(node, lambda: rtc)[1])
+
+        owner_thread = threading.Thread(target=owner)
+        owner_thread.start()
+        assert owner_in_factory.wait(timeout=5)  # owner holds the latch
+        waiter_thread = threading.Thread(target=waiter)
+        waiter_thread.start()
+        gate.set()
+        owner_thread.join(timeout=5)
+        waiter_thread.join(timeout=5)
+        assert len(errors) == 1, "the owner sees its own factory error"
+        assert waiter_result == [rtc], "waiters retry after an owner failure"
+        assert cache.snapshot_stats().misses == 2  # two computation attempts
+
+
+class TestGetOrComputeReentrancy:
+    def test_same_key_reentrant_factory_does_not_deadlock(self):
+        """A factory may recurse into its own key (semantic-mode collisions)."""
+        cache = RTCCache()
+        node = parse("a.b")
+        inner_rtc = compute_rtc({(0, 1)})
+        outer_rtc = compute_rtc({(0, 1), (1, 0)})
+
+        def outer_factory():
+            _key, nested = cache.get_or_compute(node, lambda: inner_rtc)
+            assert nested is inner_rtc
+            return outer_rtc
+
+        key, value = cache.get_or_compute(node, outer_factory)
+        assert value is outer_rtc, "the enclosing computation wins"
+        assert cache.stats.misses == 2  # two computation attempts
+        _key, cached = cache.get_or_compute(node, lambda: None)
+        assert cached is outer_rtc
+        # The in-flight latch is released: a later miss works normally.
+        cache.clear()
+        _key, again = cache.get_or_compute(node, lambda: inner_rtc)
+        assert again is inner_rtc
+
+    def test_semantic_mode_nested_equal_body_terminates(self, fig1):
+        """Engine-level regression: evaluating a query whose nested closure
+        body is language-equal to the enclosing one must terminate (it
+        used to wait on its own in-flight latch forever)."""
+        from repro.core.engines import RTCSharingEngine
+
+        # The outer closure body (b*)+ and its own nested body b* both
+        # canonicalise to the language b*, so evaluating the outer body
+        # re-enters get_or_compute on the exact key it owns.
+        query = "((b*)+)+"
+        semantic = RTCSharingEngine(fig1, cache_mode="semantic")
+        syntactic = RTCSharingEngine(fig1)
+        assert semantic.evaluate(query) == syntactic.evaluate(query)
+        assert semantic.rtc_cache.stats.misses >= 3  # re-entrant attempts
+
+
+class TestEnginesComputeOnce:
+    def test_worker_engines_share_one_rtc_construction(self, fig1):
+        """Two engines over one cache, racing the same body: one miss."""
+        import threading
+
+        from repro.core.engines import RTCSharingEngine
+
+        primary = RTCSharingEngine(fig1)
+        secondary = RTCSharingEngine(fig1)
+        secondary.rtc_cache = primary.rtc_cache  # the server's worker setup
+        barrier = threading.Barrier(2)
+        results = []
+
+        def run(engine) -> None:
+            barrier.wait()
+            results.append(engine.evaluate("a.(b.c)+"))
+
+        threads = [
+            threading.Thread(target=run, args=(engine,))
+            for engine in (primary, secondary)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results[0] == results[1]
+        assert primary.rtc_cache.snapshot_stats().misses == 1
+
+
 class TestThreadSafety:
     """The concurrency contract: individually atomic operations."""
 

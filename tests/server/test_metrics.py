@@ -1,0 +1,174 @@
+"""Metrics unit tests: nearest-rank percentiles and counter accounting.
+
+The percentile tests pin the regression where ``int(fraction * n)`` was
+used instead of the nearest-rank index ``ceil(fraction * n) - 1``,
+silently reporting every p50/p95/p99 one rank high whenever
+``fraction * n`` landed on an integer.
+
+The accounting test drives a real scheduler through a stress mix of
+successful queries, evaluation failures, deadline expiries, cancelled
+jobs, admission rejections and updates, then asserts the conservation
+law the ``stats`` verb reports:
+``admitted == completed + expired + failed + cancelled + updates`` and
+``in_flight == 0`` once everything drained.
+"""
+
+import threading
+import time
+from concurrent.futures import wait
+
+import pytest
+
+from repro.db import GraphDB
+from repro.errors import AdmissionError
+from repro.server.metrics import ServerMetrics, percentile
+from repro.server.scheduler import SharingScheduler
+
+
+class TestPercentile:
+    def test_nearest_rank_on_exact_boundaries(self):
+        values = [1, 2, 3, 4]
+        # ceil(0.5 * 4) = rank 2 -> value 2; the old int() indexing gave 3.
+        assert percentile(values, 0.50) == 2
+        assert percentile(values, 0.25) == 1
+        assert percentile(values, 0.75) == 3
+        assert percentile(values, 1.00) == 4
+
+    def test_known_quantiles_of_1_to_100(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.50) == 50
+        assert percentile(values, 0.95) == 95
+        assert percentile(values, 0.99) == 99
+        assert percentile(values, 0.01) == 1
+
+    def test_between_ranks_rounds_up(self):
+        # ceil(0.5 * 5) = rank 3 -> the middle element.
+        assert percentile([10, 20, 30, 40, 50], 0.5) == 30
+        # ceil(0.95 * 3) = rank 3 -> the maximum.
+        assert percentile([1, 2, 3], 0.95) == 3
+
+    def test_order_independent_and_clamped(self):
+        assert percentile([4, 1, 3, 2], 0.5) == 2
+        assert percentile([7], 0.5) == 7
+        assert percentile([7], 0.0) == 7  # rank clamps to the minimum
+        assert percentile([], 0.5) == 0.0
+
+    def test_latency_values_snapshot(self):
+        metrics = ServerMetrics(window=4)
+        for latency in (0.4, 0.1, 0.3, 0.2):
+            metrics.record_completed(latency)
+        values = metrics.latency_values()
+        assert sorted(values) == [0.1, 0.2, 0.3, 0.4]
+        values.append(9.9)  # a copy: mutating it cannot touch the reservoir
+        assert len(metrics.latency_values()) == 4
+
+
+class TestAccountingIdentity:
+    def test_stress_mix_fully_drains(self, fig1):
+        """After queries+updates+expiries+rejections drain, the books close."""
+        db = GraphDB.open(fig1, engine="rtc")
+        scheduler = SharingScheduler(db, workers=2, max_queue=8, batch_window=0.002)
+        futures = []
+        futures_lock = threading.Lock()
+        rejected = []
+
+        def flood(index: int) -> None:
+            for round_ in range(25):
+                kind = (index + round_) % 5
+                try:
+                    if kind == 0:
+                        future = scheduler.submit_update(
+                            add=[((1000 * index) + round_, "b", "sink")]
+                        )
+                    elif kind == 1:  # duplicate edge -> update failure
+                        future = scheduler.submit_update(
+                            add=[("dup", "b", "dup"), ("dup", "b", "dup")]
+                        )
+                    elif kind == 2:  # expires before any worker claims it
+                        future = scheduler.submit("a.(b.c)+", timeout=1e-6)
+                    elif kind == 3:  # a cancellation attempt racing dispatch
+                        future = scheduler.submit("(b.c)+")
+                        future.cancel()
+                    else:
+                        future = scheduler.submit("d.(b.c)+.c")
+                except AdmissionError:
+                    rejected.append(1)
+                    continue
+                with futures_lock:
+                    futures.append(future)
+
+        threads = [
+            threading.Thread(target=flood, args=(index,)) for index in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        done, pending = wait(futures, timeout=60)
+        assert not pending, "a job never finished"
+
+        # The flood's admission control is aggressive enough that some
+        # outcome kinds may have been rejected wholesale; a calm tail
+        # (empty queue, everything admitted) guarantees each counter is
+        # exercised at least once.
+        tail = [
+            # A duplicate edge in one batch always fails the update job.
+            scheduler.submit_update(
+                add=[("tail", "b", "tail2"), ("tail", "b", "tail2")]
+            ),
+            scheduler.submit("a.(b.c)+", timeout=1e-6),  # expired
+            scheduler.submit_update(add=[("tail3", "b", "sink")]),  # update
+            scheduler.submit("d.(b.c)+.c"),  # completed
+        ]
+        futures.extend(tail)
+        done, pending = wait(tail, timeout=60)
+        assert not pending, "a tail job never finished"
+        # Metrics are recorded just before futures resolve; give the last
+        # worker the moment it needs to finish its bookkeeping.
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            stats = scheduler.stats()
+            if stats["in_flight"] == 0:
+                break
+            time.sleep(0.01)
+        scheduler.stop()
+
+        stats = scheduler.stats()
+        assert stats["in_flight"] == 0
+        assert stats["admitted"] == (
+            stats["completed"]
+            + stats["expired"]
+            + stats["failed"]
+            + stats["cancelled"]
+            + stats["updates"]
+        )
+        assert stats["rejected"] == len(rejected)
+        assert stats["admitted"] + stats["rejected"] == 6 * 25 + len(tail)
+        # The mix really exercised every outcome except (maybe) cancel,
+        # which is a race by construction.
+        assert stats["completed"] > 0
+        assert stats["failed"] > 0
+        assert stats["expired"] > 0
+        assert stats["updates"] > 0
+        assert stats["rejected"] > 0
+
+    def test_identity_survives_shutdown_failures(self, fig1):
+        """Jobs failed by stop() still balance the books."""
+        db = GraphDB.open(fig1)
+        scheduler = SharingScheduler(db, workers=1, max_queue=64, start=False)
+        futures = [scheduler.submit("a.(b.c)+") for _ in range(5)]
+        scheduler.stop()  # never started: everything queued is failed/cancelled
+        for future in futures:
+            assert future.done()
+            with pytest.raises(Exception):
+                future.result()
+        stats = scheduler.stats()
+        assert stats["in_flight"] == 0
+        assert stats["admitted"] == (
+            stats["completed"]
+            + stats["expired"]
+            + stats["failed"]
+            + stats["cancelled"]
+            + stats["updates"]
+        )

@@ -57,6 +57,25 @@ class TestGroupKey:
         ) == closure_group_key(parse("(a.(b|c))+"), semantic)
 
 
+class TestKeyFunctionMode:
+    def test_semantic_session_batches_by_semantic_keys(self, fig1):
+        """Regression: the scheduler's key function must follow the
+        session's cache mode even though the cache is empty (and hence
+        falsy -- it defines __len__) at construction time."""
+        db = GraphDB.open(fig1, engine="rtc", cache_mode="semantic")
+        scheduler = SharingScheduler(db, start=False)
+        assert closure_group_key(
+            parse("(a.b|a.c)+"), scheduler._key_function
+        ) == closure_group_key(parse("(a.(b|c))+"), scheduler._key_function)
+
+    def test_syntactic_session_keeps_syntactic_keys(self, fig1):
+        db = GraphDB.open(fig1, engine="rtc")
+        scheduler = SharingScheduler(db, start=False)
+        assert closure_group_key(
+            parse("(a.b|a.c)+"), scheduler._key_function
+        ) != closure_group_key(parse("(a.(b|c))+"), scheduler._key_function)
+
+
 class TestGrouping:
     def test_groups_by_key_preserving_order(self):
         jobs = [
