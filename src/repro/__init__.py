@@ -31,8 +31,9 @@ surface lives in the subpackages:
 * :mod:`repro.bench`    -- the experiment harness behind ``benchmarks/``;
 * :mod:`repro.server`   -- the concurrent, sharing-aware query server
   (``repro serve`` / ``repro.server.Client``);
-* :mod:`repro.cluster`  -- the sharded, replicated serving layer
-  (``repro serve --shards N --replicas R``).
+* :mod:`repro.cluster`  -- the sharded, replicated serving layer with
+  thread- or process-based shard backends
+  (``repro serve --shards N --replicas R [--backend process]``).
 """
 
 from repro.core.batch_unit import BatchUnitOptions
@@ -69,7 +70,7 @@ from repro.graph.multigraph import LabeledMultigraph
 from repro.regex.parser import parse
 from repro.rpq.evaluate import eval_rpq
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "GraphDB",

@@ -19,6 +19,12 @@ owning shard pays, on 1/N of the data, while the other shards keep
 serving from hot caches.  The benchmark's gate is therefore: sharded
 QPS > 1-shard QPS at high client counts under the mixed workload.
 
+The second axis is the shard *transport*: :func:`run_backend_comparison`
+pits ``backend="thread"`` (replica groups in the router's process,
+sharing its GIL) against ``backend="process"`` (one worker process per
+shard) on a CPU-bound read-heavy mix -- the configuration where process
+shards buy true multi-core scale-out rather than just update isolation.
+
 ``benchmarks/bench_cluster.py`` is the command-line driver emitting
 ``BENCH_cluster.json``.
 """
@@ -39,6 +45,7 @@ __all__ = [
     "closure_bodies",
     "measure_cluster_configuration",
     "run_cluster_benchmark",
+    "run_backend_comparison",
     "format_cluster_rows",
     "pick_update_targets",
 ]
@@ -93,13 +100,16 @@ def measure_cluster_configuration(
     engine: str = "rtc",
     verify: bool = True,
     watch_bodies: list[str] | None = None,
+    backend: str = "thread",
 ) -> dict:
     """One benchmark cell: a ``shards x replicas`` cluster under load.
 
     When the workload mixes updates in (``update_every > 0``), the cell
     first attaches a watcher per entry of ``watch_bodies`` (default: the
     closure bodies of ``queries``), so every update carries realistic
-    incremental-maintenance cost.
+    incremental-maintenance cost.  ``backend`` picks the shard transport
+    (``"thread"`` replica groups in-process, ``"process"`` one worker
+    process per shard) -- the exact ``repro serve --backend`` path.
     """
     if watch_bodies is None:
         watch_bodies = closure_bodies(queries)
@@ -112,6 +122,8 @@ def measure_cluster_configuration(
             workers=workers,
             max_queue=max(4096, num_clients * requests_per_client),
             batch_window=batch_window,
+            backend=backend,
+            pool_size=max(8, num_clients),
         ),
         start=False,
     )
@@ -202,6 +214,7 @@ def measure_cluster_configuration(
         "replicas": replicas,
         "clients": num_clients,
         "engine": engine,
+        "backend": backend,
         "update_every": update_every,
         "queries": total_queries,
         "updates": sum(update_counts),
@@ -249,12 +262,51 @@ def run_cluster_benchmark(
     return rows
 
 
+def run_backend_comparison(
+    graph: LabeledMultigraph,
+    queries: list[str],
+    shards: int = 4,
+    replicas: int = 2,
+    num_clients: int = 32,
+    requests_per_client: int = 16,
+    workers: int = 2,
+    engine: str = "rtc",
+    backends=("thread", "process"),
+) -> list[dict]:
+    """Thread-vs-process shard transport on a CPU-bound read-heavy mix.
+
+    Same topology, same workload, read-only (every request is an RTC
+    evaluation, the CPU-bound path) -- the only variable is whether the
+    shards share the router's GIL or run on their own cores.  On a
+    multi-core machine the process backend's QPS should clear the thread
+    backend's by ~min(cores, shards)x; on one core they tie minus the
+    serialisation overhead.
+    """
+    return [
+        measure_cluster_configuration(
+            graph,
+            queries,
+            shards=shards,
+            replicas=replicas,
+            num_clients=num_clients,
+            requests_per_client=requests_per_client,
+            workers=workers,
+            update_every=0,
+            engine=engine,
+            verify=True,
+            backend=backend,
+        )
+        for backend in backends
+    ]
+
+
 def format_cluster_rows(rows: list[dict]) -> str:
     """The human-readable table of a cluster benchmark sweep."""
     return format_table(
         [
             "shards",
             "replicas",
+            "backend",
             "clients",
             "workload",
             "queries",
@@ -268,6 +320,7 @@ def format_cluster_rows(rows: list[dict]) -> str:
             [
                 row["shards"],
                 row["replicas"],
+                row.get("backend", "thread"),
                 row["clients"],
                 (
                     f"1 update / {row['update_every']} reqs"

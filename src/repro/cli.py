@@ -11,7 +11,9 @@ before writing any code; all of them run through the
 * ``serve``  -- run the concurrent JSON-lines query server of
   :mod:`repro.server` over an edge-list file; with ``--shards N`` /
   ``--replicas R`` the graph is partitioned and served by the
-  :mod:`repro.cluster` router instead (same protocol, same clients);
+  :mod:`repro.cluster` router instead (same protocol, same clients), and
+  ``--backend process`` moves each shard into its own worker process for
+  multi-core scale-out;
 * ``reduce`` -- show the two-level reduction statistics of a closure body
   on a graph (the Fig. 12/13 quantities for your own data);
 * ``stats``  -- Table-IV style statistics of an edge-list file;
@@ -33,6 +35,7 @@ Examples::
     python -m repro query graph.txt "b.c" --load my_engines --engine mine
     python -m repro serve graph.txt --port 7687 --workers 4
     python -m repro serve graph.txt --shards 4 --replicas 2
+    python -m repro serve graph.txt --shards 4 --replicas 2 --backend process
     python -m repro query --connect 127.0.0.1:7687 "a.(b.c)+.c"
     python -m repro reduce graph.txt "b.c"
     python -m repro dot graph.txt --query "b.c" --view condensation
@@ -168,6 +171,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="read-only replica sessions per shard (default: 1)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default="thread",
+        help=(
+            "shard transport for a sharded deployment: 'thread' keeps "
+            "replica groups in-process, 'process' spawns one worker "
+            "process per shard for multi-core scale-out (default: thread)"
+        ),
+    )
+    serve.add_argument(
+        "--worker-log-dir",
+        metavar="DIR",
+        default=None,
+        help="write per-shard worker logs here (process backend only)",
     )
     serve.add_argument(
         "--queue-size",
@@ -343,7 +362,7 @@ def _cmd_serve(args) -> int:
         engine_kwargs=engine_kwargs,
     )
 
-    if args.shards > 1 or args.replicas > 1:
+    if args.shards > 1 or args.replicas > 1 or args.backend != "thread":
         from repro.cluster import ClusterConfig, ClusterRouter, GraphCluster
 
         cluster = GraphCluster.open(
@@ -357,6 +376,8 @@ def _cmd_serve(args) -> int:
                 batch_window=args.batch_window,
                 max_batch=args.max_batch,
                 engine_kwargs=engine_kwargs,
+                backend=args.backend,
+                worker_log_dir=args.worker_log_dir,
             ),
             start=False,
         )
@@ -371,8 +392,9 @@ def _cmd_serve(args) -> int:
             print(
                 f"serving {args.graph} as a {args.shards}-shard x "
                 f"{args.replicas}-replica cluster (engine={args.engine}, "
-                f"{config.workers} workers/replica, shard edges: "
-                f"[{shard_edges}]) on {host}:{port} -- Ctrl-C to stop",
+                f"backend={args.backend}, {config.workers} workers/replica, "
+                f"shard edges: [{shard_edges}]) on {host}:{port} "
+                "-- Ctrl-C to stop",
                 flush=True,
             )
 

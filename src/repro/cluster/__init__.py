@@ -2,10 +2,14 @@
 
 Scales the single-node :mod:`repro.server` stack out: one graph is
 partitioned into component-disjoint shards
-(:func:`partition_graph`), each shard is served by R replicated
-:class:`~repro.db.GraphDB` sessions with their own sharing-aware
-schedulers (:class:`GraphCluster`), and a :class:`ClusterRouter` speaks
-the existing JSON-lines protocol -- so the unchanged
+(:func:`partition_graph`), each shard is served through a
+transport-agnostic :class:`ShardBackend` -- either an in-process group
+of R replicated :class:`~repro.db.GraphDB` sessions with their own
+sharing-aware schedulers (``backend="thread"``), or a dedicated worker
+process per shard for true multi-core scale-out
+(``backend="process"``, :mod:`repro.cluster.worker`) -- and a
+:class:`ClusterRouter` speaks the existing JSON-lines protocol over the
+:class:`GraphCluster` router, so the unchanged
 :class:`~repro.server.Client` talks to a cluster exactly as it talks to
 one server.
 
@@ -21,6 +25,12 @@ one server.
 [(7, 3), (7, 5)]
 """
 
+from repro.cluster.backends import (
+    InProcessBackend,
+    ProcessBackend,
+    ShardBackend,
+    ShardReplica,
+)
 from repro.cluster.partition import (
     GraphPartition,
     partition_graph,
@@ -30,7 +40,6 @@ from repro.cluster.service import (
     ClusterConfig,
     ClusterRouter,
     GraphCluster,
-    ShardReplica,
 )
 
 __all__ = [
@@ -38,6 +47,9 @@ __all__ = [
     "ClusterRouter",
     "GraphCluster",
     "GraphPartition",
+    "InProcessBackend",
+    "ProcessBackend",
+    "ShardBackend",
     "ShardReplica",
     "partition_graph",
     "weakly_connected_components",

@@ -1,37 +1,47 @@
-"""The sharded, replicated serving layer over the PR-3 substrate.
+"""The cluster router: shards x replicas behind one scheduler-shaped facade.
 
-One :class:`GraphCluster` owns ``shards x replicas`` independent
-:class:`~repro.db.GraphDB` sessions, each fronted by its own
-:class:`~repro.server.SharingScheduler` (worker pool, micro-batching,
-admission control) -- the single-node serving stack, instantiated once
-per replica.  On top of that it implements the same *scheduler surface*
-the :class:`~repro.server.QueryServer` front end drives (``start`` /
-``stop`` / ``submit`` / ``submit_update`` / ``stats``), so
+One :class:`GraphCluster` partitions a graph into component-disjoint
+shards (:mod:`repro.cluster.partition`) and serves each through a
+transport-agnostic :class:`~repro.cluster.backends.ShardBackend`
+(:mod:`repro.cluster.backends`):
+
+* ``backend="thread"`` (the default) keeps every shard's replica group
+  in this process -- R :class:`~repro.db.GraphDB` sessions each behind a
+  :class:`~repro.server.SharingScheduler`, the PR-4 deployment;
+* ``backend="process"`` spawns one worker process per shard
+  (:mod:`repro.cluster.worker`) and fans requests out over the JSON-lines
+  protocol through pooled clients, so CPU-bound RTC evaluation runs on
+  real cores instead of time-slicing one GIL.
+
+On top of the backends the router implements the same *scheduler
+surface* the :class:`~repro.server.QueryServer` front end drives
+(``start`` / ``stop`` / ``submit`` / ``submit_update`` / ``stats``), so
 :class:`ClusterRouter` is a thin :class:`~repro.server.QueryServer`
 subclass speaking the existing JSON-lines protocol -- the
-:class:`~repro.server.Client` needs no changes at all.
+:class:`~repro.server.Client` needs no changes at all, and both backends
+serve it identically.
 
 Routing
 -------
 * **Queries fan out to shards and the pair-sets union.**  The partition
-  is component-disjoint (:mod:`repro.cluster.partition`), so per-shard
-  answers are disjoint and their union is exactly the single-session
-  answer.  Shards whose label alphabet is disjoint from the query's are
-  pruned (federated-SPARQL-style source selection); nullable queries are
-  never pruned, because every shard contributes its reflexive pairs.
-* **Replica picking is body-affine.**  A query's canonical closure-body
-  key (the same :func:`~repro.server.scheduler.closure_group_key` the
-  scheduler batches by) hashes to one replica per shard, so each
-  replica's RTC cache serves a stable subset of closure bodies and stays
-  hot; closure-free queries fall back to the least-loaded replica.
+  is component-disjoint, so per-shard answers are disjoint and their
+  union is exactly the single-session answer.  Shards whose label
+  alphabet is disjoint from the query's are pruned
+  (federated-SPARQL-style source selection); nullable queries are never
+  pruned, because every shard contributes its reflexive pairs.
+* **Replica picking is body-affine** and happens *inside* the backend:
+  a query's canonical closure-body key hashes to one replica per shard,
+  so each replica's RTC cache serves a stable subset of closure bodies
+  and stays hot; closure-free queries fall back to the least-loaded
+  replica.  (In process mode the worker's backend does the picking; the
+  affinity property is identical.)
 * **Updates broadcast drain-then-apply.**  An edge change routes to the
   shard owning its endpoints (new vertices are assigned on first
   contact; cross-shard edges raise
-  :class:`~repro.errors.ClusterError`) and is applied through *every*
-  replica's scheduler -- each drains its in-flight batches, applies on
-  its own graph copy, and drops its caches.  The other shards keep
-  serving with hot caches throughout, which is the cluster's headline
-  win over a single session under a streaming-update load.
+  :class:`~repro.errors.ClusterError`) and the owning backend applies it
+  through *every* replica -- each drains its in-flight batches, applies
+  on its own graph copy, and drops its caches.  The other shards keep
+  serving with hot caches throughout.
 
 The routing decision (closure-key extraction, a DNF walk) is memoised by
 query text, so a serving workload's repeated queries route in O(1).
@@ -41,15 +51,21 @@ from __future__ import annotations
 
 import asyncio
 import threading
-import zlib
 from concurrent.futures import CancelledError, Future
 from dataclasses import dataclass, field
 from os import PathLike
 from pathlib import Path
 
+from repro.cluster.backends import (
+    InProcessBackend,
+    ProcessBackend,
+    ShardBackend,
+    ShardReplica,
+    aggregate_scheduler_stats,
+    merge_futures,
+)
 from repro.cluster.partition import GraphPartition, partition_graph
 from repro.core.cache import make_key_function
-from repro.db.session import GraphDB
 from repro.errors import ClusterError, ServerError
 from repro.graph.io import load_edge_list
 from repro.graph.multigraph import LabeledMultigraph
@@ -57,8 +73,7 @@ from repro.regex.ast import RegexNode
 from repro.regex.nfa import compile_nfa
 from repro.regex.parser import parse
 from repro.server import protocol
-from repro.server.metrics import percentile
-from repro.server.scheduler import SharingScheduler, closure_group_key
+from repro.server.scheduler import closure_group_key
 from repro.server.service import QueryServer, ServerConfig
 
 __all__ = ["ClusterConfig", "GraphCluster", "ClusterRouter", "ShardReplica"]
@@ -67,10 +82,13 @@ __all__ = ["ClusterConfig", "GraphCluster", "ClusterRouter", "ShardReplica"]
 #: dropped wholesale (serving workloads repeat a small query set).
 _ROUTE_MEMO_LIMIT = 4096
 
+#: The shard-backend transports a cluster can be built on.
+BACKENDS = ("thread", "process")
+
 
 @dataclass
 class ClusterConfig:
-    """Topology and per-replica scheduler tunables of one cluster."""
+    """Topology, transport and per-replica scheduler tunables."""
 
     shards: int = 4
     replicas: int = 1
@@ -80,33 +98,49 @@ class ClusterConfig:
     batch_window: float = 0.005
     max_batch: int = 64
     engine_kwargs: dict = field(default_factory=dict)
-
-
-@dataclass
-class ShardReplica:
-    """One replica: its own session, scheduler, and load counter."""
-
-    shard_id: int
-    replica_id: int
-    db: GraphDB
-    scheduler: SharingScheduler
-    in_flight: int = 0
-
-    @property
-    def name(self) -> str:
-        return f"shard{self.shard_id}/replica{self.replica_id}"
+    #: Shard transport: ``"thread"`` (in-process replica groups) or
+    #: ``"process"`` (one worker process per shard; see
+    #: :mod:`repro.cluster.backends`).
+    backend: str = "thread"
+    #: Process mode: pooled connections (= concurrent requests) per shard.
+    pool_size: int = 8
+    #: Process mode: directory for per-shard worker logs (None = no logs).
+    worker_log_dir: str | PathLike | None = None
+    #: Process mode: optional picklable ``loader(shard_id) -> graph``
+    #: shipping shard graphs without an edge-list dump (required when the
+    #: graph holds tokens the dump format cannot carry).  The loader must
+    #: reproduce the exact shard subgraphs of this cluster's partition.
+    shard_loader: object | None = None
 
 
 class _MergeState:
-    """Accumulator for one query's per-shard sub-futures."""
+    """Accumulator for one query's per-shard sub-futures.
 
-    __slots__ = ("lock", "expected", "done", "pairs", "elapsed", "error")
+    Shard answers are component-disjoint, so the merge is a pair-set
+    union -- or, in counts-only mode (``want_pairs=False``), a plain
+    sum: disjointness makes the sum of per-shard counts exactly the
+    union's cardinality, and process shards can then skip serialising
+    pair-sets nobody asked for.
+    """
 
-    def __init__(self, expected: int) -> None:
+    __slots__ = (
+        "lock",
+        "expected",
+        "done",
+        "pairs",
+        "count",
+        "want_pairs",
+        "elapsed",
+        "error",
+    )
+
+    def __init__(self, expected: int, want_pairs: bool = True) -> None:
         self.lock = threading.Lock()
         self.expected = expected
         self.done = 0
         self.pairs: set = set()
+        self.count = 0
+        self.want_pairs = want_pairs
         self.elapsed = 0.0
         self.error: BaseException | None = None
 
@@ -117,7 +151,9 @@ class GraphCluster:
     Construct over a ready :class:`~repro.cluster.GraphPartition` (or use
     :meth:`open` to load/partition in one step), then plug into a
     :class:`ClusterRouter` -- or drive ``submit`` / ``submit_update``
-    directly for in-process use.
+    directly for in-process use.  The shard transport is picked by
+    ``config.backend``; everything above the backends (routing, pruning,
+    merging, accounting) is transport-blind.
     """
 
     def __init__(
@@ -130,39 +166,40 @@ class GraphCluster:
         config = config or ClusterConfig()
         if config.replicas < 1:
             raise ClusterError(f"replicas must be >= 1, got {config.replicas}")
+        if config.backend not in BACKENDS:
+            raise ClusterError(
+                f"unknown backend {config.backend!r}; expected one of "
+                f"{', '.join(BACKENDS)}"
+            )
         self.partition = partition
         self.engine_name = engine.lower()
         self.config = config
         self.replicas = config.replicas
-        self._lock = threading.Lock()  # replica loads, label sets, memo
+        self.backend_name = config.backend
+        self._lock = threading.Lock()  # label sets, memo, edge estimates
         self._update_lock = threading.Lock()  # replica-consistent ordering
-        self._shards: list[list[ShardReplica]] = []
-        for shard_id, shard_graph in enumerate(partition.shards):
-            group = []
-            for replica_id in range(config.replicas):
-                graph = shard_graph if replica_id == 0 else shard_graph.copy()
-                db = GraphDB.open(graph, engine=engine, **config.engine_kwargs)
-                scheduler = SharingScheduler(
-                    db,
-                    workers=config.workers,
-                    max_queue=config.max_queue,
-                    batch_window=config.batch_window,
-                    max_batch=config.max_batch,
-                    engine_kwargs=config.engine_kwargs,
-                    start=False,
-                )
-                group.append(ShardReplica(shard_id, replica_id, db, scheduler))
-            self._shards.append(group)
+        self._backends: list[ShardBackend] = [
+            self._make_backend(shard_id, shard_graph)
+            for shard_id, shard_graph in enumerate(partition.shards)
+        ]
         # Superset of each shard's label alphabet, used for pruning.
         # Only ever grows (updates add labels, removals leave them), so a
         # pruned shard provably cannot contribute to the query.
         self._labels: list[set] = [
             set(graph.labels()) for graph in partition.shards
         ]
-        reference = self._shards[0][0].scheduler.shared_cache
-        self._key_function = make_key_function(
-            reference.mode if reference is not None else "syntactic"
-        )
+        # Routing keys must agree with the backends' cache keying, or
+        # body-affine replica picking hashes on different keys than the
+        # caches share on.  Thread backends expose their live cache
+        # mode's key function; process workers derive the same function
+        # from the same engine_kwargs, so the kwargs fallback matches.
+        first = self._backends[0]
+        if isinstance(first, InProcessBackend):
+            self._key_function = first.key_function
+        else:
+            self._key_function = make_key_function(
+                config.engine_kwargs.get("cache_mode", "syntactic")
+            )
         self._route_memo: dict[str, tuple[str, frozenset, bool]] = {}
         # Queries answered at the router because every shard was pruned
         # (no label overlap anywhere); folded into the aggregate stats so
@@ -172,6 +209,41 @@ class GraphCluster:
         self._stopped = False
         if start:
             self.start()
+
+    def _make_backend(
+        self, shard_id: int, shard_graph: LabeledMultigraph
+    ) -> ShardBackend:
+        config = self.config
+        common = dict(
+            engine=self.engine_name,
+            replicas=config.replicas,
+            workers=config.workers,
+            max_queue=config.max_queue,
+            batch_window=config.batch_window,
+            max_batch=config.max_batch,
+            engine_kwargs=config.engine_kwargs,
+            start=False,
+        )
+        if config.backend == "thread":
+            return InProcessBackend(shard_id, shard_graph, **common)
+        loader = None
+        if config.shard_loader is not None:
+            from functools import partial
+
+            loader = partial(config.shard_loader, shard_id)
+        log_path = None
+        if config.worker_log_dir is not None:
+            log_dir = Path(config.worker_log_dir)
+            log_dir.mkdir(parents=True, exist_ok=True)
+            log_path = str(log_dir / f"shard{shard_id}.log")
+        return ProcessBackend(
+            shard_id,
+            shard_graph,
+            pool_size=config.pool_size,
+            loader=loader,
+            log_path=log_path,
+            **common,
+        )
 
     # -- construction ----------------------------------------------------
     @classmethod
@@ -196,33 +268,56 @@ class GraphCluster:
 
     @property
     def num_shards(self) -> int:
-        return len(self._shards)
+        return len(self._backends)
+
+    def backend(self, shard: int) -> ShardBackend:
+        """Direct access to one shard backend (tests and diagnostics)."""
+        return self._backends[shard]
 
     def replica(self, shard: int, replica: int = 0) -> ShardReplica:
-        """Direct access to one replica (tests and diagnostics)."""
-        return self._shards[shard][replica]
+        """Direct access to one in-process replica (tests, diagnostics).
+
+        Only meaningful on the thread backend; process-mode replicas
+        live in the worker and are reachable through the protocol only.
+        """
+        backend = self._backends[shard]
+        if not isinstance(backend, InProcessBackend):
+            raise ClusterError(
+                f"shard {shard} runs on the {self.backend_name!r} backend; "
+                "its replicas are not in this process"
+            )
+        return backend.replicas[replica]
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> None:
-        """Start every replica's scheduler (idempotent)."""
+        """Start every shard backend (idempotent).
+
+        Process workers spawn concurrently (``start`` is non-blocking)
+        and are then awaited, so an N-shard cluster boots in roughly one
+        worker's start-up time, not N of them.  If any shard fails to
+        come up, every already-started backend is closed before the
+        error propagates -- a failed constructor must not leave orphan
+        worker processes running.
+        """
         if self._started or self._stopped:
             return
         self._started = True
-        for group in self._shards:
-            for replica in group:
-                replica.scheduler.start()
+        try:
+            for backend in self._backends:
+                backend.start()
+            for backend in self._backends:
+                backend.wait_ready()
+        except BaseException:
+            self.stop()
+            raise
 
     def stop(self) -> None:
-        """Drain and stop every scheduler, then close the sessions."""
+        """Drain and close every shard backend."""
         if self._stopped:
             return
         self._stopped = True
-        for group in self._shards:
-            for replica in group:
-                replica.scheduler.stop()
-        for group in self._shards:
-            for replica in group:
-                replica.db.close()
+        for backend in self._backends:
+            backend.close()
 
     # -- routing ---------------------------------------------------------
     def _route_info(self, text: str, node: RegexNode) -> tuple[str, frozenset, bool]:
@@ -258,35 +353,24 @@ class GraphCluster:
                 if not self._labels[shard].isdisjoint(labels)
             ]
 
-    def _pick_replica(self, group: list[ShardReplica], key: str) -> ShardReplica:
-        """Body-affine replica choice; least-loaded for closure-free keys."""
-        if len(group) == 1:
-            return group[0]
-        if key:
-            # crc32 keeps the body -> replica mapping stable across runs
-            # (hash() is seed-randomised), so a body's RTC lives on one
-            # replica per shard and its cache stays hot.
-            return group[zlib.crc32(key.encode("utf-8")) % len(group)]
-        with self._lock:
-            return min(group, key=lambda replica: replica.in_flight)
-
-    def _release(self, replica: ShardReplica) -> None:
-        with self._lock:
-            replica.in_flight -= 1
-
     # -- queries ---------------------------------------------------------
     def submit(
         self,
         text: str,
         node: RegexNode | None = None,
         timeout: float | None = None,
+        want_pairs: bool = True,
     ) -> Future:
         """Admit one query cluster-wide; future of ``(pairs, elapsed)``.
 
-        Fans out to one replica of every contributing shard and unions
-        the pair-sets; ``elapsed`` is the slowest shard's engine time.
-        Admission is all-or-nothing: if any shard's queue is full the
-        already-admitted sub-queries are cancelled and the
+        Fans out to every contributing shard backend and unions the
+        pair-sets; ``elapsed`` is the slowest shard's engine time.
+        With ``want_pairs=False`` the future resolves to
+        ``(count, elapsed)`` instead and process shards answer with
+        counts only, skipping the pair-set wire serialisation (the
+        component-disjoint partition makes per-shard counts sum exactly
+        to the union's size).  Admission is all-or-nothing: if any shard
+        rejects, the already-admitted sub-queries are cancelled and the
         :class:`~repro.errors.AdmissionError` propagates.  Any shard
         failure (evaluation error, expired deadline) fails the whole
         query with that error.
@@ -303,27 +387,28 @@ class GraphCluster:
             with self._lock:
                 self._answered_without_fanout += 1
             parent.set_running_or_notify_cancel()
-            parent.set_result((set(), 0.0))
+            parent.set_result((set() if want_pairs else 0, 0.0))
             return parent
 
         children: list[Future] = []
         try:
             for shard in targets:
-                replica = self._pick_replica(self._shards[shard], key)
-                child = replica.scheduler.submit(text, node, timeout=timeout)
-                with self._lock:
-                    replica.in_flight += 1
-                child.add_done_callback(
-                    lambda _future, replica=replica: self._release(replica)
+                children.append(
+                    self._backends[shard].query(
+                        text,
+                        node,
+                        key=key,
+                        timeout=timeout,
+                        want_pairs=want_pairs,
+                    )
                 )
-                children.append(child)
         except BaseException:
             # All-or-nothing admission: roll back what was admitted.
             for child in children:
                 child.cancel()
             raise
 
-        state = _MergeState(expected=len(children))
+        state = _MergeState(expected=len(children), want_pairs=want_pairs)
         for child in children:
             child.add_done_callback(
                 lambda future, state=state, parent=parent: self._merge_child(
@@ -336,7 +421,7 @@ class GraphCluster:
         self, state: _MergeState, parent: Future, child: Future
     ) -> None:
         try:
-            pairs, elapsed = child.result()
+            payload, elapsed = child.result()
         except (CancelledError, Exception) as error:  # noqa: BLE001
             outcome: BaseException | None = error
         else:
@@ -345,8 +430,16 @@ class GraphCluster:
             if outcome is not None:
                 if state.error is None:
                     state.error = outcome
+            elif state.want_pairs:
+                state.pairs |= payload
+                if elapsed > state.elapsed:
+                    state.elapsed = elapsed
             else:
-                state.pairs |= pairs
+                # Thread shards still hand over sets (free in-process);
+                # process shards answer with bare counts.
+                state.count += (
+                    payload if isinstance(payload, int) else len(payload)
+                )
                 if elapsed > state.elapsed:
                     state.elapsed = elapsed
             state.done += 1
@@ -358,22 +451,23 @@ class GraphCluster:
         if state.error is not None:
             parent.set_exception(state.error)
         else:
-            parent.set_result((state.pairs, state.elapsed))
+            result = state.pairs if state.want_pairs else state.count
+            parent.set_result((result, state.elapsed))
 
     # -- updates ---------------------------------------------------------
     def submit_update(self, add=(), remove=()) -> Future:
         """Admit a streaming edge change; future of ``None``.
 
-        Each edge routes to the shard owning its endpoints; the change is
-        then applied through **every** replica scheduler of the affected
-        shards (drain-then-apply on each, caches dropped on each), so all
+        Each edge routes to the shard owning its endpoints; the owning
+        backend then applies the change through **every** replica
+        (drain-then-apply on each, caches dropped on each), so all
         copies converge before the future resolves.  Unaffected shards
         keep serving with hot caches.  Edges between two existing shards
         raise :class:`~repro.errors.ClusterError`; edges with brand-new
         endpoints are assigned to the currently smallest shard.
 
         Routing is two-phase: every edge of the request is validated and
-        routed *before* any partition state mutates or any replica sees
+        routed *before* any partition state mutates or any backend sees
         the job, so a request rejected at routing time (cross-shard or
         unknown edges) leaves no phantom vertex assignments or label-set
         entries behind.  A request that routes but then fails to *apply*
@@ -384,22 +478,18 @@ class GraphCluster:
         The cost is conservative: a vertex assigned by a failed update
         routes to its assigned shard forever, so a later edge tying it
         to another shard is over-rejected with ClusterError even though
-        the vertex materialised nowhere.  The per-replica
-        broadcast admits with ``block=True`` -- replica queues never
-        half-accept an update, which is what keeps the copies identical
-        -- so this call can wait for a queue slot; drive it from a
-        worker thread (the router runs it in an executor), not from a
-        latency-sensitive loop.
+        the vertex materialised nowhere.  Backends admit updates with
+        blocking semantics (replica queues never half-accept an update,
+        which is what keeps the copies identical), so this call can wait
+        for queue slots; drive it from a worker thread (the router runs
+        it in an executor), not from a latency-sensitive loop.
         """
         if self._stopped:
             raise self._closed_error()
         add = [tuple(edge) for edge in add]
         remove = [tuple(edge) for edge in remove]
-        parent: Future = Future()
         if not add and not remove:
-            parent.set_running_or_notify_cancel()
-            parent.set_result(None)
-            return parent
+            return merge_futures([])
 
         with self._update_lock:
             # Phase 1: route and validate against committed + pending
@@ -447,57 +537,25 @@ class GraphCluster:
                     (source, label, target)
                 )
 
-            # Phase 2: commit routing state, then broadcast.  Blocking
-            # admission means every replica accepts the job (or the
-            # whole cluster is shutting down), never a half-applied mix.
+            # Phase 2: commit routing state, then hand each owning
+            # backend its slice.  Backends admit with blocking
+            # semantics under this lock, so concurrent updates reach
+            # every replica of every shard in one global order.
             for vertex, shard in pending_assign.items():
                 self.partition.assign(vertex, shard)
             with self._lock:
                 for shard, labels in pending_labels.items():
                     self._labels[shard] |= labels
             children = [
-                replica.scheduler.submit_update(
-                    add=adds, remove=removes, block=True
-                )
+                self._backends[shard].update(add=adds, remove=removes)
                 for shard, (adds, removes) in sorted(by_shard.items())
-                for replica in self._shards[shard]
             ]
 
-        state = _MergeState(expected=len(children))
-        for child in children:
-            child.add_done_callback(
-                lambda future, state=state, parent=parent: self._merge_update(
-                    state, parent, future
-                )
-            )
-        return parent
+        return merge_futures(children)
 
     def _smallest_shard(self) -> int:
-        sizes = [group[0].db.graph.num_edges for group in self._shards]
+        sizes = [backend.edge_count() for backend in self._backends]
         return sizes.index(min(sizes))
-
-    def _merge_update(
-        self, state: _MergeState, parent: Future, child: Future
-    ) -> None:
-        try:
-            child.result()
-        except (CancelledError, Exception) as error:  # noqa: BLE001
-            outcome: BaseException | None = error
-        else:
-            outcome = None
-        with state.lock:
-            if outcome is not None and state.error is None:
-                state.error = outcome
-            state.done += 1
-            finished = state.done == state.expected
-        if not finished:
-            return
-        if not parent.set_running_or_notify_cancel():
-            return
-        if state.error is not None:
-            parent.set_exception(state.error)
-        else:
-            parent.set_result(None)
 
     @staticmethod
     def _closed_error() -> ServerError:
@@ -509,9 +567,8 @@ class GraphCluster:
     def watch(self, body: str) -> str:
         """Attach an incremental watcher for ``body`` on every replica."""
         normalised = parse(body).to_string()
-        for group in self._shards:
-            for replica in group:
-                replica.db.watch(body)
+        for backend in self._backends:
+            backend.watch(body)
         return normalised
 
     def reaches(self, body: str, source: object, target: object) -> bool:
@@ -523,93 +580,58 @@ class GraphCluster:
         """
         shard = self.partition.shard_of(source)
         if shard is not None:
-            return self._shards[shard][0].db.reaches(body, source, target)
+            return self._backends[shard].reaches(body, source, target)
         return any(
-            group[0].db.reaches(body, source, target) for group in self._shards
+            backend.reaches(body, source, target)
+            for backend in self._backends
         )
 
     # -- statistics ------------------------------------------------------
-    def stats(self) -> dict:
+    def _shard_docs(self) -> list[dict]:
+        """One structured stats document per shard backend.
+
+        Fetch once and pass to :meth:`stats` / :meth:`session_stats` /
+        :meth:`describe` when emitting all three -- on the process
+        backend every document is a wire round trip.
+        """
+        return [backend.stats() for backend in self._backends]
+
+    def stats(self, docs: list[dict] | None = None) -> dict:
         """Aggregate scheduler-shaped statistics (QueryServer-compatible).
 
-        Counters sum across all replicas; latency percentiles are
-        computed over the *pooled* reservoirs (not averaged per-replica
-        percentiles); QPS is the sum of per-replica rates, since the
-        replicas serve concurrently.
+        Counters sum across all replicas of all shards; latency
+        percentiles are computed over the *pooled* reservoirs (not
+        averaged per-replica percentiles); QPS is the sum of per-replica
+        rates, since the replicas serve concurrently.
         """
+        docs = docs if docs is not None else self._shard_docs()
         stats_list = [
-            replica.scheduler.stats()
-            for group in self._shards
-            for replica in group
+            replica["scheduler"] for doc in docs for replica in doc["replicas"]
         ]
-        latencies: list[float] = []
-        for group in self._shards:
-            for replica in group:
-                latencies.extend(replica.scheduler.metrics.latency_values())
-        total = {
-            key: sum(stats[key] for stats in stats_list)
-            for key in (
-                "admitted",
-                "rejected",
-                "expired",
-                "failed",
-                "cancelled",
-                "completed",
-                "updates",
-                "in_flight",
-                "batches",
-                "queue_depth",
-                "workers",
-            )
-        }
-        batches = total["batches"]
-        batched_queries = sum(
-            stats["mean_batch_size"] * stats["batches"] for stats in stats_list
+        latencies = [
+            value for doc in docs for value in doc["latency_values"]
+        ]
+        aggregate = aggregate_scheduler_stats(stats_list, latencies)
+        # Rejections the process backends issued locally (their bound
+        # trips before the worker ever sees the request).
+        aggregate["rejected"] += sum(
+            doc.get("local_rejected", 0) for doc in docs
         )
         with self._lock:
             answered = self._answered_without_fanout
         # Router-answered queries count as admitted *and* completed, so
         # the conservation law (admitted == completed + expired + failed
         # + cancelled + updates) keeps describing what clients observed.
-        total["admitted"] += answered
-        total["completed"] += answered
-        aggregate = {
-            "uptime": max(stats["uptime"] for stats in stats_list),
-            **total,
-            "answered_without_fanout": answered,
-            "qps": sum(stats["qps"] for stats in stats_list),
-            "mean_batch_size": batched_queries / batches if batches else 0.0,
-            "max_batch_size": max(
-                stats["max_batch_size"] for stats in stats_list
-            ),
-            "latency": {
-                "window": len(latencies),
-                "mean": sum(latencies) / len(latencies) if latencies else 0.0,
-                "p50": percentile(latencies, 0.50),
-                "p95": percentile(latencies, 0.95),
-                "p99": percentile(latencies, 0.99),
-            },
-        }
-        caches = [stats["cache"] for stats in stats_list if "cache" in stats]
-        if caches:
-            hits = sum(cache["hits"] for cache in caches)
-            misses = sum(cache["misses"] for cache in caches)
-            aggregate["cache"] = {
-                "mode": caches[0]["mode"],
-                "hits": hits,
-                "misses": misses,
-                "entries": sum(cache["entries"] for cache in caches),
-                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
-            }
+        aggregate["admitted"] += answered
+        aggregate["completed"] += answered
+        aggregate["answered_without_fanout"] = answered
         return aggregate
 
-    def session_stats(self) -> dict:
+    def session_stats(self, docs: list[dict] | None = None) -> dict:
         """Aggregate session statistics (the ``stats`` verb's ``session``)."""
-        primaries = [group[0].db.stats() for group in self._shards]
+        docs = docs if docs is not None else self._shard_docs()
         engines = [
-            replica.db.stats()
-            for group in self._shards
-            for replica in group
+            replica["session"] for doc in docs for replica in doc["replicas"]
         ]
         watchers: set = set()
         for stats in engines:
@@ -619,8 +641,8 @@ class GraphCluster:
         return {
             "engine": self.engine_name,
             "graph": {
-                "vertices": sum(s["graph"]["vertices"] for s in primaries),
-                "edges": sum(s["graph"]["edges"] for s in primaries),
+                "vertices": sum(doc["graph"]["vertices"] for doc in docs),
+                "edges": sum(doc["graph"]["edges"] for doc in docs),
                 "labels": len(all_labels),
             },
             "queries_evaluated": sum(s["queries_evaluated"] for s in engines),
@@ -629,16 +651,16 @@ class GraphCluster:
             "watchers": sorted(watchers),
         }
 
-    def describe(self) -> dict:
+    def describe(self, docs: list[dict] | None = None) -> dict:
         """Topology plus per-shard replica summaries (``stats``' cluster doc)."""
-        partition_stats = self.partition.stats()
+        docs = docs if docs is not None else self._shard_docs()
         shards = []
-        for group, shard_stats in zip(self._shards, partition_stats["shards"]):
+        for doc in docs:
             replicas = []
-            for replica in group:
-                scheduler_stats = replica.scheduler.stats()
+            for replica_doc in doc["replicas"]:
+                scheduler_stats = replica_doc["scheduler"]
                 summary = {
-                    "replica": replica.replica_id,
+                    "replica": replica_doc["replica"],
                     "completed": scheduler_stats["completed"],
                     "updates": scheduler_stats["updates"],
                     "in_flight": scheduler_stats["in_flight"],
@@ -648,11 +670,21 @@ class GraphCluster:
                     summary["cache_hits"] = scheduler_stats["cache"]["hits"]
                     summary["cache_misses"] = scheduler_stats["cache"]["misses"]
                 replicas.append(summary)
-            shards.append({**shard_stats, "replicas": replicas})
+            entry = {
+                "shard": doc["shard"],
+                "vertices": doc["graph"]["vertices"],
+                "edges": doc["graph"]["edges"],
+                "labels": doc["graph"]["labels"],
+                "replicas": replicas,
+            }
+            if "worker" in doc:
+                entry["worker"] = doc["worker"]
+            shards.append(entry)
         return {
             "shards": self.num_shards,
             "replicas": self.replicas,
             "engine": self.engine_name,
+            "backend": self.backend_name,
             "per_shard": shards,
         }
 
@@ -662,7 +694,8 @@ class GraphCluster:
         )
         return (
             f"GraphCluster(shards={self.num_shards}, "
-            f"replicas={self.replicas}, engine={self.engine_name!r}, {state})"
+            f"replicas={self.replicas}, engine={self.engine_name!r}, "
+            f"backend={self.backend_name!r}, {state})"
         )
 
 
@@ -715,6 +748,13 @@ class ClusterRouter(QueryServer):
                 await self._in_executor(warm)
         return await super()._op_query(request_id, request)
 
+    def _submit_query(self, text, node, timeout, include_pairs):
+        # Forward the client's pairs/counts intent: counts-only requests
+        # let process shards answer without serialising pair-sets.
+        return self.cluster.submit(
+            text, node, timeout=timeout, want_pairs=include_pairs
+        )
+
     async def _op_update(self, request_id, request) -> dict:
         add = self._edge_list(request.get("add", ()), "add")
         remove = self._edge_list(request.get("remove", ()), "remove")
@@ -722,9 +762,9 @@ class ClusterRouter(QueryServer):
             raise protocol.ProtocolError(
                 "'update' op needs 'add' and/or 'remove' edges"
             )
-        # submit_update admits to every replica with block=True (so the
-        # copies never diverge on a full queue) -- keep that potential
-        # wait off the event loop.
+        # submit_update admits to every replica with blocking semantics
+        # (so the copies never diverge on a full queue) -- keep that
+        # potential wait off the event loop.
         future = await self._in_executor(
             lambda: self.cluster.submit_update(add=add, remove=remove)
         )
@@ -735,10 +775,13 @@ class ClusterRouter(QueryServer):
 
     async def _op_stats(self, request_id, request) -> dict:
         def collect() -> dict:
+            # One stats document per shard, fetched once -- on the
+            # process backend each document is a wire round trip.
+            docs = self.cluster._shard_docs()
             return {
-                "scheduler": self.cluster.stats(),
-                "session": self.cluster.session_stats(),
-                "cluster": self.cluster.describe(),
+                "scheduler": self.cluster.stats(docs),
+                "session": self.cluster.session_stats(docs),
+                "cluster": self.cluster.describe(docs),
             }
 
         stats = await self._in_executor(collect)

@@ -1,0 +1,230 @@
+"""The process-mode shard worker: one shard served from its own process.
+
+:func:`worker_main` is the ``spawn`` entry point
+:class:`~repro.cluster.backends.ProcessBackend` launches.  It
+
+1. loads the shard graph -- from the edge-list dump the backend wrote
+   (:mod:`repro.graph.io`) or from a picklable spawn-time ``loader``
+   callable -- and re-adds the isolated vertices an edge-list cannot
+   carry (nullable queries need their reflexive pairs);
+2. builds an :class:`~repro.cluster.backends.InProcessBackend` over it
+   (the same replica group, body-affine picking and drain-then-apply
+   update broadcast as thread mode -- process mode changes the
+   transport, never the semantics);
+3. serves it over the ordinary JSON-lines protocol with
+   :class:`ShardWorkerServer`, reports the bound ephemeral address back
+   through the ready pipe, and runs until ``SIGTERM`` shuts it down
+   gracefully (listener closed, schedulers drained, sessions closed).
+
+Workers optionally log to a per-shard file (``log_path``); CI captures
+those files as an artifact when a process-backend job fails.
+
+The worker speaks the unchanged wire protocol -- any
+:class:`~repro.server.Client` can talk to a shard worker directly --
+plus one extension: ``{"op": "stats", "shard": true}`` adds the
+structured per-replica shard document the router's stats aggregation
+pools (raw latency reservoirs included, so cluster-wide percentiles
+stay percentiles of the pooled values, not averages of averages).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import sys
+from dataclasses import dataclass, field
+
+from repro.cluster.backends import InProcessBackend, aggregate_scheduler_stats
+from repro.server import protocol
+from repro.server.service import QueryServer, ServerConfig
+
+__all__ = ["WorkerSpec", "ShardWorkerServer", "worker_main"]
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a spawned worker needs (must stay picklable)."""
+
+    shard_id: int
+    #: Edge-list dump of the shard graph; ignored when ``loader`` is set.
+    graph_path: str | None = None
+    #: Picklable zero-argument callable returning the shard graph --
+    #: the escape hatch for graphs an edge-list dump cannot carry
+    #: (see :func:`repro.graph.io.format_edge_lines`'s token rules).
+    loader: object | None = None
+    #: Degree-0 vertices of the shard (edge lists only carry edges).
+    isolated_vertices: list = field(default_factory=list)
+    engine: str = "rtc"
+    replicas: int = 1
+    workers: int = 2
+    max_queue: int = 256
+    batch_window: float = 0.005
+    max_batch: int = 64
+    engine_kwargs: dict = field(default_factory=dict)
+    host: str = "127.0.0.1"
+    log_path: str | None = None
+
+
+class ShardWorkerServer(QueryServer):
+    """A :class:`QueryServer` whose scheduler *and* session surface is
+    one :class:`~repro.cluster.backends.InProcessBackend`.
+
+    The base handlers drive the backend directly (``submit`` /
+    ``submit_update`` / ``watch`` / ``reaches``); only ``stats`` is
+    specialised (shard-document extension) and ``query``/``update`` keep
+    their blocking steps off the event loop, mirroring
+    :class:`~repro.cluster.ClusterRouter`.
+    """
+
+    def __init__(
+        self, backend: InProcessBackend, config: ServerConfig | None = None
+    ) -> None:
+        self.backend = backend
+        super().__init__(db=backend, config=config, scheduler=backend)
+
+    async def _op_query(self, request_id, request) -> dict:
+        # Warm the backend's closure-key memo off the loop: first
+        # contact with a query text walks its DNF, which must not stall
+        # the socket multiplexer.
+        queries = request.get("queries")
+        if queries is None and isinstance(request.get("query"), str):
+            queries = [request["query"]]
+        if isinstance(queries, list) and queries and all(
+            isinstance(query, str) for query in queries
+        ):
+            missing = [
+                text
+                for text in queries
+                if text not in self.backend._key_memo
+            ]
+            if missing:
+
+                def warm() -> None:
+                    for text in missing:
+                        try:
+                            self.backend.route_key(text)
+                        except Exception:  # noqa: BLE001 -- base reports
+                            return
+
+                await self._in_executor(warm)
+        return await super()._op_query(request_id, request)
+
+    async def _op_update(self, request_id, request) -> dict:
+        add = self._edge_list(request.get("add", ()), "add")
+        remove = self._edge_list(request.get("remove", ()), "remove")
+        if not add and not remove:
+            raise protocol.ProtocolError(
+                "'update' op needs 'add' and/or 'remove' edges"
+            )
+        # Blocking admission to every replica queue -- off the loop.
+        future = await self._in_executor(
+            lambda: self.backend.update(add=add, remove=remove)
+        )
+        await asyncio.wrap_future(future)
+        return protocol.ok_response(
+            request_id, added=len(add), removed=len(remove)
+        )
+
+    async def _op_stats(self, request_id, request) -> dict:
+        def collect() -> tuple[dict, dict]:
+            document = self.backend.stats()
+            scheduler = aggregate_scheduler_stats(
+                [replica["scheduler"] for replica in document["replicas"]],
+                document["latency_values"],
+            )
+            return document, scheduler
+
+        document, scheduler = await self._in_executor(collect)
+        stats = {
+            "server": {
+                "address": list(self.address),
+                "connections": self._connections,
+                "version": protocol.PROTOCOL_VERSION,
+            },
+            "scheduler": scheduler,
+            "session": document["replicas"][0]["session"],
+        }
+        if request.get("shard"):
+            stats["shard"] = document
+        return protocol.ok_response(request_id, stats=stats)
+
+
+def _configure_logging(spec: WorkerSpec) -> logging.Logger:
+    logger = logging.getLogger(f"repro.cluster.worker.shard{spec.shard_id}")
+    logger.setLevel(logging.INFO)
+    if spec.log_path:
+        handler = logging.FileHandler(spec.log_path, encoding="utf-8")
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s shard{} %(levelname)s %(message)s".format(
+                    spec.shard_id
+                )
+            )
+        )
+        logger.addHandler(handler)
+    return logger
+
+
+def worker_main(spec: WorkerSpec, ready_conn) -> None:
+    """Process entry point: serve one shard until SIGTERM.
+
+    Reports ``("ready", host, port)`` or ``("error", message)`` through
+    ``ready_conn`` exactly once, then serves until terminated.  Exits
+    non-zero on startup failure or crash so the parent's ``exitcode``
+    is meaningful.
+    """
+    logger = _configure_logging(spec)
+    try:
+        if spec.loader is not None:
+            graph = spec.loader()
+        else:
+            from repro.graph.io import load_edge_list
+
+            graph = load_edge_list(spec.graph_path)
+        for vertex in spec.isolated_vertices:
+            graph.add_vertex(vertex)
+        backend = InProcessBackend(
+            spec.shard_id,
+            graph,
+            engine=spec.engine,
+            replicas=spec.replicas,
+            workers=spec.workers,
+            max_queue=spec.max_queue,
+            batch_window=spec.batch_window,
+            max_batch=spec.max_batch,
+            engine_kwargs=spec.engine_kwargs,
+            start=False,
+        )
+        server = ShardWorkerServer(
+            backend,
+            ServerConfig(host=spec.host, port=0, default_timeout=None),
+        )
+    except BaseException as error:  # noqa: BLE001 -- reported to the parent
+        logger.exception("shard %d failed to start", spec.shard_id)
+        ready_conn.send(("error", f"{type(error).__name__}: {error}"))
+        ready_conn.close()
+        sys.exit(1)
+
+    def announce(address) -> None:
+        host, port = address
+        logger.info(
+            "serving shard %d (|V|=%d, |E|=%d, %d replicas x %d workers, "
+            "engine=%s) on %s:%d",
+            spec.shard_id,
+            graph.num_vertices,
+            graph.num_edges,
+            spec.replicas,
+            spec.workers,
+            spec.engine,
+            host,
+            port,
+        )
+        ready_conn.send(("ready", host, port))
+        ready_conn.close()
+
+    try:
+        server.run(ready_callback=announce)
+    except BaseException:  # noqa: BLE001 -- the log is the artifact
+        logger.exception("shard %d crashed", spec.shard_id)
+        sys.exit(1)
+    logger.info("shard %d shut down cleanly", spec.shard_id)

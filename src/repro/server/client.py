@@ -92,6 +92,15 @@ class Client:
         return cls(host, port, **kwargs)
 
     # -- lifecycle -------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def broken(self) -> bool:
+        """True once a transport/protocol error poisoned this connection."""
+        return self._broken is not None
+
     def close(self) -> None:
         if self._closed:
             return
@@ -176,6 +185,15 @@ class Client:
         return response
 
     # -- verbs -----------------------------------------------------------
+    def call(self, op: str, **fields) -> dict:
+        """One generic protocol round trip; returns the raw response.
+
+        The escape hatch for protocol extensions the typed helpers below
+        do not cover (e.g. the shard workers' ``stats`` detail fields).
+        Server-reported failures raise like every other verb.
+        """
+        return self._call({"op": op, **fields})
+
     def ping(self) -> int:
         """Liveness check; returns the server's protocol version."""
         return self._call({"op": "ping"})["version"]

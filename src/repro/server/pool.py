@@ -1,0 +1,186 @@
+"""A bounded pool of :class:`~repro.server.Client` connections.
+
+One :class:`ClientPool` owns up to ``size`` blocking clients to a single
+server address and leases them out one caller at a time::
+
+    pool = ClientPool(host, port, size=8)
+    with pool.lease() as client:
+        client.query("a.(b.c)+")
+    pool.close()
+
+Connections are created lazily (the pool starts empty), reused across
+leases, and replaced transparently: a client that comes back poisoned
+(see :meth:`Client.broken` -- a transport/protocol failure left its
+stream desynchronised) or closed is discarded, and the next lease dials
+a fresh connection.  When all ``size`` connections are out on lease,
+:meth:`lease` blocks until one is returned (or raises
+:class:`~repro.errors.ServerError` after ``lease_timeout`` seconds), so
+the pool doubles as a client-side concurrency bound per server.
+
+This is the transport the cluster's process backend uses to fan work out
+to its shard worker (:mod:`repro.cluster.backends`), and it is equally
+usable standalone for multi-threaded client applications.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.errors import ServerError
+from repro.server.client import Client
+
+__all__ = ["ClientPool"]
+
+
+class ClientPool:
+    """Up to ``size`` pooled :class:`Client` connections to one server."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        size: int = 4,
+        connect_timeout: float = 10.0,
+        socket_timeout: float | None = 120.0,
+        lease_timeout: float | None = 60.0,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.host = host
+        self.port = int(port)
+        self.size = size
+        self.connect_timeout = connect_timeout
+        self.socket_timeout = socket_timeout
+        self.lease_timeout = lease_timeout
+        self._idle: list[Client] = []
+        self._leased = 0
+        self._closed = False
+        self._condition = threading.Condition()
+
+    @classmethod
+    def connect(cls, address: str | tuple, **kwargs) -> "ClientPool":
+        """Open a pool from ``"host:port"`` or a ``(host, port)`` pair."""
+        if isinstance(address, str):
+            host, separator, port = address.rpartition(":")
+            if not separator or not port.isdigit():
+                raise ServerError(
+                    f"address must look like host:port, got {address!r}"
+                )
+            return cls(host or "127.0.0.1", int(port), **kwargs)
+        host, port = address
+        return cls(host, port, **kwargs)
+
+    # -- lease protocol ---------------------------------------------------
+    def acquire(self) -> Client:
+        """Check one client out of the pool (dialing a new one if needed).
+
+        Blocks while all ``size`` connections are leased; raises
+        :class:`~repro.errors.ServerError` if the pool is closed or the
+        wait exceeds ``lease_timeout``.
+        """
+        deadline = (
+            None
+            if self.lease_timeout is None
+            else time.monotonic() + self.lease_timeout
+        )
+        with self._condition:
+            while True:
+                if self._closed:
+                    raise ServerError("client pool is closed")
+                if self._idle:
+                    client = self._idle.pop()
+                    self._leased += 1
+                    return client
+                if self._leased < self.size:
+                    # Dial outside nothing: connection setup is quick and
+                    # holding the lock keeps the accounting simple.
+                    self._leased += 1
+                    break
+                # One deadline for the whole call: a wakeup that loses
+                # the idle client to another waiter must not restart the
+                # clock, or contention makes the timeout unbounded.
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    expired = True
+                else:
+                    expired = not self._condition.wait(timeout=remaining)
+                if expired:
+                    raise ServerError(
+                        f"no pooled connection to {self.host}:{self.port} "
+                        f"became free within {self.lease_timeout}s"
+                    )
+        try:
+            return Client(
+                self.host,
+                self.port,
+                connect_timeout=self.connect_timeout,
+                socket_timeout=self.socket_timeout,
+            )
+        except BaseException:
+            with self._condition:
+                self._leased -= 1
+                self._condition.notify()
+            raise
+
+    def release(self, client: Client) -> None:
+        """Return a leased client; broken/closed ones are discarded."""
+        reusable = not (client.closed or client.broken)
+        with self._condition:
+            self._leased -= 1
+            if reusable and not self._closed:
+                self._idle.append(client)
+                client = None
+            self._condition.notify()
+        if client is not None:
+            client.close()
+
+    @contextmanager
+    def lease(self):
+        """``with pool.lease() as client:`` -- acquire/release in one step."""
+        client = self.acquire()
+        try:
+            yield client
+        finally:
+            self.release(client)
+
+    # -- lifecycle --------------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """Live pool occupancy (``idle`` / ``leased`` / ``size``)."""
+        with self._condition:
+            return {
+                "idle": len(self._idle),
+                "leased": self._leased,
+                "size": self.size,
+            }
+
+    def close(self) -> None:
+        """Close every idle connection and refuse further leases.
+
+        Clients currently out on lease are closed when they come back
+        through :meth:`release`.
+        """
+        with self._condition:
+            if self._closed:
+                return
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._condition.notify_all()
+        for client in idle:
+            client.close()
+
+    def __enter__(self) -> "ClientPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            f"idle={len(self._idle)}, leased={self._leased}"
+        )
+        return f"ClientPool({self.host}:{self.port}, size={self.size}, {state})"

@@ -270,6 +270,31 @@ class SharingScheduler:
             else:
                 self.metrics.record_cancelled()
 
+    def drain(self) -> None:
+        """Block until every currently admitted job has resolved.
+
+        Waits on the metrics conservation law (admitted == completed +
+        expired + failed + cancelled + updates) rather than the queue
+        size -- a job the dispatcher has popped but is still batch-window
+        collecting lives in neither the queue nor the in-flight set, and
+        must not slip through.  A quiescence point, not a barrier against
+        new work: jobs admitted *while* draining extend the wait.  Used
+        by the cluster backends for graceful close and by tests.
+        """
+        while self._running:
+            stats = self.metrics.snapshot()
+            resolved = (
+                stats["completed"]
+                + stats["expired"]
+                + stats["failed"]
+                + stats["cancelled"]
+                + stats["updates"]
+            )
+            if stats["admitted"] == resolved:
+                break
+            time.sleep(0.001)
+        self._drain_inflight()
+
     @staticmethod
     def _closed_error() -> ServerError:
         error = ServerError("server is shutting down")

@@ -21,6 +21,7 @@ Three entry points:
 from __future__ import annotations
 
 import asyncio
+import signal
 import threading
 
 from dataclasses import dataclass, field
@@ -126,19 +127,60 @@ class QueryServer:
             None, self.scheduler.stop
         )
 
-    def run(self, ready_callback=None) -> None:
-        """Blocking entry point (the CLI): serve until interrupted."""
+    def run(self, ready_callback=None, handle_signals: bool = True) -> None:
+        """Blocking entry point (the CLI and the cluster's shard workers).
+
+        Serves until interrupted.  When ``handle_signals`` is true and we
+        are on the main thread, ``SIGTERM`` and ``SIGINT`` trigger a
+        *graceful* shutdown: the listener closes, the scheduler drains
+        its in-flight work, and the call returns -- this is how cluster
+        worker processes die cleanly when their backend terminates them.
+        """
 
         async def main() -> None:
             await self.start()
+            loop = asyncio.get_running_loop()
+            stop_requested = asyncio.Event()
+            installed: list[signal.Signals] = []
+            if (
+                handle_signals
+                and threading.current_thread() is threading.main_thread()
+            ):
+                for signum in (signal.SIGTERM, signal.SIGINT):
+                    try:
+                        loop.add_signal_handler(signum, stop_requested.set)
+                    except (NotImplementedError, RuntimeError, ValueError):
+                        continue  # platform/loop without signal support
+                    installed.append(signum)
+            # Announce only once the graceful-shutdown handlers are in
+            # place: a supervisor may SIGTERM the instant it learns the
+            # address (the cluster's process backend does in tests).
             if ready_callback is not None:
                 ready_callback(self.address)
+            serve_task = asyncio.ensure_future(self._server.serve_forever())
+            stop_task = asyncio.ensure_future(stop_requested.wait())
             try:
-                await self._server.serve_forever()
-            except asyncio.CancelledError:
-                pass
+                await asyncio.wait(
+                    {serve_task, stop_task},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
             finally:
+                for task in (serve_task, stop_task):
+                    task.cancel()
+                outcomes = await asyncio.gather(
+                    serve_task, stop_task, return_exceptions=True
+                )
+                for signum in installed:
+                    loop.remove_signal_handler(signum)
                 await self.stop()
+            # A listener crash is a crash, not a shutdown: re-raise it
+            # (after cleanup) so callers -- the CLI, worker_main --
+            # exit loudly instead of reporting a clean stop.
+            serve_outcome = outcomes[0]
+            if isinstance(serve_outcome, BaseException) and not isinstance(
+                serve_outcome, asyncio.CancelledError
+            ):
+                raise serve_outcome
 
         try:
             asyncio.run(main())
@@ -221,7 +263,9 @@ class QueryServer:
         futures = []
         try:
             for text, node in zip(queries, nodes):
-                futures.append(self.scheduler.submit(text, node, timeout=timeout))
+                futures.append(
+                    self._submit_query(text, node, timeout, include_pairs)
+                )
         except AdmissionError as error:
             # All-or-nothing admission: cancel what we already queued.
             for future in futures:
@@ -232,16 +276,31 @@ class QueryServer:
         for text, future in zip(queries, futures):
             entry: dict = {"query": text}
             try:
-                pairs, elapsed = await asyncio.wrap_future(future)
+                payload, elapsed = await asyncio.wrap_future(future)
             except Exception as error:  # noqa: BLE001 -- per-query outcome
                 entry["error"] = protocol.error_payload(error)
             else:
-                entry["count"] = len(pairs)
+                # A counts-aware scheduler (the cluster, when the client
+                # asked for counts only) may resolve to a bare int
+                # instead of a pair-set.
+                entry["count"] = (
+                    payload if isinstance(payload, int) else len(payload)
+                )
                 entry["time"] = elapsed
                 if include_pairs:
-                    entry["pairs"] = protocol.pairs_to_wire(pairs)
+                    entry["pairs"] = protocol.pairs_to_wire(payload)
             results.append(entry)
         return protocol.ok_response(request_id, results=results)
+
+    def _submit_query(self, text, node, timeout, include_pairs):
+        """Admission hook; subclasses may forward the pairs/counts intent.
+
+        The base scheduler always materialises pair-sets in this
+        process (returning them is free), so ``include_pairs`` is
+        irrelevant here -- the cluster router forwards it so process
+        shards can skip serialising pairs nobody asked for.
+        """
+        return self.scheduler.submit(text, node, timeout=timeout)
 
     async def _op_stats(self, request_id, request) -> dict:
         # db.stats() takes the session lock; keep the wait off the loop.

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.errors import GraphFormatError
-from repro.graph.io import dump_edge_list, load_edge_list, parse_edge_lines
+from repro.graph.io import (
+    dump_edge_list,
+    format_edge_lines,
+    load_edge_list,
+    parse_edge_lines,
+)
 from repro.graph.multigraph import LabeledMultigraph
 
 
@@ -56,3 +61,65 @@ class TestRoundtrip:
         path.write_text("0 a 1\n0 a 1\n")
         graph = load_edge_list(path)
         assert graph.num_edges == 1
+
+
+class TestUnserialisableTokens:
+    """The dump side refuses tokens the format cannot round-trip."""
+
+    def test_int_lookalike_string_vertex_raises(self, tmp_path):
+        # "123" would load back as int 123 (the coercion rule), silently
+        # changing vertex identity -- refuse instead.
+        graph = LabeledMultigraph.from_edges([("123", "a", "x")])
+        with pytest.raises(GraphFormatError, match="looks like an integer"):
+            dump_edge_list(graph, tmp_path / "bad.txt")
+
+    def test_signed_int_lookalike_raises(self):
+        graph = LabeledMultigraph.from_edges([("x", "a", "-7")])
+        with pytest.raises(GraphFormatError, match="looks like an integer"):
+            list(format_edge_lines(graph))
+
+    def test_whitespace_vertex_raises(self):
+        graph = LabeledMultigraph.from_edges([("a b", "rel", "c")])
+        with pytest.raises(GraphFormatError, match="whitespace"):
+            list(format_edge_lines(graph))
+
+    def test_whitespace_label_raises(self):
+        graph = LabeledMultigraph.from_edges([("a", "two words", "c")])
+        with pytest.raises(GraphFormatError, match="whitespace"):
+            list(format_edge_lines(graph))
+
+    def test_empty_and_comment_tokens_raise(self):
+        for bad_edges in (
+            [("", "a", "x")],
+            [("x", "", "y")],
+            [("#note", "a", "x")],
+        ):
+            graph = LabeledMultigraph.from_edges(bad_edges)
+            with pytest.raises(GraphFormatError):
+                list(format_edge_lines(graph))
+
+    def test_exotic_vertex_type_raises(self):
+        graph = LabeledMultigraph.from_edges([((1, 2), "a", "y")])
+        with pytest.raises(GraphFormatError, match="not\\s+serialisable"):
+            list(format_edge_lines(graph))
+
+    def test_bool_vertex_raises(self):
+        # bool is an int subclass but str(True) loads back as "True".
+        graph = LabeledMultigraph.from_edges([(True, "a", "x")])
+        with pytest.raises(GraphFormatError):
+            list(format_edge_lines(graph))
+
+    def test_failed_dump_leaves_file_untouched(self, tmp_path):
+        path = tmp_path / "keep.txt"
+        path.write_text("0 a 1\n")
+        graph = LabeledMultigraph.from_edges([("123", "a", "x")])
+        with pytest.raises(GraphFormatError):
+            dump_edge_list(graph, path)
+        assert path.read_text() == "0 a 1\n"
+
+    def test_int_like_labels_are_fine(self, tmp_path):
+        # Labels are never coerced: "123" stays the string "123".
+        graph = LabeledMultigraph.from_edges([(0, "123", 1)])
+        path = tmp_path / "labels.txt"
+        dump_edge_list(graph, path)
+        assert set(load_edge_list(path).edges()) == {(0, "123", 1)}

@@ -1,0 +1,113 @@
+"""ClientPool: leasing, reuse, replacement of broken clients, close."""
+
+import threading
+
+import pytest
+
+from repro.db import GraphDB
+from repro.errors import ServerError
+from repro.graph.builders import paper_figure1_graph
+from repro.server import Client, ClientPool, ServerThread
+
+
+@pytest.fixture
+def server():
+    with ServerThread(GraphDB.open(paper_figure1_graph())) as handle:
+        yield handle
+
+
+class TestLeasing:
+    def test_lease_query_release(self, server):
+        with ClientPool(*server.address, size=2) as pool:
+            with pool.lease() as client:
+                assert client.query("b.c").count > 0
+            assert pool.stats == {"idle": 1, "leased": 0, "size": 2}
+
+    def test_connections_are_reused(self, server):
+        with ClientPool(*server.address, size=2) as pool:
+            with pool.lease() as first:
+                pass
+            with pool.lease() as second:
+                assert second is first
+            assert pool.stats["idle"] == 1
+
+    def test_concurrent_leases_dial_up_to_size(self, server):
+        with ClientPool(*server.address, size=3) as pool:
+            clients = [pool.acquire() for _ in range(3)]
+            assert len({id(client) for client in clients}) == 3
+            assert pool.stats == {"idle": 0, "leased": 3, "size": 3}
+            for client in clients:
+                pool.release(client)
+            assert pool.stats == {"idle": 3, "leased": 0, "size": 3}
+
+    def test_exhausted_pool_blocks_until_release(self, server):
+        with ClientPool(*server.address, size=1) as pool:
+            held = pool.acquire()
+            acquired = []
+
+            def waiter():
+                with pool.lease() as client:
+                    acquired.append(client)
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            thread.join(timeout=0.2)
+            assert thread.is_alive()  # blocked on the one connection
+            pool.release(held)
+            thread.join(timeout=10)
+            assert acquired == [held]
+
+    def test_exhausted_pool_times_out(self, server):
+        pool = ClientPool(*server.address, size=1, lease_timeout=0.05)
+        try:
+            pool.acquire()
+            with pytest.raises(ServerError, match="became free"):
+                pool.acquire()
+        finally:
+            pool.lease_timeout = None
+            pool.close()
+
+
+class TestReplacement:
+    def test_poisoned_client_is_discarded_and_replaced(self, server):
+        with ClientPool(*server.address, size=1) as pool:
+            with pool.lease() as client:
+                client._poison("simulated transport failure")
+            assert pool.stats == {"idle": 0, "leased": 0, "size": 1}
+            with pool.lease() as fresh:
+                assert fresh is not client
+                assert fresh.query("b.c").count > 0
+
+    def test_closed_client_is_discarded(self, server):
+        with ClientPool(*server.address, size=1) as pool:
+            with pool.lease() as client:
+                client.close()
+            with pool.lease() as fresh:
+                assert fresh is not client
+                assert fresh.ping() >= 1
+
+
+class TestLifecycle:
+    def test_connect_parses_address(self, server):
+        host, port = server.address
+        with ClientPool.connect(f"{host}:{port}", size=1) as pool:
+            with pool.lease() as client:
+                assert isinstance(client, Client)
+                assert client.ping() >= 1
+
+    def test_closed_pool_refuses_leases(self, server):
+        pool = ClientPool(*server.address, size=1)
+        pool.close()
+        with pytest.raises(ServerError, match="closed"):
+            pool.acquire()
+
+    def test_late_release_closes_the_client(self, server):
+        pool = ClientPool(*server.address, size=1)
+        client = pool.acquire()
+        pool.close()
+        pool.release(client)
+        assert client.closed
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            ClientPool("127.0.0.1", 1, size=0)
