@@ -46,6 +46,7 @@ __all__ = [
     "measure_cluster_configuration",
     "run_cluster_benchmark",
     "run_backend_comparison",
+    "run_edge_cut_benchmark",
     "format_cluster_rows",
     "pick_update_targets",
 ]
@@ -101,6 +102,7 @@ def measure_cluster_configuration(
     verify: bool = True,
     watch_bodies: list[str] | None = None,
     backend: str = "thread",
+    partition_strategy: str = "component",
 ) -> dict:
     """One benchmark cell: a ``shards x replicas`` cluster under load.
 
@@ -109,7 +111,9 @@ def measure_cluster_configuration(
     closure bodies of ``queries``), so every update carries realistic
     incremental-maintenance cost.  ``backend`` picks the shard transport
     (``"thread"`` replica groups in-process, ``"process"`` one worker
-    process per shard) -- the exact ``repro serve --backend`` path.
+    process per shard) -- the exact ``repro serve --backend`` path --
+    and ``partition_strategy`` how the graph splits (``"edge-cut"``
+    engages the router's boundary join).
     """
     if watch_bodies is None:
         watch_bodies = closure_bodies(queries)
@@ -124,6 +128,7 @@ def measure_cluster_configuration(
             batch_window=batch_window,
             backend=backend,
             pool_size=max(8, num_clients),
+            partition_strategy=partition_strategy,
         ),
         start=False,
     )
@@ -215,6 +220,8 @@ def measure_cluster_configuration(
         "clients": num_clients,
         "engine": engine,
         "backend": backend,
+        "strategy": partition_strategy,
+        "cut_edges": len(cluster.partition.cut_relation()),
         "update_every": update_every,
         "queries": total_queries,
         "updates": sum(update_counts),
@@ -300,6 +307,47 @@ def run_backend_comparison(
     ]
 
 
+def run_edge_cut_benchmark(
+    graph: LabeledMultigraph,
+    queries: list[str],
+    shards: int = 2,
+    replicas: int = 1,
+    num_clients: int = 8,
+    requests_per_client: int = 8,
+    workers: int = 2,
+    engine: str = "rtc",
+) -> list[dict]:
+    """The giant-component scenario: one WCC, edge-cut sharded.
+
+    ``graph`` must be a single weakly-connected component (e.g.
+    :func:`repro.datasets.rmat.rmat_connected_graph`).  Component-disjoint
+    partitioning can only put it on one shard; the sweep measures that
+    1-shard deployment against an ``shards``-shard edge-cut deployment
+    whose every answer goes through the router's boundary join.  Both
+    cells verify against a single session, so the sweep doubles as a
+    live identity gate for the join path.
+    """
+    cells = [
+        dict(shards=1, partition_strategy="component"),
+        dict(shards=shards, partition_strategy="edge-cut"),
+    ]
+    return [
+        measure_cluster_configuration(
+            graph,
+            queries,
+            replicas=replicas,
+            num_clients=num_clients,
+            requests_per_client=requests_per_client,
+            workers=workers,
+            update_every=0,
+            engine=engine,
+            verify=True,
+            **cell,
+        )
+        for cell in cells
+    ]
+
+
 def format_cluster_rows(rows: list[dict]) -> str:
     """The human-readable table of a cluster benchmark sweep."""
     return format_table(
@@ -307,6 +355,7 @@ def format_cluster_rows(rows: list[dict]) -> str:
             "shards",
             "replicas",
             "backend",
+            "strategy",
             "clients",
             "workload",
             "queries",
@@ -321,6 +370,7 @@ def format_cluster_rows(rows: list[dict]) -> str:
                 row["shards"],
                 row["replicas"],
                 row.get("backend", "thread"),
+                row.get("strategy", "component"),
                 row["clients"],
                 (
                     f"1 update / {row['update_every']} reqs"

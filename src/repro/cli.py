@@ -11,9 +11,11 @@ before writing any code; all of them run through the
 * ``serve``  -- run the concurrent JSON-lines query server of
   :mod:`repro.server` over an edge-list file; with ``--shards N`` /
   ``--replicas R`` the graph is partitioned and served by the
-  :mod:`repro.cluster` router instead (same protocol, same clients), and
+  :mod:`repro.cluster` router instead (same protocol, same clients),
   ``--backend process`` moves each shard into its own worker process for
-  multi-core scale-out;
+  multi-core scale-out, and ``--strategy edge-cut`` (or ``auto``) shards
+  single-component graphs by recording cross-shard edges in a cut
+  relation the router joins over;
 * ``reduce`` -- show the two-level reduction statistics of a closure body
   on a graph (the Fig. 12/13 quantities for your own data);
 * ``stats``  -- Table-IV style statistics of an edge-list file;
@@ -36,6 +38,7 @@ Examples::
     python -m repro serve graph.txt --port 7687 --workers 4
     python -m repro serve graph.txt --shards 4 --replicas 2
     python -m repro serve graph.txt --shards 4 --replicas 2 --backend process
+    python -m repro serve graph.txt --shards 2 --strategy edge-cut
     python -m repro query --connect 127.0.0.1:7687 "a.(b.c)+.c"
     python -m repro reduce graph.txt "b.c"
     python -m repro dot graph.txt --query "b.c" --view condensation
@@ -162,8 +165,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help=(
-            "partition the graph into N component-disjoint shards behind "
-            "a cluster router (default: 1 = single-session server)"
+            "partition the graph into N shards behind a cluster router "
+            "(default: 1 = single-session server)"
+        ),
+    )
+    serve.add_argument(
+        "--strategy",
+        choices=["component", "edge-cut", "auto"],
+        default="component",
+        help=(
+            "partition strategy: 'component' keeps weakly-connected "
+            "components whole (union merge), 'edge-cut' splits any graph "
+            "and the router joins partial paths over the recorded "
+            "cross-shard edges, 'auto' picks per graph (default: "
+            "component)"
         ),
     )
     serve.add_argument(
@@ -378,6 +393,7 @@ def _cmd_serve(args) -> int:
                 engine_kwargs=engine_kwargs,
                 backend=args.backend,
                 worker_log_dir=args.worker_log_dir,
+                partition_strategy=args.strategy,
             ),
             start=False,
         )
@@ -385,15 +401,17 @@ def _cmd_serve(args) -> int:
 
         def announce_cluster(address) -> None:
             host, port = address
+            partition_stats = cluster.partition.stats()
             shard_edges = ", ".join(
-                str(shard["edges"])
-                for shard in cluster.partition.stats()["shards"]
+                str(shard["edges"]) for shard in partition_stats["shards"]
             )
+            cuts = partition_stats["cut_edges"]
+            cut_note = f", {cuts} cut edges" if cuts else ""
             print(
                 f"serving {args.graph} as a {args.shards}-shard x "
                 f"{args.replicas}-replica cluster (engine={args.engine}, "
                 f"backend={args.backend}, {config.workers} workers/replica, "
-                f"shard edges: [{shard_edges}]) on {host}:{port} "
+                f"shard edges: [{shard_edges}]{cut_note}) on {host}:{port} "
                 "-- Ctrl-C to stop",
                 flush=True,
             )

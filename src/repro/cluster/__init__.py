@@ -1,8 +1,11 @@
 """``repro.cluster`` -- a sharded, replicated RPQ serving layer.
 
 Scales the single-node :mod:`repro.server` stack out: one graph is
-partitioned into component-disjoint shards
-(:func:`partition_graph`), each shard is served through a
+partitioned into shards (:func:`partition_graph` -- component-disjoint
+by default, or ``strategy="edge-cut"`` for graphs a single giant
+component would otherwise pin to one shard; the router then joins
+per-shard partial paths over the partition's cut-edge relation), each
+shard is served through a
 transport-agnostic :class:`ShardBackend` -- either an in-process group
 of R replicated :class:`~repro.db.GraphDB` sessions with their own
 sharing-aware schedulers (``backend="thread"``), or a dedicated worker
@@ -32,6 +35,7 @@ from repro.cluster.backends import (
     ShardReplica,
 )
 from repro.cluster.partition import (
+    PARTITION_STRATEGIES,
     GraphPartition,
     partition_graph,
     weakly_connected_components,
@@ -53,4 +57,5 @@ __all__ = [
     "ShardReplica",
     "partition_graph",
     "weakly_connected_components",
+    "PARTITION_STRATEGIES",
 ]

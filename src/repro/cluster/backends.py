@@ -239,6 +239,27 @@ class ShardBackend:
         """
         raise NotImplementedError
 
+    def partial_query(
+        self,
+        text: str,
+        node: RegexNode | None = None,
+        *,
+        boundary,
+        frontier=None,
+        timeout: float | None = None,
+    ) -> Future:
+        """Admit one shard-local partial evaluation (edge-cut path).
+
+        Future of ``(accepts, boundary_rows, elapsed)``: the locally
+        complete ``(start, end)`` pairs, the ``(start, vertex, state)``
+        boundary triples for the router's cut-edge join, and the shard's
+        evaluation time.  ``frontier=None`` is the initial round (the
+        shard traverses from its own candidate starts); otherwise the
+        triples are continuations arriving over cut edges.  See
+        :func:`repro.rpq.partial.eval_partial_rpq`.
+        """
+        raise NotImplementedError
+
     def update(self, add=(), remove=()) -> Future:
         """Admit an edge change to every replica; future of ``None``."""
         raise NotImplementedError
@@ -292,7 +313,10 @@ class InProcessBackend(ShardBackend):
         start: bool = False,
     ) -> None:
         if replicas < 1:
-            raise ClusterError(f"replicas must be >= 1, got {replicas}")
+            raise ClusterError(
+                f"replicas must be >= 1, got {replicas}",
+                code="cluster.topology",
+            )
         self.shard_id = shard_id
         self.engine_name = engine.lower()
         engine_kwargs = dict(engine_kwargs or {})
@@ -323,6 +347,8 @@ class InProcessBackend(ShardBackend):
         # shard's graph never diverge.
         self._update_lock = threading.Lock()
         self._key_memo: dict[str, str] = {}
+        self._nfa_memo: dict[str, object] = {}
+        self._partial_executor: ThreadPoolExecutor | None = None
         self._started = False
         self._closed = False
         if start:
@@ -345,6 +371,9 @@ class InProcessBackend(ShardBackend):
         if self._closed:
             return
         self._closed = True
+        if self._partial_executor is not None:
+            self._partial_executor.shutdown(wait=True, cancel_futures=True)
+            self._partial_executor = None
         for replica in self.replicas:
             replica.scheduler.stop()
         for replica in self.replicas:
@@ -405,6 +434,63 @@ class InProcessBackend(ShardBackend):
             key = self.route_key(text, node)
         replica = self._pick_replica(key)
         future = replica.scheduler.submit(text, node, timeout=timeout)
+        with self._lock:
+            replica.in_flight += 1
+        future.add_done_callback(
+            lambda _future, replica=replica: self._release(replica)
+        )
+        return future
+
+    def _compiled_nfa(self, text: str, node: RegexNode | None):
+        """The query automaton, memoised by text (bounded like the keys)."""
+        from repro.regex.nfa import compile_nfa
+
+        with self._lock:
+            nfa = self._nfa_memo.get(text)
+        if nfa is not None:
+            return nfa
+        if node is None:
+            node = parse(text)
+        nfa = compile_nfa(node)
+        with self._lock:
+            if len(self._nfa_memo) >= _KEY_MEMO_LIMIT:
+                self._nfa_memo.clear()
+            self._nfa_memo[text] = nfa
+        return nfa
+
+    def partial_query(
+        self,
+        text: str,
+        node: RegexNode | None = None,
+        *,
+        boundary,
+        frontier=None,
+        timeout: float | None = None,
+    ) -> Future:
+        # Partial evaluations bypass the scheduler (it batches whole
+        # RegexNode queries, not automaton fragments) and run on a small
+        # backend executor instead; the session lock inside
+        # ``evaluate_partial`` still serialises them against updates.
+        if self._closed:
+            raise ProcessBackend._closed_error()
+        nfa = self._compiled_nfa(text, node)
+        boundary = frozenset(boundary)
+        frontier = None if frontier is None else tuple(frontier)
+        with self._lock:
+            if self._partial_executor is None:
+                self._partial_executor = ThreadPoolExecutor(
+                    max_workers=max(2, len(self.replicas)),
+                    thread_name_prefix=f"repro-partial{self.shard_id}",
+                )
+            executor = self._partial_executor
+        replica = self._pick_replica("")
+
+        def evaluate():
+            started = time.perf_counter()
+            accepts, rows = replica.db.evaluate_partial(nfa, boundary, frontier)
+            return accepts, rows, time.perf_counter() - started
+
+        future = executor.submit(evaluate)
         with self._lock:
             replica.in_flight += 1
         future.add_done_callback(
@@ -542,7 +628,9 @@ class ProcessBackend(ShardBackend):
     ) -> None:
         if graph is None and loader is None:
             raise ClusterError(
-                "ProcessBackend needs a shard graph to dump or a loader callable"
+                "ProcessBackend needs a shard graph to dump or a loader callable",
+                code="cluster.unsupported",
+                shards=(shard_id,),
             )
         self.shard_id = shard_id
         self.engine_name = engine.lower()
@@ -675,7 +763,9 @@ class ProcessBackend(ShardBackend):
             self.close()
             raise ClusterError(
                 f"shard {self.shard_id} worker failed to start: {failure}"
-                + (f" (worker log: {self._log_path})" if self._log_path else "")
+                + (f" (worker log: {self._log_path})" if self._log_path else ""),
+                code="cluster.worker_start",
+                shards=(self.shard_id,),
             )
         from repro.server.pool import ClientPool
 
@@ -693,7 +783,11 @@ class ProcessBackend(ShardBackend):
     def address(self) -> tuple[str, int]:
         """The worker's ``(host, port)`` (after :meth:`wait_ready`)."""
         if self._address is None:
-            raise ClusterError(f"shard {self.shard_id} worker is not ready")
+            raise ClusterError(
+                f"shard {self.shard_id} worker is not ready",
+                code="cluster.worker_start",
+                shards=(self.shard_id,),
+            )
         return self._address
 
     @property
@@ -753,6 +847,57 @@ class ProcessBackend(ShardBackend):
         # sums the counts (shard answers are component-disjoint).
         payload = result.pairs if want_pairs else result.count
         return payload, result.time
+
+    def partial_query(
+        self,
+        text: str,
+        node: RegexNode | None = None,
+        *,
+        boundary,
+        frontier=None,
+        timeout: float | None = None,
+    ) -> Future:
+        # Same local admission as ``query``: partial rounds compete for
+        # the same worker capacity.
+        self._ensure_ready()
+        boundary = sorted(boundary, key=str)
+        frontier = (
+            None
+            if frontier is None
+            else [list(triple) for triple in frontier]
+        )
+        with self._lock:
+            if self._pending >= self._max_pending:
+                self._rejected += 1
+                raise AdmissionError(queue_depth=self._pending)
+            self._pending += 1
+        try:
+            future = self._executor.submit(
+                self._remote_partial, text, boundary, frontier, timeout
+            )
+        except BaseException:
+            with self._lock:
+                self._pending -= 1
+            raise
+        future.add_done_callback(self._release_pending)
+        return future
+
+    def _remote_partial(self, text, boundary, frontier, timeout):
+        from repro.server import protocol
+
+        payload = {"query": text, "mode": "partial", "boundary": boundary}
+        if frontier is not None:
+            payload["frontier"] = frontier
+        if timeout is not None:
+            payload["timeout"] = timeout
+        with self._pool.lease() as client:
+            response = client.call("query", **payload)
+        partial = response["partial"]
+        return (
+            protocol.wire_to_pairs(partial["accepts"]),
+            protocol.wire_to_rows(partial["boundary"]),
+            partial["time"],
+        )
 
     def update(self, add=(), remove=()) -> Future:
         """One edge change through the single-connection update lane.

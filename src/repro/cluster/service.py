@@ -23,12 +23,25 @@ serve it identically.
 
 Routing
 -------
-* **Queries fan out to shards and the pair-sets union.**  The partition
-  is component-disjoint, so per-shard answers are disjoint and their
-  union is exactly the single-session answer.  Shards whose label
+* **Queries fan out to shards and the pair-sets union.**  Over a
+  component-disjoint partition the per-shard answers are disjoint and
+  their union is exactly the single-session answer.  Shards whose label
   alphabet is disjoint from the query's are pruned
   (federated-SPARQL-style source selection); nullable queries are never
   pruned, because every shard contributes its reflexive pairs.
+* **Edge-cut partitions activate the boundary join.**  When the
+  partition's cut relation holds an edge whose label occurs in the
+  query, the union is no longer the answer: satisfying paths may cross
+  shards.  The router then runs a semi-naive join-until-fixpoint --
+  each shard answers *partial* paths as ``(start, vertex, state)``
+  triples at its boundary vertices
+  (:func:`repro.rpq.partial.eval_partial_rpq`), the router advances
+  them over the cut-edge relation with
+  :class:`repro.relalg.BoundaryJoin`, and re-dispatches the arrivals to
+  the owning shards until no new traversal state appears.  Queries
+  whose alphabet misses every cut label keep the plain union path: no
+  satisfying path can traverse a cut edge, so per-shard answers stay
+  disjoint and complete.
 * **Replica picking is body-affine** and happens *inside* the backend:
   a query's canonical closure-body key hashes to one replica per shard,
   so each replica's RTC cache serves a stable subset of closure bodies
@@ -37,11 +50,13 @@ Routing
   affinity property is identical.)
 * **Updates broadcast drain-then-apply.**  An edge change routes to the
   shard owning its endpoints (new vertices are assigned on first
-  contact; cross-shard edges raise
-  :class:`~repro.errors.ClusterError`) and the owning backend applies it
-  through *every* replica -- each drains its in-flight batches, applies
-  on its own graph copy, and drops its caches.  The other shards keep
-  serving with hot caches throughout.
+  contact) and the owning backend applies it through *every* replica --
+  each drains its in-flight batches, applies on its own graph copy, and
+  drops its caches.  The other shards keep serving with hot caches
+  throughout.  An edge whose endpoints live on two *different* shards
+  belongs to no shard subgraph: it is recorded in (or removed from) the
+  partition's cut relation at the router, atomically with the rest of
+  the batch, and the boundary join picks it up on the next query.
 
 The routing decision (closure-key extraction, a DNF walk) is memoised by
 query text, so a serving workload's repeated queries route in O(1).
@@ -51,7 +66,8 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from concurrent.futures import CancelledError, Future
+import time
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from os import PathLike
 from pathlib import Path
@@ -66,12 +82,19 @@ from repro.cluster.backends import (
 )
 from repro.cluster.partition import GraphPartition, partition_graph
 from repro.core.cache import make_key_function
-from repro.errors import ClusterError, ServerError
+from repro.errors import (
+    ClusterError,
+    DeadlineExpiredError,
+    GraphError,
+    ServerError,
+)
 from repro.graph.io import load_edge_list
 from repro.graph.multigraph import LabeledMultigraph
 from repro.regex.ast import RegexNode
 from repro.regex.nfa import compile_nfa
 from repro.regex.parser import parse
+from repro.relalg import BoundaryJoin, Relation, Scan
+from repro.rpq.partial import CUT_COLUMNS, PARTIAL_COLUMNS
 from repro.server import protocol
 from repro.server.scheduler import closure_group_key
 from repro.server.service import QueryServer, ServerConfig
@@ -111,6 +134,12 @@ class ClusterConfig:
     #: graph holds tokens the dump format cannot carry).  The loader must
     #: reproduce the exact shard subgraphs of this cluster's partition.
     shard_loader: object | None = None
+    #: How :meth:`GraphCluster.open` partitions the graph:
+    #: ``"component"`` (whole components, union merge), ``"edge-cut"``
+    #: (balanced vertex ranges, boundary join over cut edges) or
+    #: ``"auto"`` (component unless one component dominates).  See
+    #: :func:`repro.cluster.partition.partition_graph`.
+    partition_strategy: str = "component"
 
 
 class _MergeState:
@@ -165,11 +194,15 @@ class GraphCluster:
     ) -> None:
         config = config or ClusterConfig()
         if config.replicas < 1:
-            raise ClusterError(f"replicas must be >= 1, got {config.replicas}")
+            raise ClusterError(
+                f"replicas must be >= 1, got {config.replicas}",
+                code="cluster.topology",
+            )
         if config.backend not in BACKENDS:
             raise ClusterError(
                 f"unknown backend {config.backend!r}; expected one of "
-                f"{', '.join(BACKENDS)}"
+                f"{', '.join(BACKENDS)}",
+                code="cluster.unsupported",
             )
         self.partition = partition
         self.engine_name = engine.lower()
@@ -200,11 +233,18 @@ class GraphCluster:
             self._key_function = make_key_function(
                 config.engine_kwargs.get("cache_mode", "syntactic")
             )
-        self._route_memo: dict[str, tuple[str, frozenset, bool]] = {}
+        self._route_memo: dict[str, tuple] = {}
         # Queries answered at the router because every shard was pruned
         # (no label overlap anywhere); folded into the aggregate stats so
         # served traffic never disappears from the books.
         self._answered_without_fanout = 0
+        # Boundary-join machinery (edge-cut partitions only): the join
+        # loop blocks on shard rounds, so it runs on its own small
+        # executor; results are cached by query text and invalidated by
+        # the graph version counter every update bumps.
+        self._join_executor: ThreadPoolExecutor | None = None
+        self._join_cache: dict[str, tuple[int, set, float]] = {}
+        self._graph_version = 0
         self._started = False
         self._stopped = False
         if start:
@@ -255,7 +295,8 @@ class GraphCluster:
         start: bool = True,
     ) -> "GraphCluster":
         """Load a graph (object, edge-list path, or edge triples), partition
-        it into ``config.shards`` shards, and bring the cluster up."""
+        it into ``config.shards`` shards (``config.partition_strategy``
+        picks how), and bring the cluster up."""
         config = config or ClusterConfig()
         if isinstance(source, LabeledMultigraph):
             graph = source
@@ -263,7 +304,9 @@ class GraphCluster:
             graph = load_edge_list(source)
         else:
             graph = LabeledMultigraph.from_edges(source)
-        partition = partition_graph(graph, config.shards)
+        partition = partition_graph(
+            graph, config.shards, strategy=config.partition_strategy
+        )
         return cls(partition, engine=engine, config=config, start=start)
 
     @property
@@ -284,7 +327,9 @@ class GraphCluster:
         if not isinstance(backend, InProcessBackend):
             raise ClusterError(
                 f"shard {shard} runs on the {self.backend_name!r} backend; "
-                "its replicas are not in this process"
+                "its replicas are not in this process",
+                code="cluster.unsupported",
+                shards=(shard,),
             )
         return backend.replicas[replica]
 
@@ -316,19 +361,30 @@ class GraphCluster:
         if self._stopped:
             return
         self._stopped = True
+        with self._lock:
+            executor = self._join_executor
+            self._join_executor = None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
         for backend in self._backends:
             backend.close()
 
     # -- routing ---------------------------------------------------------
-    def _route_info(self, text: str, node: RegexNode) -> tuple[str, frozenset, bool]:
-        """``(closure_key, labels, nullable)`` of a query, memoised by text."""
+    def _route_info(self, text: str, node: RegexNode) -> tuple:
+        """``(closure_key, labels, nullable, nfa)`` of a query, memoised.
+
+        The compiled automaton rides along for the boundary-join path
+        (the router advances shard-reported states over cut edges with
+        the *same* state numbering the shards use --
+        :func:`~repro.regex.nfa.compile_nfa` is deterministic per text).
+        """
         with self._lock:
             info = self._route_memo.get(text)
         if info is not None:
             return info
         key = closure_group_key(node, self._key_function)
         nfa = compile_nfa(node)
-        info = (key, frozenset(nfa.labels), nfa.nullable)
+        info = (key, frozenset(nfa.labels), nfa.nullable, nfa)
         with self._lock:
             if len(self._route_memo) >= _ROUTE_MEMO_LIMIT:
                 self._route_memo.clear()
@@ -374,12 +430,32 @@ class GraphCluster:
         :class:`~repro.errors.AdmissionError` propagates.  Any shard
         failure (evaluation error, expired deadline) fails the whole
         query with that error.
+
+        When the partition's cut relation holds an edge whose label is
+        in the query alphabet, the union is not the answer and the
+        boundary-join path runs instead (see the module docstring); it
+        materialises the full pair union at the router, so counts-only
+        requests are answered as ``len`` of that union -- per-shard
+        counts may overlap across a cut and must not be summed.
         """
         if self._stopped:
             raise self._closed_error()
         if node is None:
             node = parse(text)
-        key, labels, nullable = self._route_info(text, node)
+        key, labels, nullable, nfa = self._route_info(text, node)
+
+        if self.partition.has_cuts:
+            relevant = [
+                edge
+                for edge in self.partition.cut_relation()
+                if edge[1] in labels
+            ]
+            if relevant:
+                return self._submit_boundary_join(
+                    text, node, nfa, labels, nullable, relevant,
+                    timeout=timeout, want_pairs=want_pairs,
+                )
+
         targets = self._target_shards(labels, nullable)
 
         parent: Future = Future()
@@ -454,6 +530,199 @@ class GraphCluster:
             result = state.pairs if state.want_pairs else state.count
             parent.set_result((result, state.elapsed))
 
+    # -- boundary join (edge-cut partitions) -----------------------------
+    def _submit_boundary_join(
+        self,
+        text: str,
+        node: RegexNode,
+        nfa,
+        labels: frozenset,
+        nullable: bool,
+        cuts: list[tuple],
+        timeout: float | None,
+        want_pairs: bool,
+    ) -> Future:
+        """Admit one query on the boundary-join path; future of the
+        same ``(pairs-or-count, elapsed)`` shape as :meth:`submit`."""
+        with self._lock:
+            cached = self._join_cache.get(text)
+            version = self._graph_version
+            if cached is not None and cached[0] == version:
+                _version, pairs, elapsed = cached
+                parent: Future = Future()
+                parent.set_running_or_notify_cancel()
+                parent.set_result(
+                    (set(pairs) if want_pairs else len(pairs), elapsed)
+                )
+                return parent
+            if self._join_executor is None:
+                self._join_executor = ThreadPoolExecutor(
+                    max_workers=8, thread_name_prefix="repro-join"
+                )
+            executor = self._join_executor
+
+        def run():
+            pairs, elapsed = self._run_boundary_join(
+                text, node, nfa, labels, nullable, cuts, timeout, version
+            )
+            with self._lock:
+                # Cache only results still describing the live graph: an
+                # update that landed mid-join bumped the version.
+                if self._graph_version == version:
+                    self._join_cache[text] = (version, pairs, elapsed)
+            # Hand out a copy -- the cached set must stay pristine.
+            return (set(pairs) if want_pairs else len(pairs), elapsed)
+
+        return executor.submit(run)
+
+    def _run_boundary_join(
+        self,
+        text: str,
+        node: RegexNode,
+        nfa,
+        labels: frozenset,
+        nullable: bool,
+        cuts: list[tuple],
+        timeout: float | None,
+        version: int,
+    ) -> tuple[set, float]:
+        """The semi-naive join-until-fixpoint over the cut-edge relation.
+
+        Round 0 asks every contributing shard for its *initial* partial
+        paths (local traversals from its own candidate starts); the
+        router then alternates two phases until nothing new appears:
+
+        * **expand** (router-local): advance every not-yet-expanded
+          boundary triple over the cut relation with
+          :class:`~repro.relalg.BoundaryJoin`, recording ``(start,
+          end)`` whenever an accepting state is entered, and re-expand
+          arrivals that land on another cut source (cut-cut chains)
+          within the same phase;
+        * **dispatch** (shard rounds): send arrivals the owning shard
+          has not continued yet back as *frontier* triples; the shard
+          traverses them locally and reports any new boundary touches.
+
+        Triples live in a finite ``starts x vertices x states`` space
+        and both the ``expanded`` and ``dispatched`` sets only grow, so
+        the fixpoint terminates.  ``elapsed`` sums the slowest shard of
+        each round (the critical path a real deployment would wait on).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def remaining() -> float | None:
+            if deadline is None:
+                return None
+            left = deadline - time.monotonic()
+            if left <= 0:
+                raise DeadlineExpiredError(
+                    f"boundary join for {text!r} exceeded its {timeout}s "
+                    "deadline"
+                )
+            return left
+
+        cut_scan = Scan(Relation(CUT_COLUMNS, cuts), "Cuts")
+        cut_sources = {edge[0] for edge in cuts}
+        accepting = nfa.accepts
+        shard_of = self.partition.shard_of
+        # Boundary set per shard: the cut sources it owns -- the only
+        # vertices whose visited triples the router can extend.
+        boundary_by_shard: dict[int, set] = {}
+        for source, _label, _target in cuts:
+            shard = shard_of(source)
+            if shard is not None:
+                boundary_by_shard.setdefault(shard, set()).add(source)
+
+        pairs: set = set()
+        rounds_elapsed = 0.0
+        expanded: set = set()    # cut expansion ran for this triple
+        dispatched: set = set()  # a shard locally continued this triple
+
+        def run_round(frontiers: dict) -> set:
+            """One shard round; unions accepts into ``pairs``, returns
+            the reported boundary triples."""
+            nonlocal rounds_elapsed
+            budget = remaining()
+            children = {
+                shard: self._backends[shard].partial_query(
+                    text,
+                    node,
+                    boundary=boundary_by_shard.get(shard, ()),
+                    frontier=frontier,
+                    timeout=budget,
+                )
+                for shard, frontier in frontiers.items()
+            }
+            rows: set = set()
+            round_elapsed = 0.0
+            for shard, child in sorted(children.items()):
+                accepts, shard_rows, elapsed = child.result(timeout=budget)
+                pairs.update(accepts)
+                rows.update(shard_rows)
+                round_elapsed = max(round_elapsed, elapsed)
+            rounds_elapsed += round_elapsed
+            return rows
+
+        def absorb(rows: set) -> set:
+            """Shard-reported rows: locally continued already, so mark
+            dispatched; queue the ones at cut sources for expansion."""
+            fresh = set()
+            for triple in rows:
+                dispatched.add(triple)
+                if triple[1] in cut_sources and triple not in expanded:
+                    fresh.add(triple)
+            return fresh
+
+        # A path may *begin* at a cut source: seed (u, u, s0) for every
+        # start state.  Expansion-only -- the local continuation from a
+        # start state is exactly what round 0 covers (or is provably
+        # empty when the shard has no matching first-label edge).
+        to_expand: set = set()
+        for source in cut_sources:
+            for state in nfa.start:
+                triple = (source, source, state)
+                dispatched.add(triple)
+                to_expand.add(triple)
+
+        targets = self._target_shards(labels, nullable)
+        if targets:
+            to_expand |= absorb(
+                run_round({shard: None for shard in targets})
+            )
+
+        with self._lock:
+            shard_labels = [set(label_set) for label_set in self._labels]
+
+        while True:
+            frontier_by_shard: dict[int, set] = {}
+            while to_expand:
+                expanded |= to_expand
+                arrivals = BoundaryJoin(
+                    Scan(Relation(PARTIAL_COLUMNS, to_expand), "P"),
+                    cut_scan,
+                    nfa,
+                ).evaluate()
+                to_expand = set()
+                for triple in arrivals.rows:
+                    start, vertex, state = triple
+                    if state in accepting:
+                        pairs.add((start, vertex))
+                    if vertex in cut_sources and triple not in expanded:
+                        to_expand.add(triple)
+                    if triple in dispatched:
+                        continue
+                    dispatched.add(triple)
+                    shard = shard_of(vertex)
+                    if shard is None:
+                        continue  # cut targets are always owned; safety
+                    if not nullable and shard_labels[shard].isdisjoint(labels):
+                        continue  # local continuation provably empty
+                    frontier_by_shard.setdefault(shard, set()).add(triple)
+            if not frontier_by_shard:
+                break
+            to_expand = absorb(run_round(frontier_by_shard))
+
+        return pairs, rounds_elapsed
+
     # -- updates ---------------------------------------------------------
     def submit_update(self, add=(), remove=()) -> Future:
         """Admit a streaming edge change; future of ``None``.
@@ -462,27 +731,32 @@ class GraphCluster:
         backend then applies the change through **every** replica
         (drain-then-apply on each, caches dropped on each), so all
         copies converge before the future resolves.  Unaffected shards
-        keep serving with hot caches.  Edges between two existing shards
-        raise :class:`~repro.errors.ClusterError`; edges with brand-new
-        endpoints are assigned to the currently smallest shard.
+        keep serving with hot caches.  Edges with brand-new endpoints
+        are assigned to the currently smallest shard.  Edges whose
+        endpoints live on two *different* shards belong to no shard
+        subgraph: an add records the edge in the partition's cut
+        relation (the boundary join serves it from the next query on),
+        a remove deletes it from there; a remove of a cross-shard edge
+        that was never recorded raises :class:`~repro.errors.ClusterError`
+        (``cluster.unknown_edge``), and a duplicate cross-shard add
+        raises :class:`~repro.errors.GraphError`, mirroring the
+        multigraph's duplicate-edge contract.
 
         Routing is two-phase: every edge of the request is validated and
         routed *before* any partition state mutates or any backend sees
-        the job, so a request rejected at routing time (cross-shard or
-        unknown edges) leaves no phantom vertex assignments or label-set
-        entries behind.  A request that routes but then fails to *apply*
-        (e.g. a duplicate edge) does keep its routing state: assignments
-        must commit before the (asynchronous) apply so that concurrent
-        updates naming the same new vertices route to the same shard --
-        releasing them on failure could split a component across shards.
-        The cost is conservative: a vertex assigned by a failed update
-        routes to its assigned shard forever, so a later edge tying it
-        to another shard is over-rejected with ClusterError even though
-        the vertex materialised nowhere.  Backends admit updates with
-        blocking semantics (replica queues never half-accept an update,
-        which is what keeps the copies identical), so this call can wait
-        for queue slots; drive it from a worker thread (the router runs
-        it in an executor), not from a latency-sensitive loop.
+        the job, so a request rejected at routing time (unknown edges,
+        duplicate cuts) leaves no phantom vertex assignments, label-set
+        entries or cut-relation rows behind.  A request that routes but
+        then fails to *apply* (e.g. a duplicate edge) does keep its
+        routing state: assignments must commit before the
+        (asynchronous) apply so that concurrent updates naming the same
+        new vertices route to the same shard -- releasing them on
+        failure could split a component across shards.  Backends admit
+        updates with blocking semantics (replica queues never
+        half-accept an update, which is what keeps the copies
+        identical), so this call can wait for queue slots; drive it
+        from a worker thread (the router runs it in an executor), not
+        from a latency-sensitive loop.
         """
         if self._stopped:
             raise self._closed_error()
@@ -497,27 +771,36 @@ class GraphCluster:
             by_shard: dict[int, tuple[list, list]] = {}
             pending_assign: dict[object, int] = {}
             pending_labels: dict[int, set] = {}
+            cut_adds: list[tuple] = []
+            cut_removes: list[tuple] = []
 
-            def resolve(source: object, target: object) -> int | None:
+            def owners(source: object, target: object) -> tuple:
                 source_shard = pending_assign.get(source)
                 if source_shard is None:
                     source_shard = self.partition.shard_of(source)
                 target_shard = pending_assign.get(target)
                 if target_shard is None:
                     target_shard = self.partition.shard_of(target)
-                if source_shard is not None and target_shard is not None:
-                    if source_shard != target_shard:
-                        raise ClusterError(
-                            f"edge ({source!r} -> {target!r}) crosses shards "
-                            f"{source_shard} and {target_shard}; cross-shard "
-                            "edges require re-partitioning and are not "
-                            "supported"
-                        )
-                    return source_shard
-                return source_shard if source_shard is not None else target_shard
+                return source_shard, target_shard
 
             for source, label, target in add:
-                shard = resolve(source, target)
+                source_shard, target_shard = owners(source, target)
+                if (
+                    source_shard is not None
+                    and target_shard is not None
+                    and source_shard != target_shard
+                ):
+                    edge = (source, label, target)
+                    if self.partition.has_cut(*edge) or edge in cut_adds:
+                        raise GraphError(
+                            f"duplicate cross-shard edge {source!r} "
+                            f"-{label}-> {target!r}"
+                        )
+                    cut_adds.append(edge)
+                    continue
+                shard = (
+                    source_shard if source_shard is not None else target_shard
+                )
                 if shard is None:
                     shard = self._smallest_shard()
                 pending_assign.setdefault(source, shard)
@@ -527,25 +810,56 @@ class GraphCluster:
                 )
                 pending_labels.setdefault(shard, set()).add(label)
             for source, label, target in remove:
-                shard = resolve(source, target)
-                if shard is None:
+                source_shard, target_shard = owners(source, target)
+                if source_shard is None and target_shard is None:
                     raise ClusterError(
                         f"cannot remove edge ({source!r}, {label!r}, "
-                        f"{target!r}): neither endpoint is in the cluster"
+                        f"{target!r}): neither endpoint is in the cluster",
+                        code="cluster.unknown_edge",
+                        detail=[source, label, target],
                     )
+                if (
+                    source_shard is not None
+                    and target_shard is not None
+                    and source_shard != target_shard
+                ):
+                    edge = (source, label, target)
+                    if not self.partition.has_cut(*edge) or edge in cut_removes:
+                        raise ClusterError(
+                            f"cannot remove edge ({source!r}, {label!r}, "
+                            f"{target!r}): it crosses shards "
+                            f"{source_shard} and {target_shard} but is not "
+                            "a recorded cross-shard edge",
+                            code="cluster.unknown_edge",
+                            shards=(source_shard, target_shard),
+                            detail=[source, label, target],
+                        )
+                    cut_removes.append(edge)
+                    continue
+                shard = (
+                    source_shard if source_shard is not None else target_shard
+                )
                 by_shard.setdefault(shard, ([], []))[1].append(
                     (source, label, target)
                 )
 
-            # Phase 2: commit routing state, then hand each owning
-            # backend its slice.  Backends admit with blocking
-            # semantics under this lock, so concurrent updates reach
-            # every replica of every shard in one global order.
+            # Phase 2: commit routing state (vertex assignments, label
+            # supersets, the cut relation), invalidate the boundary-join
+            # cache, then hand each owning backend its slice.  Backends
+            # admit with blocking semantics under this lock, so
+            # concurrent updates reach every replica of every shard in
+            # one global order.
             for vertex, shard in pending_assign.items():
                 self.partition.assign(vertex, shard)
+            for edge in cut_adds:
+                self.partition.record_cut(*edge)
+            for edge in cut_removes:
+                self.partition.discard_cut(*edge)
             with self._lock:
                 for shard, labels in pending_labels.items():
                     self._labels[shard] |= labels
+                self._graph_version += 1
+                self._join_cache.clear()
             children = [
                 self._backends[shard].update(add=adds, remove=removes)
                 for shard, (adds, removes) in sorted(by_shard.items())
@@ -572,12 +886,26 @@ class GraphCluster:
         return normalised
 
     def reaches(self, body: str, source: object, target: object) -> bool:
-        """Streaming reachability probe, routed to the owning shard.
+        """Streaming reachability probe: ``(source, target) in (body+)_G``.
 
-        Components never span shards, so only ``source``'s shard can
-        contain a path; unknown sources probe every shard (and come back
-        False when the vertex exists nowhere).
+        Over a component-disjoint partition only ``source``'s shard can
+        contain a path, so the probe routes there; unknown sources probe
+        every shard (and come back False when the vertex exists
+        nowhere).  When a cut edge carries one of the body's labels a
+        path may cross shards, so the probe falls back to a full
+        boundary-join evaluation of ``(body)+`` and tests membership --
+        correct, if not incremental.
         """
+        if self.partition.has_cuts:
+            closure = f"({body})+"
+            _key, labels, _nullable, _nfa = self._route_info(
+                closure, parse(closure)
+            )
+            if any(
+                edge[1] in labels for edge in self.partition.cut_relation()
+            ):
+                pairs, _elapsed = self.submit(closure).result()
+                return (source, target) in pairs
         shard = self.partition.shard_of(source)
         if shard is not None:
             return self._backends[shard].reaches(body, source, target)
@@ -636,13 +964,17 @@ class GraphCluster:
         watchers: set = set()
         for stats in engines:
             watchers.update(stats["watchers"])
+        cuts = self.partition.cut_relation()
         with self._lock:  # _labels mutates under concurrent updates
             all_labels = set().union(*self._labels)
+        # Cut edges live in no shard subgraph; fold them (and their
+        # labels) back in so the cluster totals match a single session.
+        all_labels |= {edge[1] for edge in cuts}
         return {
             "engine": self.engine_name,
             "graph": {
                 "vertices": sum(doc["graph"]["vertices"] for doc in docs),
-                "edges": sum(doc["graph"]["edges"] for doc in docs),
+                "edges": sum(doc["graph"]["edges"] for doc in docs) + len(cuts),
                 "labels": len(all_labels),
             },
             "queries_evaluated": sum(s["queries_evaluated"] for s in engines),
@@ -685,6 +1017,7 @@ class GraphCluster:
             "replicas": self.replicas,
             "engine": self.engine_name,
             "backend": self.backend_name,
+            "cut_edges": len(self.partition.cut_relation()),
             "per_shard": shards,
         }
 

@@ -21,10 +21,15 @@ those files as an artifact when a process-backend job fails.
 
 The worker speaks the unchanged wire protocol -- any
 :class:`~repro.server.Client` can talk to a shard worker directly --
-plus one extension: ``{"op": "stats", "shard": true}`` adds the
+plus two extensions: ``{"op": "stats", "shard": true}`` adds the
 structured per-replica shard document the router's stats aggregation
 pools (raw latency reservoirs included, so cluster-wide percentiles
-stay percentiles of the pooled values, not averages of averages).
+stay percentiles of the pooled values, not averages of averages); and
+``{"op": "query", "query": ..., "mode": "partial", "boundary": [...],
+"frontier": [[start, vertex, state], ...]}`` answers one shard-local
+partial evaluation for the router's boundary join (see
+:func:`repro.rpq.partial.eval_partial_rpq`) with a ``partial``
+response object instead of ``results``.
 """
 
 from __future__ import annotations
@@ -83,6 +88,8 @@ class ShardWorkerServer(QueryServer):
         super().__init__(db=backend, config=config, scheduler=backend)
 
     async def _op_query(self, request_id, request) -> dict:
+        if request.get("mode") == "partial":
+            return await self._op_partial_query(request_id, request)
         # Warm the backend's closure-key memo off the loop: first
         # contact with a query text walks its DNF, which must not stall
         # the socket multiplexer.
@@ -108,6 +115,44 @@ class ShardWorkerServer(QueryServer):
 
                 await self._in_executor(warm)
         return await super()._op_query(request_id, request)
+
+    async def _op_partial_query(self, request_id, request) -> dict:
+        """The ``mode: "partial"`` query extension (boundary-join path)."""
+        text = request.get("query")
+        if not isinstance(text, str):
+            raise protocol.ProtocolError(
+                "partial-mode 'query' op needs a single 'query' string"
+            )
+        boundary = request.get("boundary", [])
+        if not isinstance(boundary, list):
+            raise protocol.ProtocolError("'boundary' must be a vertex list")
+        frontier = request.get("frontier")
+        if frontier is not None:
+            if not isinstance(frontier, list) or not all(
+                isinstance(triple, list) and len(triple) == 3
+                for triple in frontier
+            ):
+                raise protocol.ProtocolError(
+                    "'frontier' must be a list of [start, vertex, state] triples"
+                )
+            frontier = [tuple(triple) for triple in frontier]
+        timeout = request.get("timeout")
+        # Admission + NFA compilation happen off the loop (first contact
+        # with a text compiles its automaton), like the key warm-up.
+        future = await self._in_executor(
+            lambda: self.backend.partial_query(
+                text, boundary=boundary, frontier=frontier, timeout=timeout
+            )
+        )
+        accepts, rows, elapsed = await asyncio.wrap_future(future)
+        return protocol.ok_response(
+            request_id,
+            partial={
+                "accepts": protocol.pairs_to_wire(accepts),
+                "boundary": protocol.rows_to_wire(rows),
+                "time": elapsed,
+            },
+        )
 
     async def _op_update(self, request_id, request) -> dict:
         add = self._edge_list(request.get("add", ()), "add")

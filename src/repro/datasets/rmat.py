@@ -32,6 +32,7 @@ __all__ = [
     "rmat_graph",
     "rmat_n",
     "rmat_component_graph",
+    "rmat_connected_graph",
     "default_labels",
 ]
 
@@ -151,6 +152,36 @@ def rmat_component_graph(
             graph.add_vertex(int(vertex) + offset)
         for source, label, target in block.edges():
             graph.add_edge(int(source) + offset, label, int(target) + offset)
+    return graph
+
+
+def rmat_connected_graph(
+    scale: int,
+    num_edges: int,
+    num_labels: int = 3,
+    seed: int = 0,
+    bridge_label: str | None = None,
+) -> LabeledMultigraph:
+    """A single weakly-connected R-MAT graph (the giant-component shape).
+
+    R-MAT sampling leaves satellite components and isolated vertices;
+    chaining each component's deterministic representative (smallest by
+    string form) to the next with a ``bridge_label`` edge makes the whole
+    graph one WCC.  This is precisely the shape component-disjoint
+    partitioning cannot spread over shards -- the edge-cut strategy's
+    benchmark and test workload.
+    """
+    from repro.cluster.partition import weakly_connected_components
+
+    graph = rmat_graph(scale, num_edges, num_labels, seed=seed)
+    if bridge_label is None:
+        bridge_label = default_labels(num_labels)[0]
+    components = weakly_connected_components(graph)
+    representatives = sorted(
+        (min(component, key=str) for component in components), key=str
+    )
+    for left, right in zip(representatives, representatives[1:]):
+        graph.add_edge_if_absent(left, bridge_label, right)
     return graph
 
 

@@ -193,6 +193,21 @@ class GraphDB:
             total_time=elapsed, phase_times=phases, shared_pairs=shared_size
         )
 
+    def evaluate_partial(self, nfa, boundary, frontier=None) -> tuple[set, set]:
+        """Shard-local partial RPQ evaluation *under the session lock*.
+
+        Runs :func:`repro.rpq.partial.eval_partial_rpq` against this
+        session's graph while holding the same lock :meth:`update` takes,
+        so a partial traversal never observes a half-applied edge batch.
+        Used by the cluster's boundary-join path; see
+        :mod:`repro.cluster.backends`.
+        """
+        from repro.rpq.partial import eval_partial_rpq
+
+        with self._lock:
+            self._check_open()
+            return eval_partial_rpq(self.graph, nfa, boundary, frontier)
+
     # -- updates ---------------------------------------------------------
     def watch(self, body: str | RegexNode) -> IncrementalRTC:
         """Maintain the RTC of closure body ``body`` across :meth:`update`.

@@ -137,14 +137,36 @@ class DeadlineExpiredError(ServerError):
 class ClusterError(ServerError):
     """A request could not be routed by the :mod:`repro.cluster` layer.
 
-    Raised for topology violations the sharded deployment cannot express,
-    most prominently an edge insertion whose endpoints live on two
-    different shards (components are the partitioning unit; merging two
-    of them across shards would require re-partitioning).  Registered in
-    the wire protocol's error-code map, so remote clients catch it too.
+    Raised for topology violations, worker lifecycle failures and
+    operations a sharded deployment cannot express.  Carries structured
+    fields so routers and tests can dispatch without string matching:
+
+    ``code``
+        ``"cluster"`` or a namespaced sub-code (``"cluster.topology"``,
+        ``"cluster.worker_start"``, ``"cluster.unknown_edge"``,
+        ``"cluster.unsupported"``).  The wire protocol rehydrates any
+        ``cluster``-prefixed code back into this class.
+    ``shards``
+        The shard ids involved (empty when not shard-specific).
+    ``detail``
+        An optional machine-readable payload (e.g. the offending edge).
     """
 
     code = "cluster"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str | None = None,
+        shards: tuple = (),
+        detail: object = None,
+    ) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+        self.shards = tuple(shards)
+        self.detail = detail
 
 
 class ProtocolError(ServerError):

@@ -5,7 +5,8 @@ Public surface:
 * :class:`Relation` -- set-semantics relations with select / project /
   join / rename / union;
 * expression nodes (:class:`Scan`, :class:`Select`, :class:`Project`,
-  :class:`Rename`, :class:`Join`, :class:`Union`);
+  :class:`Rename`, :class:`Join`, :class:`Union`, :class:`BoundaryJoin`
+  -- the cluster's cut-edge expansion step);
 * builders for the paper's formal expressions
   (:func:`concat_expression` for Lemma 4, :func:`theorem2_expression` for
   Theorem 2, :func:`batch_unit_expression` for Eq. (6)-(10)).
@@ -19,7 +20,16 @@ from repro.relalg.builders import (
     scc_relation,
     theorem2_expression,
 )
-from repro.relalg.expression import Join, Project, RelExpr, Rename, Scan, Select, Union
+from repro.relalg.expression import (
+    BoundaryJoin,
+    Join,
+    Project,
+    RelExpr,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
 from repro.relalg.relation import Relation
 
 __all__ = [
@@ -31,6 +41,7 @@ __all__ = [
     "Rename",
     "Join",
     "Union",
+    "BoundaryJoin",
     "pairs_relation",
     "scc_relation",
     "rtc_relation",

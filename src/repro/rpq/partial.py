@@ -1,0 +1,146 @@
+"""Shard-local partial RPQ evaluation for edge-cut partitions.
+
+A shard holding an induced subgraph cannot answer an RPQ alone when
+satisfying paths cross cut edges.  What it *can* answer, exactly and
+locally, is the set of partial paths the router needs for its boundary
+join:
+
+* **source -> boundary**: traversals from the shard's own candidate
+  start vertices, reported as ``(start, vertex, state)`` triples
+  whenever they touch a boundary vertex;
+* **boundary -> boundary** and **boundary -> target**: continuations of
+  router-supplied frontier triples (a traversal that crossed a cut edge
+  and re-entered this shard), again reporting every boundary touch.
+
+Both modes are one function, :func:`eval_partial_rpq`, running the same
+product BFS as :func:`repro.rpq.evaluate.eval_rpq_from` but over
+``(start, vertex, state)`` triples with a per-start visited set.  Full
+``(start, end)`` answer pairs are accumulated whenever an accepting
+state is reached -- local answers need no further routing.
+
+The router stitches the reported triples together over the cut-edge
+relation with :class:`repro.relalg.BoundaryJoin` until a fixpoint; see
+:mod:`repro.cluster.service`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.graph.multigraph import LabeledMultigraph
+from repro.regex.nfa import LabelNFA
+from repro.rpq.counters import OpCounters
+from repro.rpq.evaluate import candidate_starts
+
+__all__ = ["eval_partial_rpq", "PARTIAL_COLUMNS", "CUT_COLUMNS"]
+
+#: Column names of the partial-path relation (start vertex, current
+#: vertex, NFA state reached) -- the shape BoundaryJoin expects on its
+#: left input.
+PARTIAL_COLUMNS = ("START_V", "END_V", "STATE")
+
+#: Column names of the cut-edge relation (BoundaryJoin's right input).
+CUT_COLUMNS = ("SRC", "LABEL", "DST")
+
+
+def eval_partial_rpq(
+    graph: LabeledMultigraph,
+    nfa: LabelNFA,
+    boundary: Iterable,
+    frontier: Iterable[tuple] | None = None,
+    counters: OpCounters | None = None,
+) -> tuple[set, set]:
+    """Evaluate an RPQ restricted to one shard's subgraph.
+
+    Parameters
+    ----------
+    graph:
+        The shard's induced subgraph.
+    nfa:
+        The compiled query automaton (shared state numbering with the
+        router: :func:`~repro.regex.nfa.compile_nfa` is deterministic).
+    boundary:
+        The shard's boundary vertices; every visited
+        ``(start, vertex, state)`` triple whose vertex is in this set is
+        reported for cut-edge expansion at the router.
+    frontier:
+        ``None`` for the initial round (traverse from the shard's own
+        candidate starts; a nullable query contributes ``(v, v)`` for
+        every local vertex -- each vertex is owned by exactly one shard,
+        so the reflexive pairs union cleanly).  Otherwise an iterable of
+        ``(start, vertex, state)`` continuation triples; vertices the
+        shard does not own are skipped.
+
+    Returns
+    -------
+    ``(accepts, boundary_rows)`` -- the locally complete
+    ``(start, end)`` answer pairs, and the boundary triples for the
+    router's join.
+    """
+    delta = nfa.delta
+    accepting = nfa.accepts
+    boundary = set(boundary)
+    accepts: set = set()
+    boundary_rows: set = set()
+    visited_by_start: dict = {}
+    queue: deque = deque()
+
+    def seed(start: object, vertex: object, state: int) -> None:
+        visited = visited_by_start.get(start)
+        if visited is None:
+            visited = visited_by_start[start] = set()
+            if counters is not None:
+                counters.traversal_starts += 1
+        pair = (vertex, state)
+        if pair in visited:
+            return
+        visited.add(pair)
+        queue.append((start, vertex, state))
+        if vertex in boundary:
+            boundary_rows.add((start, vertex, state))
+
+    if frontier is None:
+        for vertex in candidate_starts(graph, nfa):
+            for state in nfa.start:
+                seed(vertex, vertex, state)
+        if nfa.nullable:
+            for vertex in graph.vertices():
+                accepts.add((vertex, vertex))
+    else:
+        for start, vertex, state in frontier:
+            if not graph.has_vertex(vertex):
+                continue
+            if state in accepting:
+                accepts.add((start, vertex))
+            seed(start, vertex, state)
+
+    while queue:
+        start, vertex, state = queue.popleft()
+        if counters is not None:
+            counters.states_expanded += 1
+        row = delta.get(state)
+        if not row:
+            continue
+        out_map = graph.out_map(vertex)
+        if not out_map:
+            continue
+        visited = visited_by_start[start]
+        for label in row.keys() & out_map.keys():
+            next_states = row[label]
+            for target in out_map[label]:
+                if counters is not None:
+                    counters.edges_scanned += 1
+                for next_state in next_states:
+                    pair = (target, next_state)
+                    if pair in visited:
+                        continue
+                    visited.add(pair)
+                    queue.append((start, target, next_state))
+                    if next_state in accepting:
+                        accepts.add((start, target))
+                    if target in boundary:
+                        boundary_rows.add((start, target, next_state))
+    if counters is not None:
+        counters.pairs_emitted += len(accepts)
+    return accepts, boundary_rows

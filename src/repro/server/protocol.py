@@ -16,6 +16,13 @@ Verbs
     ``pairs: false`` returns only counts (cheaper on the wire).  The
     response carries one entry per query, each either a result
     (``count``/``pairs``/``time``) or a per-query ``error``.
+
+    Shard workers additionally accept ``mode: "partial"`` with a
+    ``boundary`` vertex list and an optional ``frontier`` of
+    ``[start, vertex, state]`` triples: the worker evaluates the query
+    restricted to its shard subgraph and responds with a ``partial``
+    object (``accepts`` pairs, ``boundary`` triples, ``time``) instead
+    of ``results``.  Router-facing servers do not expose this mode.
 ``stats``
     Live server metrics (QPS, latency percentiles, batch sizes, queue
     depth, shared-cache hits) merged with the session's graph/engine
@@ -35,9 +42,12 @@ Error codes
 ``bad_request`` (malformed JSON / unknown verb / bad fields),
 ``syntax`` (RPQ parse error), ``rejected`` (admission control: queue
 full), ``deadline`` (request expired before evaluation), ``cluster``
-(a sharded deployment cannot route the request, e.g. a cross-shard
-edge), ``closed`` (server shutting down), ``evaluation`` and
-``internal``.
+and its namespaced sub-codes (``cluster.topology``,
+``cluster.worker_start``, ``cluster.unknown_edge``,
+``cluster.unsupported`` -- any code with the ``cluster`` prefix
+rehydrates to :class:`~repro.errors.ClusterError`), ``closed`` (server
+shutting down), ``evaluation`` and ``internal``.  Cluster errors may
+carry ``shards`` and ``detail`` fields alongside ``code``/``message``.
 """
 
 from __future__ import annotations
@@ -65,6 +75,8 @@ __all__ = [
     "error_payload",
     "pairs_to_wire",
     "wire_to_pairs",
+    "rows_to_wire",
+    "wire_to_rows",
     "exception_from_payload",
 ]
 
@@ -125,7 +137,12 @@ def ok_response(request_id: object = None, **payload) -> dict:
 
 
 def error_payload(error: BaseException) -> dict:
-    """The ``{"code", "message"}`` wire form of an exception."""
+    """The ``{"code", "message"}`` wire form of an exception.
+
+    Cluster errors additionally ship their structured ``shards`` and
+    ``detail`` fields (when set), so remote callers can dispatch on
+    the same data as local ones.
+    """
     if isinstance(error, RPQSyntaxError):
         code = "syntax"
     elif isinstance(error, ServerError):
@@ -134,7 +151,13 @@ def error_payload(error: BaseException) -> dict:
         code = "evaluation"
     else:
         code = "internal"
-    return {"code": code, "message": str(error)}
+    payload = {"code": code, "message": str(error)}
+    if isinstance(error, ClusterError):
+        if error.shards:
+            payload["shards"] = list(error.shards)
+        if error.detail is not None:
+            payload["detail"] = error.detail
+    return payload
 
 
 def error_response(request_id: object, error: BaseException | dict) -> dict:
@@ -156,6 +179,13 @@ def exception_from_payload(payload: dict) -> ServerError | RPQSyntaxError:
     """
     code = payload.get("code", "internal")
     message = payload.get("message", "server error")
+    if code == "cluster" or code.startswith("cluster."):
+        return ClusterError(
+            message,
+            code=code,
+            shards=tuple(payload.get("shards", ())),
+            detail=payload.get("detail"),
+        )
     error_class = _CODE_TO_ERROR.get(code)
     if error_class is RPQSyntaxError:
         return RPQSyntaxError(message)
@@ -181,3 +211,21 @@ def pairs_to_wire(pairs) -> list:
 def wire_to_pairs(wire: list) -> set:
     """The client-side inverse of :func:`pairs_to_wire`."""
     return {(source, target) for source, target in wire}
+
+
+def rows_to_wire(rows) -> list:
+    """Three-column relation rows as deterministically ordered 3-lists.
+
+    Used for the partial-path triples of the ``mode: "partial"`` query
+    extension (``[start, vertex, state]``) -- same string-form ordering
+    contract as :func:`pairs_to_wire`.
+    """
+    return [
+        list(row)
+        for row in sorted(rows, key=lambda r: (str(r[0]), str(r[1]), str(r[2])))
+    ]
+
+
+def wire_to_rows(wire: list) -> set:
+    """The client-side inverse of :func:`rows_to_wire`."""
+    return {(first, second, third) for first, second, third in wire}

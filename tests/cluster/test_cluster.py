@@ -179,13 +179,41 @@ class TestUpdates:
         finally:
             cluster.stop()
 
-    def test_cross_shard_edge_raises(self, multi_fig1):
+    def test_cross_shard_add_records_a_cut(self, multi_fig1):
+        """A cross-shard add lands in the cut relation and changes answers."""
         cluster = GraphCluster.open(
             multi_fig1, config=ClusterConfig(shards=4, workers=1)
         )
         try:
-            with pytest.raises(ClusterError, match="crosses shards"):
+            before = cluster_answer(cluster, "(b)+")
+            cluster.submit_update(add=[("0:1", "b", "1:1")]).result(timeout=30)
+            assert cluster.partition.has_cut("0:1", "b", "1:1")
+            after = cluster_answer(cluster, "(b)+")
+            assert ("0:1", "1:1") in after
+            assert after > before
+            # Duplicate cross-shard adds keep the multigraph's contract.
+            from repro.errors import GraphError
+
+            with pytest.raises(GraphError, match="duplicate cross-shard"):
                 cluster.submit_update(add=[("0:1", "b", "1:1")])
+            # Removing the cut restores the disjoint answers.
+            cluster.submit_update(remove=[("0:1", "b", "1:1")]).result(
+                timeout=30
+            )
+            assert cluster_answer(cluster, "(b)+") == before
+        finally:
+            cluster.stop()
+
+    def test_cross_shard_remove_of_unrecorded_edge_raises(self, multi_fig1):
+        cluster = GraphCluster.open(
+            multi_fig1, config=ClusterConfig(shards=4, workers=1)
+        )
+        try:
+            with pytest.raises(ClusterError, match="not a recorded") as info:
+                cluster.submit_update(remove=[("0:1", "b", "1:1")])
+            assert info.value.code == "cluster.unknown_edge"
+            assert info.value.detail == ["0:1", "b", "1:1"]
+            assert len(info.value.shards) == 2
         finally:
             cluster.stop()
 
@@ -208,12 +236,11 @@ class TestUpdates:
             multi_fig1, config=ClusterConfig(shards=4, workers=1)
         )
         try:
-            with pytest.raises(ClusterError, match="crosses shards"):
+            with pytest.raises(ClusterError, match="neither endpoint"):
                 cluster.submit_update(
-                    add=[
-                        ("brand-new-a", "b", "brand-new-b"),  # valid alone
-                        ("0:1", "b", "1:1"),  # cross-shard: rejects the batch
-                    ]
+                    add=[("brand-new-a", "b", "brand-new-b")],  # valid alone
+                    # Unknown-edge remove: rejects the whole batch.
+                    remove=[("ghost", "b", "phantom")],
                 )
             assert cluster.partition.shard_of("brand-new-a") is None
             assert cluster.partition.shard_of("brand-new-b") is None

@@ -63,12 +63,17 @@ class TestProtocolOverCluster:
         assert not client.reaches("e", "0:1", "0:90")
 
     def test_cross_shard_update_is_a_wire_error(self, served):
-        """ClusterError survives the wire round trip as itself."""
+        """ClusterError survives the wire round trip, structured fields
+        included (a cross-shard *add* now records a cut; removing an
+        unrecorded cut is the error case)."""
         client, _graph = served
         from repro.errors import ClusterError
 
-        with pytest.raises(ClusterError, match="crosses shards"):
-            client.update(add=[("0:1", "b", "1:1")])
+        with pytest.raises(ClusterError, match="not a recorded") as info:
+            client.update(remove=[("0:1", "b", "1:1")])
+        assert info.value.code == "cluster.unknown_edge"
+        assert info.value.detail == ["0:1", "b", "1:1"]
+        assert len(info.value.shards) == 2
         assert client.ping() >= 1
 
     def test_stats_document_shape(self, served):

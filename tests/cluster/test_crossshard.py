@@ -1,0 +1,249 @@
+"""Edge-cut identity gate: single-component R-MAT graphs across shards.
+
+The tentpole's correctness oracle: a graph that is one weakly-connected
+component -- the shape component-disjoint partitioning cannot shard at
+all -- is edge-cut partitioned across 2 and 4 shards, on both the
+thread and the process backend, and must answer the full query workload
+*identically* to a single ``GraphDB`` session, including after a
+cross-shard edge lands mid-workload.  The boundary join is the only
+path that can make this pass; any stitching bug shows up as a pair-set
+diff against ground truth.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterRouter,
+    GraphCluster,
+    partition_graph,
+    weakly_connected_components,
+)
+from repro.datasets.rmat import rmat_connected_graph, rmat_graph
+from repro.db import GraphDB
+from repro.regex.nfa import compile_nfa
+from repro.regex.parser import parse
+from repro.relalg import BoundaryJoin, Relation, Scan
+from repro.rpq import CUT_COLUMNS, PARTIAL_COLUMNS, eval_partial_rpq, eval_rpq
+from repro.server import Client, ServerConfig, ServerThread
+
+#: The full workload over the R-MAT alphabet (l0..l2): concatenations,
+#: closures, alternation, a nullable query, single labels.
+QUERIES = [
+    "l0",
+    "l0.l1",
+    "(l0)+",
+    "(l1)+.l2",
+    "l2.(l0.l1)+",
+    "(l0.l1)+",
+    "(l0|l1)+",
+    "(l2)*",
+    "l0.(l2)+",
+    "(l1|l2)+.l0",
+]
+
+
+def single_component_rmat(scale=5, num_edges=96, num_labels=3, seed=7):
+    """An R-MAT graph deterministically stitched into one component."""
+    graph = rmat_connected_graph(scale, num_edges, num_labels, seed=seed)
+    assert len(weakly_connected_components(graph)) == 1
+    return graph
+
+
+def pick_cross_shard_edge(graph, partition, label="l1"):
+    """The first (by string order) absent edge whose endpoints span shards."""
+    vertices = sorted(graph.vertices(), key=str)
+    for source in vertices:
+        for target in vertices:
+            if source == target:
+                continue
+            if partition.shard_of(source) == partition.shard_of(target):
+                continue
+            if not graph.has_edge(source, label, target):
+                return (source, label, target)
+    raise AssertionError("no cross-shard edge candidate found")
+
+
+def run_workload(answer, update):
+    """Half the queries, the update, the rest plus a re-ask of the first."""
+    half = len(QUERIES) // 2
+    results = {}
+    for query in QUERIES[:half]:
+        results[query] = answer(query)
+    update()
+    for query in QUERIES[half:] + QUERIES[:1]:
+        results[f"post:{query}"] = answer(query)
+    return results
+
+
+def session_reference(graph, update_edge):
+    db = GraphDB.open(graph.copy())
+    return run_workload(
+        lambda query: set(db.execute(query)),
+        lambda: db.update(add=[update_edge]),
+    )
+
+
+class TestEdgeCutIdentity:
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_matches_single_session_with_crossshard_update(
+        self, shards, backend
+    ):
+        """The acceptance gate: edge-cut cluster == one session, mid-run
+        cross-shard update included."""
+        graph = single_component_rmat()
+        cluster = GraphCluster(
+            partition_graph(graph.copy(), shards, strategy="edge-cut"),
+            config=ClusterConfig(
+                shards=shards, workers=1, backend=backend
+            ),
+        )
+        try:
+            assert cluster.partition.has_cuts
+            update_edge = pick_cross_shard_edge(graph, cluster.partition)
+            expected = session_reference(graph, update_edge)
+
+            def answer(query):
+                pairs, _elapsed = cluster.submit(query).result(timeout=120)
+                return pairs
+
+            def update():
+                cluster.submit_update(add=[update_edge]).result(timeout=120)
+
+            results = run_workload(answer, update)
+            for key in expected:
+                assert results[key] == expected[key], key
+            assert cluster.partition.has_cut(*update_edge)
+        finally:
+            cluster.stop()
+
+    def test_identity_over_the_wire(self):
+        """Same gate end-to-end: ClusterRouter + JSON-lines Client."""
+        graph = single_component_rmat()
+        cluster = GraphCluster(
+            partition_graph(graph.copy(), 2, strategy="edge-cut"),
+            config=ClusterConfig(shards=2, workers=1, backend="process"),
+            start=False,
+        )
+        update_edge = pick_cross_shard_edge(graph, cluster.partition)
+        expected = session_reference(graph, update_edge)
+        router = ClusterRouter(cluster, ServerConfig(batch_window=0.002))
+        with ServerThread(router) as handle:
+            with Client(*handle.address) as client:
+                results = run_workload(
+                    lambda query: client.query(query).pairs,
+                    lambda: client.update(add=[list(update_edge)]),
+                )
+                # Counts-only answers go through the same join path.
+                for query in QUERIES[5:8]:
+                    counted = client.query(query, pairs=False)
+                    assert counted.count == len(results[f"post:{query}"])
+        for key in expected:
+            assert results[key] == expected[key], key
+
+    def test_counts_only_never_double_counts(self):
+        """Partial answers overlap across shards; counts must not sum them."""
+        graph = single_component_rmat()
+        cluster = GraphCluster(
+            partition_graph(graph.copy(), 2, strategy="edge-cut"),
+            config=ClusterConfig(shards=2, workers=1),
+        )
+        try:
+            for query in QUERIES[:4]:
+                pairs, _ = cluster.submit(query).result(timeout=120)
+                count, _ = cluster.submit(query, want_pairs=False).result(
+                    timeout=120
+                )
+                assert count == len(pairs), query
+        finally:
+            cluster.stop()
+
+    def test_reaches_crosses_cuts(self):
+        graph = single_component_rmat()
+        cluster = GraphCluster(
+            partition_graph(graph.copy(), 2, strategy="edge-cut"),
+            config=ClusterConfig(shards=2, workers=1),
+        )
+        try:
+            session = GraphDB.open(graph.copy())
+            closure = set(session.execute("(l0)+"))
+            crossing = [
+                (source, target)
+                for source, target in closure
+                if cluster.partition.shard_of(source)
+                != cluster.partition.shard_of(target)
+            ]
+            assert crossing, "test graph must have cross-shard reachability"
+            for source, target in crossing[:5]:
+                assert cluster.reaches("l0", source, target)
+            assert not cluster.reaches("l0", "no-such-vertex", crossing[0][1])
+        finally:
+            cluster.stop()
+
+
+class TestPartialEvaluation:
+    """Unit coverage of the shard-local half of the boundary join."""
+
+    def test_empty_boundary_equals_full_evaluation(self):
+        graph = rmat_graph(4, 40, 2, seed=3)
+        for text in ["l0", "(l0)+", "(l0.l1)+", "(l1)*"]:
+            nfa = compile_nfa(parse(text))
+            accepts, boundary_rows = eval_partial_rpq(graph, nfa, frozenset())
+            assert accepts == eval_rpq(graph, text), text
+            assert boundary_rows == set()
+
+    def test_boundary_rows_cover_every_boundary_touch(self):
+        graph = single_component_rmat()
+        partition = partition_graph(graph, 2, strategy="edge-cut")
+        shard = partition.shards[0]
+        boundary = partition.boundary_vertices(0)
+        nfa = compile_nfa(parse("(l0)+"))
+        _accepts, rows = eval_partial_rpq(shard, nfa, boundary)
+        assert rows, "shard 0 must touch its boundary on (l0)+"
+        for _start, vertex, state in rows:
+            assert vertex in boundary
+            assert state in nfa.delta  # delta is total on reachable states
+
+    def test_frontier_continuation_records_accepts(self):
+        """A frontier triple already in an accepting state yields its pair."""
+        graph = rmat_graph(4, 40, 2, seed=3)
+        nfa = compile_nfa(parse("(l0)+"))
+        accept_state = next(iter(nfa.accepts))
+        vertex = next(iter(sorted(graph.vertices(), key=str)))
+        accepts, _rows = eval_partial_rpq(
+            graph, nfa, frozenset(), frontier=[("origin", vertex, accept_state)]
+        )
+        assert ("origin", vertex) in accepts
+
+
+class TestBoundaryJoinExpression:
+    def test_join_advances_states_over_cuts(self):
+        nfa = compile_nfa(parse("(l0)+"))
+        start = next(s for s in sorted(nfa.start) if nfa.delta[s].get("l0"))
+        targets = nfa.delta[start]["l0"]
+        partials = Scan(
+            Relation(PARTIAL_COLUMNS, {("s", "u", start)}), "P"
+        )
+        cuts = Scan(Relation(CUT_COLUMNS, {("u", "l0", "v")}), "C")
+        advanced = BoundaryJoin(partials, cuts, nfa).evaluate()
+        assert set(advanced.rows) == {("s", "v", t) for t in targets}
+
+    def test_label_mismatch_yields_nothing(self):
+        nfa = compile_nfa(parse("(l0)+"))
+        start = next(iter(nfa.start))
+        partials = Scan(
+            Relation(PARTIAL_COLUMNS, {("s", "u", start)}), "P"
+        )
+        cuts = Scan(Relation(CUT_COLUMNS, {("u", "l9", "v")}), "C")
+        advanced = BoundaryJoin(partials, cuts, nfa).evaluate()
+        assert set(advanced.rows) == set()
+
+    def test_to_algebra_renders(self):
+        nfa = compile_nfa(parse("l0"))
+        expr = BoundaryJoin(
+            Scan(Relation(PARTIAL_COLUMNS, set()), "P"),
+            Scan(Relation(CUT_COLUMNS, set()), "C"),
+            nfa,
+        )
+        assert "END_V" in expr.to_algebra()

@@ -2,8 +2,13 @@
 
 import pytest
 
-from repro.cluster import partition_graph, weakly_connected_components
-from repro.errors import ClusterError
+from repro.cluster import (
+    PARTITION_STRATEGIES,
+    partition_graph,
+    weakly_connected_components,
+)
+from repro.errors import ClusterError, GraphError
+from repro.graph.builders import paper_figure1_graph
 from repro.graph.multigraph import LabeledMultigraph
 
 
@@ -76,11 +81,15 @@ class TestRoutingMetadata:
         shard = partition.shard_of("a1")
         assert partition.shard_for_edge("a1", "a3") == shard
 
-    def test_shard_for_edge_cross_shard_raises(self, two_worlds):
+    def test_shard_for_edge_cross_shard_is_none(self, two_worlds):
         partition = partition_graph(two_worlds, 2)
         assert partition.shard_of("a1") != partition.shard_of("b1")
-        with pytest.raises(ClusterError, match="crosses shards"):
-            partition.shard_for_edge("a1", "b1")
+        # No single shard owns a cross-shard edge; edge_owners names both.
+        assert partition.shard_for_edge("a1", "b1") is None
+        assert partition.edge_owners("a1", "b1") == (
+            partition.shard_of("a1"),
+            partition.shard_of("b1"),
+        )
 
     def test_new_vertices_resolve_and_assign(self, two_worlds):
         partition = partition_graph(two_worlds, 2)
@@ -93,4 +102,99 @@ class TestRoutingMetadata:
     def test_stats_document(self, multi_fig1):
         stats = partition_graph(multi_fig1, 4).stats()
         assert stats["num_shards"] == 4
+        assert stats["cut_edges"] == 0
         assert [shard["edges"] for shard in stats["shards"]] == [16] * 4
+
+
+class TestEdgeCut:
+    """``strategy="edge-cut"``: any partition, cuts recorded explicitly."""
+
+    def test_strategies_are_published(self):
+        assert set(PARTITION_STRATEGIES) == {"component", "edge-cut", "auto"}
+
+    def test_conserves_vertices_and_edges_including_cuts(self):
+        graph = paper_figure1_graph()  # one weakly-connected component
+        partition = partition_graph(graph, 2, strategy="edge-cut")
+        assert sum(g.num_vertices for g in partition.shards) == (
+            graph.num_vertices
+        )
+        shard_edges = set()
+        for shard in partition.shards:
+            edges = set(shard.edges())
+            assert not shard_edges & edges
+            shard_edges |= edges
+        cuts = partition.cut_relation()
+        assert not shard_edges & cuts
+        assert shard_edges | cuts == set(graph.edges())
+        assert partition.has_cuts
+        assert len(cuts) > 0
+
+    def test_vertex_ranges_are_balanced(self):
+        graph = paper_figure1_graph()
+        partition = partition_graph(graph, 4, strategy="edge-cut")
+        counts = sorted(g.num_vertices for g in partition.shards)
+        assert max(counts) - min(counts) <= 1
+
+    def test_cut_endpoints_live_on_distinct_shards(self):
+        graph = paper_figure1_graph()
+        partition = partition_graph(graph, 2, strategy="edge-cut")
+        for source, _label, target in partition.cut_relation():
+            assert partition.shard_of(source) != partition.shard_of(target)
+
+    def test_deterministic(self):
+        graph = paper_figure1_graph()
+        first = partition_graph(graph, 3, strategy="edge-cut")
+        second = partition_graph(graph, 3, strategy="edge-cut")
+        for vertex in graph.vertices():
+            assert first.shard_of(vertex) == second.shard_of(vertex)
+        assert first.cut_relation() == second.cut_relation()
+
+    def test_boundary_vertices_are_shard_owned_cut_endpoints(self):
+        graph = paper_figure1_graph()
+        partition = partition_graph(graph, 2, strategy="edge-cut")
+        for shard in range(2):
+            boundary = partition.boundary_vertices(shard)
+            assert all(partition.shard_of(v) == shard for v in boundary)
+            expected = {
+                vertex
+                for source, _label, target in partition.cut_relation()
+                for vertex in (source, target)
+                if partition.shard_of(vertex) == shard
+            }
+            assert boundary == expected
+
+    def test_record_and_discard_cut(self, two_worlds):
+        partition = partition_graph(two_worlds, 2)
+        assert not partition.has_cuts
+        partition.record_cut("a1", "x", "b1")
+        assert partition.has_cut("a1", "x", "b1")
+        with pytest.raises(GraphError, match="duplicate cross-shard"):
+            partition.record_cut("a1", "x", "b1")
+        assert partition.discard_cut("a1", "x", "b1")
+        assert not partition.discard_cut("a1", "x", "b1")
+        assert not partition.has_cuts
+
+    def test_stats_count_cuts_and_boundaries(self):
+        graph = paper_figure1_graph()
+        partition = partition_graph(graph, 2, strategy="edge-cut")
+        stats = partition.stats()
+        assert stats["cut_edges"] == len(partition.cut_relation())
+        for index, shard in enumerate(stats["shards"]):
+            assert shard["boundary"] == len(partition.boundary_vertices(index))
+
+    def test_auto_picks_component_when_balanced(self, multi_fig1):
+        partition = partition_graph(multi_fig1, 4, strategy="auto")
+        assert not partition.has_cuts
+
+    def test_auto_picks_edge_cut_for_a_giant_component(self):
+        partition = partition_graph(paper_figure1_graph(), 2, strategy="auto")
+        assert partition.has_cuts  # one component would pin shard 1 empty
+
+    def test_underscores_accepted_in_strategy_name(self):
+        partition = partition_graph(paper_figure1_graph(), 2, strategy="edge_cut")
+        assert partition.has_cuts
+
+    def test_unknown_strategy_raises(self, multi_fig1):
+        with pytest.raises(ClusterError, match="unknown partition strategy") as info:
+            partition_graph(multi_fig1, 2, strategy="metis")
+        assert info.value.code == "cluster.unsupported"

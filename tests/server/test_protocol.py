@@ -109,3 +109,52 @@ class TestPairs:
     def test_empty(self):
         assert protocol.pairs_to_wire(set()) == []
         assert protocol.wire_to_pairs([]) == set()
+
+
+class TestClusterErrorWire:
+    """Structured ClusterError fields survive the wire round trip."""
+
+    def test_subcode_shards_detail_roundtrip(self):
+        from repro.errors import ClusterError
+
+        error = ClusterError(
+            "cannot remove it",
+            code="cluster.unknown_edge",
+            shards=(0, 2),
+            detail=["u", "b", "v"],
+        )
+        payload = json.loads(json.dumps(protocol.error_payload(error)))
+        assert payload["code"] == "cluster.unknown_edge"
+        assert payload["shards"] == [0, 2]
+        assert payload["detail"] == ["u", "b", "v"]
+        back = protocol.exception_from_payload(payload)
+        assert isinstance(back, ClusterError)
+        assert back.code == "cluster.unknown_edge"
+        assert back.shards == (0, 2)
+        assert back.detail == ["u", "b", "v"]
+
+    def test_bare_cluster_code_still_maps(self):
+        from repro.errors import ClusterError
+
+        back = protocol.exception_from_payload(
+            {"code": "cluster", "message": "m"}
+        )
+        assert isinstance(back, ClusterError)
+        assert back.shards == ()
+        assert back.detail is None
+
+
+class TestRowWire:
+    def test_rows_sort_deterministically(self):
+        rows = {("s", 2, 1), ("a", "x", 0), ("s", 1, 3)}
+        wire = protocol.rows_to_wire(rows)
+        assert wire == [["a", "x", 0], ["s", 1, 3], ["s", 2, 1]]
+
+    def test_roundtrip_preserves_set(self):
+        rows = {("s", "v", 4), ("t", "w", 0)}
+        wire = json.loads(json.dumps(protocol.rows_to_wire(rows)))
+        assert protocol.wire_to_rows(wire) == rows
+
+    def test_empty(self):
+        assert protocol.rows_to_wire(set()) == []
+        assert protocol.wire_to_rows([]) == set()
