@@ -34,6 +34,12 @@ graph (the shape component partitioning cannot spread) served 1-shard
 vs N-shard edge-cut, every sharded answer going through the router's
 boundary join, both verified against a single session.
 
+A fourth sweep measures durable **restart**: a ``--data-dir``-backed
+cluster is started cold, checkpointed, and restarted warm over the
+same directory.  The recorded row compares startup and query times,
+but the gate is cache behaviour: the warm replay must serve every
+closure from the persisted RTC store (zero RTC constructions).
+
 Every gate decision is recorded explicitly under ``"gates"`` in the
 JSON -- in particular the multi-core process-vs-thread gate records
 ``"skipped (cpu_count=1)"`` on a single-core runner instead of
@@ -50,7 +56,9 @@ default 6), ``REPRO_BENCH_CLUSTER_SHARDS`` (comma list, default
 ``thread,process``; empty string skips the transport sweep),
 ``REPRO_BENCH_CLUSTER_EDGECUT_SHARDS`` (default 2; 0 skips the
 edge-cut sweep), ``REPRO_BENCH_CLUSTER_EDGECUT_SCALE`` (log2 vertices
-of the single-WCC graph, default 6).
+of the single-WCC graph, default 6),
+``REPRO_BENCH_CLUSTER_RESTART_SHARDS`` (default 2; 0 skips the
+cold-vs-warm restart sweep).
 
 Not collected by pytest (no ``test_`` prefix); CI runs it as a script.
 """
@@ -87,6 +95,7 @@ BACKENDS = tuple(
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
 EDGECUT_SHARDS = int(os.environ.get("REPRO_BENCH_CLUSTER_EDGECUT_SHARDS", "2"))
 EDGECUT_SCALE = int(os.environ.get("REPRO_BENCH_CLUSTER_EDGECUT_SCALE", "6"))
+RESTART_SHARDS = int(os.environ.get("REPRO_BENCH_CLUSTER_RESTART_SHARDS", "2"))
 
 
 def build_workload():
@@ -130,14 +139,18 @@ def build_edgecut_workload():
 
 
 def main() -> int:
+    from bench_common import environment_metadata
     from repro.bench.cluster_bench import (
         format_cluster_rows,
+        format_restart_rows,
         run_backend_comparison,
         run_cluster_benchmark,
         run_edge_cut_benchmark,
+        run_restart_benchmark,
     )
 
-    cpu_count = os.cpu_count() or 1
+    environment = environment_metadata()
+    cpu_count = environment["cpu_count"]
     graph, queries = build_workload()
     print(
         f"cluster benchmark: {BLOCKS} blocks x 2^{SCALE} vertices "
@@ -186,8 +199,28 @@ def main() -> int:
             workers=WORKERS,
         )
 
+    restart_rows = []
+    if RESTART_SHARDS > 1:
+        import tempfile
+
+        print(
+            f"restart scenario: cold start vs checkpointed warm restart, "
+            f"{RESTART_SHARDS} shards over a scratch data directory"
+        )
+        with tempfile.TemporaryDirectory(prefix="repro-bench-restart-") as scratch:
+            restart_rows = run_restart_benchmark(
+                graph,
+                queries,
+                data_dir=scratch,
+                shards=RESTART_SHARDS,
+                workers=WORKERS,
+            )
+
     table = format_cluster_rows(rows + backend_rows + edgecut_rows)
     print(table)
+    if restart_rows:
+        table += "\n" + format_restart_rows(restart_rows)
+        print(format_restart_rows(restart_rows))
 
     def qps(shards: int, update_every: int) -> float:
         for row in rows:
@@ -246,6 +279,22 @@ def main() -> int:
             edge_cut["edge_cut_qps"] = sharded["qps"]
             edge_cut["edge_cut_speedup"] = sharded["qps"] / single["qps"]
 
+    restart = None
+    if restart_rows:
+        by_phase = {row["phase"]: row for row in restart_rows}
+        restart = {
+            "workload": (
+                "durable thread cluster: cold start vs checkpointed "
+                "warm restart over the same data directory"
+            ),
+            "shards": RESTART_SHARDS,
+            "cold_startup_seconds": by_phase["cold-start"]["startup_seconds"],
+            "warm_startup_seconds": by_phase["warm-restart"]["startup_seconds"],
+            "warm_entries": by_phase["warm-restart"]["warm_entries"],
+            "warm_rtc_constructions": by_phase["warm-restart"]["rtc_constructions"],
+            "rows": restart_rows,
+        }
+
     document = {
         "benchmark": (
             "repro.cluster QPS: sharded vs single-shard "
@@ -253,6 +302,7 @@ def main() -> int:
             "shard backends (CPU-bound read-heavy workload), and "
             "edge-cut boundary-join serving of a single-WCC graph"
         ),
+        "environment": environment,
         "config": {
             "blocks": BLOCKS,
             "scale": SCALE,
@@ -275,6 +325,7 @@ def main() -> int:
         "qps_comparison": comparisons,
         "backend_comparison": backend_comparison,
         "edge_cut": edge_cut,
+        "restart": restart,
     }
 
     status = 0
@@ -329,6 +380,27 @@ def main() -> int:
             f"passed: 1 and {EDGECUT_SHARDS} shard answers match one "
             f"session over {edge_cut['cut_edges']} cut edges"
         )
+    if restart is not None:
+        # Gate on cache behaviour, not wall-clock: the warm replay must
+        # construct nothing (timings are recorded as context only).
+        entries = restart["warm_entries"]
+        constructions = restart["warm_rtc_constructions"]
+        if entries >= 1 and constructions == 0:
+            gates["warm_restart"] = (
+                f"passed: {entries} warm closures installed, "
+                "0 RTC constructions on replay"
+            )
+        else:
+            gates["warm_restart"] = (
+                f"failed: {entries} warm closures, "
+                f"{constructions} RTC constructions on replay"
+            )
+            print(
+                "WARNING: warm restart recomputed closures "
+                f"({entries} entries installed, {constructions} constructions)",
+                file=sys.stderr,
+            )
+            status = 1
     document["gates"] = gates
     OUTPUT_PATH.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -15,9 +15,26 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def environment_metadata() -> dict:
+    """Host facts every ``BENCH_*.json`` records beside its measurements.
+
+    ``cpu_count`` decides which gates are even meaningful (the process
+    backend's GIL win needs more than one core); the rest says which
+    interpreter and machine produced a given number.
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+    }
 
 #: log2 of the RMAT vertex count (the paper uses 13; default 9 for Python).
 SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "9"))

@@ -62,6 +62,7 @@ def build_workload():
 
 
 def main() -> int:
+    from bench_common import environment_metadata
     from repro.bench.server_bench import format_benchmark_rows, run_server_benchmark
 
     graph, queries = build_workload()
@@ -92,6 +93,7 @@ def main() -> int:
     }
     document = {
         "benchmark": "repro.server QPS/latency, rtc vs no-sharing",
+        "environment": environment_metadata(),
         "config": {
             "scale": SCALE,
             "edges": graph.num_edges,

@@ -47,7 +47,9 @@ __all__ = [
     "run_cluster_benchmark",
     "run_backend_comparison",
     "run_edge_cut_benchmark",
+    "run_restart_benchmark",
     "format_cluster_rows",
+    "format_restart_rows",
     "pick_update_targets",
 ]
 
@@ -348,6 +350,81 @@ def run_edge_cut_benchmark(
     ]
 
 
+def run_restart_benchmark(
+    graph: LabeledMultigraph,
+    queries: list[str],
+    data_dir,
+    shards: int = 2,
+    replicas: int = 1,
+    workers: int = 2,
+    engine: str = "rtc",
+) -> list[dict]:
+    """Cold-vs-warm restart of a durable (``data_dir``-backed) cluster.
+
+    The cold row is the first start over a fresh directory: every
+    closure body is constructed from scratch.  The cluster is then
+    checkpointed and stopped, and the warm row restarts it over the
+    same directory -- the shards recover their graphs from snapshot +
+    WAL and their closures from the RTC store.  Startup and query
+    times are recorded as context, but the *gate* is cache behaviour,
+    not wall-clock: the warm replay of the whole workload must add
+    zero RTC constructions (``rtc_constructions == 0``).
+
+    Thread backend, ``engine="rtc"`` only (the row counts the rtc
+    engine's construction misses).
+    """
+    rows = []
+    config = ClusterConfig(
+        shards=shards, replicas=replicas, workers=workers, data_dir=data_dir
+    )
+    for phase in ("cold-start", "warm-restart"):
+        started = time.perf_counter()
+        cluster = GraphCluster.open(graph.copy(), engine=engine, config=config)
+        startup = time.perf_counter() - started
+        try:
+            caches = [
+                cluster.backend(shard).replicas[0].db.engine.rtc_cache.stats
+                for shard in range(shards)
+            ]
+            base_misses = sum(cache.misses for cache in caches)
+            first_started = time.perf_counter()
+            cluster.submit(queries[0]).result(timeout=300)
+            first_query = time.perf_counter() - first_started
+            replay_started = time.perf_counter()
+            for query in queries[1:]:
+                cluster.submit(query).result(timeout=300)
+            replay = time.perf_counter() - replay_started
+            document = cluster.describe()
+            storage_docs = [
+                entry.get("storage", {}) for entry in document["per_shard"]
+            ]
+            rows.append(
+                {
+                    "phase": phase,
+                    "shards": shards,
+                    "replicas": replicas,
+                    "queries": len(queries),
+                    "startup_seconds": startup,
+                    "first_query_seconds": first_query,
+                    "replay_seconds": replay,
+                    "recovered": all(
+                        doc.get("recovered", False) for doc in storage_docs
+                    ),
+                    "warm_entries": sum(
+                        doc.get("warm", {}).get("entries", 0)
+                        for doc in storage_docs
+                    ),
+                    "rtc_constructions": sum(
+                        cache.misses for cache in caches
+                    ) - base_misses,
+                }
+            )
+            cluster.checkpoint()
+        finally:
+            cluster.stop()
+    return rows
+
+
 def format_cluster_rows(rows: list[dict]) -> str:
     """The human-readable table of a cluster benchmark sweep."""
     return format_table(
@@ -383,6 +460,35 @@ def format_cluster_rows(rows: list[dict]) -> str:
                 format_seconds(row["latency_p50"]),
                 format_seconds(row["latency_p95"]),
                 f"{row['cache_hits']}/{row['cache_misses']}",
+            ]
+            for row in rows
+        ],
+    )
+
+
+def format_restart_rows(rows: list[dict]) -> str:
+    """The human-readable table of a cold-vs-warm restart sweep."""
+    return format_table(
+        [
+            "phase",
+            "shards",
+            "queries",
+            "startup",
+            "first query",
+            "replay",
+            "warm entries",
+            "RTC constructions",
+        ],
+        [
+            [
+                row["phase"],
+                row["shards"],
+                row["queries"],
+                format_seconds(row["startup_seconds"]),
+                format_seconds(row["first_query_seconds"]),
+                format_seconds(row["replay_seconds"]),
+                row["warm_entries"],
+                row["rtc_constructions"],
             ]
             for row in rows
         ],

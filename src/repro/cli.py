@@ -204,6 +204,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="write per-shard worker logs here (process backend only)",
     )
     serve.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "durable data directory (write-ahead log + snapshots + warm "
+            "RTC store); restarting over the same graph file and data "
+            "dir recovers every acked update and comes back with "
+            "checkpointed closures warm"
+        ),
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "auto-checkpoint after every N logged updates "
+            "(requires --data-dir; default: manual checkpoints only)"
+        ),
+    )
+    serve.add_argument(
         "--queue-size",
         type=int,
         default=256,
@@ -376,6 +397,9 @@ def _cmd_serve(args) -> int:
         default_timeout=args.timeout if args.timeout > 0 else None,
         engine_kwargs=engine_kwargs,
     )
+    if args.checkpoint_every is not None and args.data_dir is None:
+        print("error: --checkpoint-every requires --data-dir", file=sys.stderr)
+        return 2
 
     if args.shards > 1 or args.replicas > 1 or args.backend != "thread":
         from repro.cluster import ClusterConfig, ClusterRouter, GraphCluster
@@ -394,6 +418,8 @@ def _cmd_serve(args) -> int:
                 backend=args.backend,
                 worker_log_dir=args.worker_log_dir,
                 partition_strategy=args.strategy,
+                data_dir=args.data_dir,
+                checkpoint_every=args.checkpoint_every,
             ),
             start=False,
         )
@@ -407,26 +433,37 @@ def _cmd_serve(args) -> int:
             )
             cuts = partition_stats["cut_edges"]
             cut_note = f", {cuts} cut edges" if cuts else ""
+            durable_note = (
+                f", data-dir={args.data_dir}" if args.data_dir else ""
+            )
             print(
                 f"serving {args.graph} as a {args.shards}-shard x "
                 f"{args.replicas}-replica cluster (engine={args.engine}, "
                 f"backend={args.backend}, {config.workers} workers/replica, "
-                f"shard edges: [{shard_edges}]{cut_note}) on {host}:{port} "
-                "-- Ctrl-C to stop",
+                f"shard edges: [{shard_edges}]{cut_note}{durable_note}) on "
+                f"{host}:{port} -- Ctrl-C to stop",
                 flush=True,
             )
 
         server.run(ready_callback=announce_cluster)
         return 0
 
-    db = GraphDB.open(args.graph, engine=args.engine, **engine_kwargs)
+    db = GraphDB.open(
+        args.graph,
+        engine=args.engine,
+        storage=args.data_dir,
+        checkpoint_every=args.checkpoint_every,
+        **engine_kwargs,
+    )
     server = QueryServer(db, config)
 
     def announce(address) -> None:
         host, port = address
+        durable_note = f", data-dir={args.data_dir}" if args.data_dir else ""
         print(
             f"serving {args.graph} (engine={db.engine_name}, "
-            f"workers={config.workers}) on {host}:{port} -- Ctrl-C to stop",
+            f"workers={config.workers}{durable_note}) on {host}:{port} "
+            "-- Ctrl-C to stop",
             flush=True,
         )
 

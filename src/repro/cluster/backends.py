@@ -276,6 +276,14 @@ class ShardBackend:
         """The structured shard document (see class docstring)."""
         raise NotImplementedError
 
+    def checkpoint(self) -> dict:
+        """Commit this shard's durable checkpoint (snapshot + RTC store).
+
+        Only meaningful on storage-backed shards; others raise
+        :class:`~repro.errors.ClusterError` (``cluster.unsupported``).
+        """
+        raise NotImplementedError
+
     def edge_count(self) -> int:
         """Live (or best-effort) edge count, for smallest-shard routing."""
         raise NotImplementedError
@@ -302,7 +310,7 @@ class InProcessBackend(ShardBackend):
     def __init__(
         self,
         shard_id: int,
-        graph: LabeledMultigraph,
+        graph: LabeledMultigraph | None,
         engine: str = "rtc",
         replicas: int = 1,
         workers: int = 2,
@@ -310,6 +318,8 @@ class InProcessBackend(ShardBackend):
         batch_window: float = 0.005,
         max_batch: int = 64,
         engine_kwargs: dict | None = None,
+        storage_dir: str | None = None,
+        checkpoint_every: int | None = None,
         start: bool = False,
     ) -> None:
         if replicas < 1:
@@ -320,10 +330,37 @@ class InProcessBackend(ShardBackend):
         self.shard_id = shard_id
         self.engine_name = engine.lower()
         engine_kwargs = dict(engine_kwargs or {})
+        # Durable shards: the primary replica's session owns the shard's
+        # WAL + snapshots; recovery (when the directory holds state)
+        # replaces the seed graph *before* any replica is built, so a
+        # restarted shard serves the recovered graph from its first
+        # request.  Sibling replicas are warmed from the same RTC store.
+        self._storage = None
+        if storage_dir is not None:
+            from repro.storage.recovery import ShardStorage
+
+            self._storage = ShardStorage(storage_dir)
+            if self._storage.has_state():
+                graph = self._storage.recover().graph
+        if graph is None:
+            raise ClusterError(
+                "InProcessBackend needs a shard graph or a storage_dir "
+                "holding recoverable state",
+                code="cluster.topology",
+                shards=(shard_id,),
+            )
         self.replicas: list[ShardReplica] = []
         for replica_id in range(replicas):
             replica_graph = graph if replica_id == 0 else graph.copy()
-            db = GraphDB.open(replica_graph, engine=engine, **engine_kwargs)
+            db = GraphDB.open(
+                replica_graph,
+                engine=engine,
+                storage=self._storage if replica_id == 0 else None,
+                checkpoint_every=checkpoint_every if replica_id == 0 else None,
+                **engine_kwargs,
+            )
+            if self._storage is not None and replica_id > 0:
+                self._storage.install(db)
             scheduler = SharingScheduler(
                 db,
                 workers=workers,
@@ -521,6 +558,27 @@ class InProcessBackend(ShardBackend):
     def reaches(self, body: str, source: object, target: object) -> bool:
         return self.replicas[0].db.reaches(body, source, target)
 
+    def checkpoint(self) -> dict:
+        """Commit a shard checkpoint covering every replica's warm state.
+
+        Drains first (so the snapshot reflects every acked update), then
+        checkpoints the primary session with the sibling replicas as
+        extra sources -- body-affine picking spreads the cached closures
+        across replicas, and the merged store warms *all* of them on the
+        next start.
+        """
+        if self._storage is None:
+            raise ClusterError(
+                f"shard {self.shard_id} has no storage attached",
+                code="cluster.unsupported",
+                shards=(self.shard_id,),
+            )
+        self.drain()
+        primary = self.replicas[0]
+        return primary.db.checkpoint(
+            extra_sessions=[replica.db for replica in self.replicas[1:]]
+        )
+
     def edge_count(self) -> int:
         return self.replicas[0].db.graph.num_edges
 
@@ -537,7 +595,7 @@ class InProcessBackend(ShardBackend):
                     "session": replica.db.stats(),
                 }
             )
-        return {
+        document = {
             "shard": self.shard_id,
             "backend": "thread",
             "graph": {
@@ -548,6 +606,13 @@ class InProcessBackend(ShardBackend):
             "replicas": replicas,
             "latency_values": latencies,
         }
+        # Recovery/LSN info for the ``stats`` verb; the authoritative
+        # copy lives in the primary session's stats, surfaced here so
+        # routers and operators need not dig through the replica list.
+        primary_session = replicas[0]["session"]
+        if "storage" in primary_session:
+            document["storage"] = primary_session["storage"]
+        return document
 
     # -- QueryServer scheduler surface (the worker front end) -------------
     def submit(
@@ -624,11 +689,14 @@ class ProcessBackend(ShardBackend):
         pool_size: int = 8,
         loader=None,
         log_path: str | None = None,
+        data_dir: str | None = None,
+        checkpoint_every: int | None = None,
         start: bool = False,
     ) -> None:
-        if graph is None and loader is None:
+        if graph is None and loader is None and data_dir is None:
             raise ClusterError(
-                "ProcessBackend needs a shard graph to dump or a loader callable",
+                "ProcessBackend needs a shard graph to dump, a loader "
+                "callable, or a data_dir holding recoverable state",
                 code="cluster.unsupported",
                 shards=(shard_id,),
             )
@@ -644,6 +712,8 @@ class ProcessBackend(ShardBackend):
             "batch_window": batch_window,
             "max_batch": max_batch,
             "engine_kwargs": dict(engine_kwargs or {}),
+            "data_dir": data_dir,
+            "checkpoint_every": checkpoint_every,
         }
         self._pool_size = max(1, pool_size)
         self._max_pending = max_queue + self._pool_size
@@ -688,7 +758,15 @@ class ProcessBackend(ShardBackend):
         from repro.cluster.worker import WorkerSpec, worker_main
         from repro.graph.io import dump_edge_list
 
-        if self._loader is None:
+        # A restart against a data dir with committed state needs no
+        # graph handoff at all: the worker recovers from disk.  The seed
+        # dump happens only for the first (empty-directory) spawn.
+        recovering = False
+        if self._spec_kwargs.get("data_dir") is not None:
+            from repro.storage.recovery import has_state
+
+            recovering = has_state(self._spec_kwargs["data_dir"])
+        if self._loader is None and self._graph is not None and not recovering:
             handle, path = tempfile.mkstemp(
                 prefix=f"repro-shard{self.shard_id}-", suffix=".edges"
             )
@@ -951,6 +1029,12 @@ class ProcessBackend(ShardBackend):
         self._ensure_ready()
         with self._pool.lease() as client:
             return client.reaches(body, source, target)
+
+    def checkpoint(self) -> dict:
+        """Ask the worker to commit a shard checkpoint (wire verb)."""
+        self._ensure_ready()
+        with self._pool.lease() as client:
+            return client.call("checkpoint")["checkpoint"]
 
     def edge_count(self) -> int:
         with self._lock:

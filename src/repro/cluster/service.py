@@ -87,6 +87,7 @@ from repro.errors import (
     DeadlineExpiredError,
     GraphError,
     ServerError,
+    StorageError,
 )
 from repro.graph.io import load_edge_list
 from repro.graph.multigraph import LabeledMultigraph
@@ -98,6 +99,8 @@ from repro.rpq.partial import CUT_COLUMNS, PARTIAL_COLUMNS
 from repro.server import protocol
 from repro.server.scheduler import closure_group_key
 from repro.server.service import QueryServer, ServerConfig
+from repro.storage.snapshot import check_persistable_edge
+from repro.storage.wal import WriteAheadLog
 
 __all__ = ["ClusterConfig", "GraphCluster", "ClusterRouter", "ShardReplica"]
 
@@ -140,6 +143,17 @@ class ClusterConfig:
     #: ``"auto"`` (component unless one component dominates).  See
     #: :func:`repro.cluster.partition.partition_graph`.
     partition_strategy: str = "component"
+    #: Durable data directory (:mod:`repro.storage`).  Each shard gets
+    #: ``<data_dir>/shard<N>`` (WAL + snapshots + RTC store, recovered on
+    #: start) and the router keeps ``<data_dir>/router`` (vertex
+    #: assignments, label supersets and cut edges accumulated by
+    #: updates, replayed on start).  A restart over the same seed graph
+    #: and the same data dir comes back with every acked update and
+    #: every checkpointed closure.
+    data_dir: str | PathLike | None = None
+    #: Auto-checkpoint each shard after this many logged updates
+    #: (None = checkpoints only via :meth:`GraphCluster.checkpoint`).
+    checkpoint_every: int | None = None
 
 
 class _MergeState:
@@ -221,6 +235,13 @@ class GraphCluster:
         self._labels: list[set] = [
             set(graph.labels()) for graph in partition.shards
         ]
+        # Router-side durability: the routing state updates accumulate
+        # (vertex assignments, label supersets, the cut relation) lives
+        # above the shard WALs, so it gets its own append-only log,
+        # replayed here -- before any request routes -- on every start.
+        self._router_wal = None
+        if config.data_dir is not None:
+            self._open_router_log(Path(config.data_dir) / "router")
         # Routing keys must agree with the backends' cache keying, or
         # body-affine replica picking hashes on different keys than the
         # caches share on.  Thread backends expose their live cache
@@ -264,8 +285,20 @@ class GraphCluster:
             engine_kwargs=config.engine_kwargs,
             start=False,
         )
+        # Each shard owns <data_dir>/shard<N>; the seed graph is passed
+        # alongside and ignored whenever the directory already holds
+        # committed state (the backend/worker recovers instead).
+        shard_dir = None
+        if config.data_dir is not None:
+            shard_dir = str(Path(config.data_dir) / f"shard{shard_id}")
         if config.backend == "thread":
-            return InProcessBackend(shard_id, shard_graph, **common)
+            return InProcessBackend(
+                shard_id,
+                shard_graph,
+                storage_dir=shard_dir,
+                checkpoint_every=config.checkpoint_every,
+                **common,
+            )
         loader = None
         if config.shard_loader is not None:
             from functools import partial
@@ -282,8 +315,48 @@ class GraphCluster:
             pool_size=config.pool_size,
             loader=loader,
             log_path=log_path,
+            data_dir=shard_dir,
+            checkpoint_every=config.checkpoint_every,
             **common,
         )
+
+    def _open_router_log(self, router_dir: Path) -> None:
+        """Open (and replay) the router's own durability log.
+
+        Shard WALs make the *graphs* recoverable; what they cannot carry
+        is the routing state the router accumulated from updates --
+        which shard owns each update-assigned vertex, which labels each
+        shard's superset grew, and which cross-shard edges entered (or
+        left) the cut relation.  Those are appended here as ``route``
+        records, one per committed update batch, and replayed over the
+        freshly re-partitioned seed graph before any request routes.
+        The log never compacts: route records are tiny, and a compaction
+        point would need a consistent cross-shard cut of all WALs.
+
+        Replay leans on the partition's idempotent primitives:
+        ``assign`` is first-writer-wins (replay order == commit order),
+        label sets only grow, and cut adds are guarded so a record that
+        overlaps re-derived seed state cannot raise.
+        """
+        router_dir.mkdir(parents=True, exist_ok=True)
+        self._router_wal = WriteAheadLog(
+            router_dir / "routing.jsonl", start_lsn=0
+        )
+        for record in self._router_wal.records():
+            if record.get("op") != "route":
+                raise StorageError(
+                    f"unknown router log record op {record.get('op')!r} "
+                    f"at lsn {record.get('lsn')}"
+                )
+            for vertex, shard in record.get("assign", ()):
+                self.partition.assign(vertex, shard)
+            for shard, labels in record.get("labels", ()):
+                self._labels[shard] |= set(labels)
+            for source, label, target in record.get("cut_add", ()):
+                if not self.partition.has_cut(source, label, target):
+                    self.partition.record_cut(source, label, target)
+            for source, label, target in record.get("cut_discard", ()):
+                self.partition.discard_cut(source, label, target)
 
     # -- construction ----------------------------------------------------
     @classmethod
@@ -368,6 +441,25 @@ class GraphCluster:
             executor.shutdown(wait=True, cancel_futures=True)
         for backend in self._backends:
             backend.close()
+        if self._router_wal is not None:
+            self._router_wal.close()
+
+    def checkpoint(self) -> list[dict]:
+        """Commit a checkpoint on every shard backend; per-shard results.
+
+        Each shard drains its replicas, rolls its snapshot + RTC store
+        forward to its current LSN and compacts its WAL (see
+        :meth:`repro.storage.ShardStorage.checkpoint`).  Shards
+        checkpoint independently -- there is no cross-shard barrier, and
+        none is needed: each shard's manifest covers exactly its own
+        acked updates, and the router log replays against whatever LSN
+        each shard recovered to.  Raises
+        :class:`~repro.errors.ClusterError` (``cluster.unsupported``)
+        when the cluster runs without a data dir.
+        """
+        if self._stopped:
+            raise self._closed_error()
+        return [backend.checkpoint() for backend in self._backends]
 
     # -- routing ---------------------------------------------------------
     def _route_info(self, text: str, node: RegexNode) -> tuple:
@@ -764,6 +856,13 @@ class GraphCluster:
         remove = [tuple(edge) for edge in remove]
         if not add and not remove:
             return merge_futures([])
+        if self._router_wal is not None:
+            # Durable clusters refuse non-persistable edges up front --
+            # the route-record append in phase 2 (and the shard WAL
+            # appends behind it) must not be able to fail after the
+            # routing state has committed.
+            for source, label, target in [*add, *remove]:
+                check_persistable_edge(source, label, target)
 
         with self._update_lock:
             # Phase 1: route and validate against committed + pending
@@ -849,6 +948,11 @@ class GraphCluster:
             # admit with blocking semantics under this lock, so
             # concurrent updates reach every replica of every shard in
             # one global order.
+            new_assigns = [
+                [vertex, shard]
+                for vertex, shard in pending_assign.items()
+                if self.partition.shard_of(vertex) is None
+            ]
             for vertex, shard in pending_assign.items():
                 self.partition.assign(vertex, shard)
             for edge in cut_adds:
@@ -860,6 +964,25 @@ class GraphCluster:
                     self._labels[shard] |= labels
                 self._graph_version += 1
                 self._join_cache.clear()
+            if self._router_wal is not None and (
+                new_assigns or pending_labels or cut_adds or cut_removes
+            ):
+                # Logged after the in-memory commit but before any shard
+                # sees (and shard-logs) its slice, so a crash can lose
+                # an unacked batch but never leaves a shard-logged edge
+                # without its routing record.
+                self._router_wal.append(
+                    {
+                        "op": "route",
+                        "assign": new_assigns,
+                        "labels": [
+                            [shard, sorted(labels, key=str)]
+                            for shard, labels in sorted(pending_labels.items())
+                        ],
+                        "cut_add": [list(edge) for edge in cut_adds],
+                        "cut_discard": [list(edge) for edge in cut_removes],
+                    }
+                )
             children = [
                 self._backends[shard].update(add=adds, remove=removes)
                 for shard, (adds, removes) in sorted(by_shard.items())
@@ -1011,8 +1134,10 @@ class GraphCluster:
             }
             if "worker" in doc:
                 entry["worker"] = doc["worker"]
+            if "storage" in doc:
+                entry["storage"] = doc["storage"]
             shards.append(entry)
-        return {
+        document = {
             "shards": self.num_shards,
             "replicas": self.replicas,
             "engine": self.engine_name,
@@ -1020,6 +1145,17 @@ class GraphCluster:
             "cut_edges": len(self.partition.cut_relation()),
             "per_shard": shards,
         }
+        if self.config.data_dir is not None:
+            document["storage"] = {
+                "data_dir": str(self.config.data_dir),
+                "router_lsn": (
+                    self._router_wal.last_lsn
+                    if self._router_wal is not None
+                    else 0
+                ),
+                "checkpoint_every": self.config.checkpoint_every,
+            }
+        return document
 
     def __repr__(self) -> str:
         state = "stopped" if self._stopped else (

@@ -68,6 +68,13 @@ class WorkerSpec:
     engine_kwargs: dict = field(default_factory=dict)
     host: str = "127.0.0.1"
     log_path: str | None = None
+    #: Durable data directory (WAL + snapshots + RTC store).  When it
+    #: holds committed state the worker *recovers* from it -- replaying
+    #: snapshot + WAL before reporting ready -- and the graph handoff
+    #: fields above are ignored.
+    data_dir: str | None = None
+    #: Auto-checkpoint after this many logged updates (None = manual).
+    checkpoint_every: int | None = None
 
 
 class ShardWorkerServer(QueryServer):
@@ -86,6 +93,9 @@ class ShardWorkerServer(QueryServer):
     ) -> None:
         self.backend = backend
         super().__init__(db=backend, config=config, scheduler=backend)
+        # The base ``checkpoint`` verb routes to self.db.checkpoint --
+        # here that *is* the backend's drain-then-commit, no override
+        # needed.
 
     async def _op_query(self, request_id, request) -> dict:
         if request.get("mode") == "partial":
@@ -220,14 +230,34 @@ def worker_main(spec: WorkerSpec, ready_conn) -> None:
     """
     logger = _configure_logging(spec)
     try:
-        if spec.loader is not None:
+        recovering = False
+        if spec.data_dir is not None:
+            from repro.storage.recovery import has_state
+
+            recovering = has_state(spec.data_dir)
+        if recovering:
+            # Recovery happens inside InProcessBackend (snapshot + WAL
+            # replay + warm RTC install) -- strictly before the ready
+            # message, so a parent that saw "ready" talks to a shard
+            # already caught up with its own log.
+            graph = None
+            logger.info(
+                "shard %d recovering from %s", spec.shard_id, spec.data_dir
+            )
+        elif spec.loader is not None:
             graph = spec.loader()
-        else:
+        elif spec.graph_path is not None:
             from repro.graph.io import load_edge_list
 
             graph = load_edge_list(spec.graph_path)
-        for vertex in spec.isolated_vertices:
-            graph.add_vertex(vertex)
+        else:
+            raise ValueError(
+                f"shard {spec.shard_id}: no graph source and no recoverable "
+                f"state in {spec.data_dir!r}"
+            )
+        if graph is not None:
+            for vertex in spec.isolated_vertices:
+                graph.add_vertex(vertex)
         backend = InProcessBackend(
             spec.shard_id,
             graph,
@@ -238,6 +268,8 @@ def worker_main(spec: WorkerSpec, ready_conn) -> None:
             batch_window=spec.batch_window,
             max_batch=spec.max_batch,
             engine_kwargs=spec.engine_kwargs,
+            storage_dir=spec.data_dir,
+            checkpoint_every=spec.checkpoint_every,
             start=False,
         )
         server = ShardWorkerServer(
@@ -252,15 +284,17 @@ def worker_main(spec: WorkerSpec, ready_conn) -> None:
 
     def announce(address) -> None:
         host, port = address
+        served = backend.replicas[0].db.graph
         logger.info(
             "serving shard %d (|V|=%d, |E|=%d, %d replicas x %d workers, "
-            "engine=%s) on %s:%d",
+            "engine=%s%s) on %s:%d",
             spec.shard_id,
-            graph.num_vertices,
-            graph.num_edges,
+            served.num_vertices,
+            served.num_edges,
             spec.replicas,
             spec.workers,
             spec.engine,
+            ", recovered" if recovering else "",
             host,
             port,
         )

@@ -129,6 +129,56 @@ class IncrementalRTC:
         )
 
     # ------------------------------------------------------------------
+    # persistence (repro.storage)
+    # ------------------------------------------------------------------
+    def export_state(self) -> tuple[list[tuple[object, object]], ReducedTransitiveClosure]:
+        """``(G_R edges, frozen RTC)`` -- everything a restart needs.
+
+        Together with the graph and the body, this is the watcher's full
+        state: :meth:`from_state` rebuilds an equivalent watcher without
+        re-running ``eval_rpq``.  The update counters are *not* exported
+        (a restored watcher starts its statistics at zero).
+        """
+        edges = sorted(self._gr.edges(), key=lambda pair: (str(pair[0]), str(pair[1])))
+        return edges, self.snapshot()
+
+    @classmethod
+    def from_state(
+        cls,
+        graph: LabeledMultigraph,
+        body: str | RegexNode,
+        gr_edges: Iterable[tuple[object, object]],
+        rtc: ReducedTransitiveClosure,
+    ) -> "IncrementalRTC":
+        """Rebuild a watcher from :meth:`export_state` output.
+
+        ``graph`` must be the same graph the state was exported against
+        (the caller -- :mod:`repro.storage.recovery` -- guarantees this by
+        stamping the export with the WAL position it was valid at).  The
+        expensive ``eval_rpq`` of ``__init__`` is skipped entirely; only
+        the NFA is recompiled.
+        """
+        watcher = cls.__new__(cls)
+        watcher.graph = graph
+        watcher.body = parse(body)
+        watcher._nfa = compile_nfa(watcher.body)
+        watcher._reverse_nfa = _reverse_delta(watcher._nfa)
+        watcher._gr = DiGraph()
+        for source, target in gr_edges:
+            watcher._gr.add_edge(source, target)
+        watcher._scc_of = dict(rtc.condensation.scc_of)
+        watcher._members = {
+            scc_id: set(members)
+            for scc_id, members in rtc.condensation.members.items()
+        }
+        watcher._closure = {
+            scc_id: set(targets) for scc_id, targets in rtc.closure.items()
+        }
+        watcher.full_rebuilds = 0
+        watcher.incremental_updates = 0
+        return watcher
+
+    # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
     def add_edge(self, source: object, label: str, target: object) -> None:

@@ -24,6 +24,37 @@ path, or an iterable of ``(source, label, target)`` triples.  Sharing is
 the point: every ``execute`` on a session reuses the engine's shared
 structures, which is what the paper means by evaluating *multiple* RPQs.
 
+Durability contract
+-------------------
+A session is in-memory unless it is opened with ``storage=`` (a data
+directory or a :class:`~repro.storage.ShardStorage`).  With storage
+attached:
+
+* **After ``update`` returns**, the applied batch is on disk: it was
+  appended to the write-ahead log, flushed and fsync'd *before* the call
+  returned, so it survives ``kill -9`` and is replayed on the next open.
+  If an update raises partway through a batch, exactly the applied
+  prefix was logged -- replay reproduces the same partially-updated
+  graph the live session kept serving.
+* **After ``checkpoint()`` returns**, the full graph snapshot, the warm
+  RTC store (every cached closure and watcher, LSN-stamped) and the
+  manifest naming them are committed, and the now-covered WAL has been
+  compacted.  Recovery cost is proportional to updates since the last
+  checkpoint; warm-start coverage is "whatever was cached at the last
+  checkpoint, if no update followed it".
+* **Between the two**, the graph is always recoverable (snapshot + WAL
+  replay); only the RTC warmth degrades -- entries stamped with an older
+  LSN than the recovered log position are discarded, never served
+  stale.
+* ``close()`` flushes and fsyncs pending WAL state and releases the
+  handles; it is idempotent.  It does *not* take an implicit checkpoint
+  -- an operator who wants a warm next start calls ``checkpoint()``
+  first.
+
+When the data directory already holds state, ``open`` recovers from it
+and the ``source`` argument serves only as the seed for a first, empty
+start.  See the README's "Durability & warm restarts" section.
+
 Concurrency contract
 --------------------
 A session may be shared across threads: every stateful operation
@@ -58,6 +89,15 @@ from repro.regex.parser import parse
 __all__ = ["GraphDB"]
 
 
+def _coerce_storage(storage):
+    """Accept a :class:`ShardStorage` or anything path-like naming one."""
+    from repro.storage.recovery import ShardStorage
+
+    if isinstance(storage, ShardStorage):
+        return storage
+    return ShardStorage(storage)
+
+
 class GraphDB:
     """A session over one graph with one registered engine and its caches."""
 
@@ -65,12 +105,20 @@ class GraphDB:
         self,
         graph: LabeledMultigraph,
         engine: str = "rtc",
+        storage: "ShardStorage | str | PathLike | None" = None,
+        checkpoint_every: int | None = None,
         **engine_kwargs,
     ) -> None:
         if not isinstance(graph, LabeledMultigraph):
             raise TypeError(
                 f"GraphDB binds a LabeledMultigraph, got {type(graph).__name__}; "
                 "use GraphDB.open() to load paths or edge iterables"
+            )
+        if checkpoint_every is not None and (
+            not isinstance(checkpoint_every, int) or checkpoint_every < 1
+        ):
+            raise ValueError(
+                f"checkpoint_every must be a positive int or None, got {checkpoint_every!r}"
             )
         self.graph = graph
         self.engine_name = engine.lower()
@@ -80,33 +128,90 @@ class GraphDB:
         # Serialises execute/update/watch/stats/close across threads --
         # see the module docstring's concurrency contract.
         self._lock = threading.RLock()
+        # -- durability (see the module docstring's durability contract) --
+        self._storage = None
+        self._checkpoint_every = checkpoint_every
+        self._updates_since_checkpoint = 0
+        self._warm = {"entries": 0, "watchers": 0, "stale": 0}
+        if storage is not None:
+            storage = _coerce_storage(storage)
+            self._warm = storage.bind(self)
+            self._storage = storage
 
     # -- lifecycle -------------------------------------------------------
     @classmethod
     def open(
         cls,
-        source: LabeledMultigraph | str | PathLike | Iterable,
+        source: LabeledMultigraph | str | PathLike | Iterable | None = None,
         engine: str = "rtc",
+        storage: "ShardStorage | str | PathLike | None" = None,
+        checkpoint_every: int | None = None,
         **engine_kwargs,
     ) -> "GraphDB":
-        """Open a session over a graph, an edge-list file, or edge triples."""
+        """Open a session over a graph, an edge-list file, or edge triples.
+
+        With ``storage=`` (a data directory or
+        :class:`~repro.storage.ShardStorage`), the session is durable:
+        updates are write-ahead logged and :meth:`checkpoint` rolls the
+        snapshot forward (every ``checkpoint_every`` logged updates,
+        automatically).  When the directory already holds state, the
+        session recovers from it -- ``source`` is then only the *seed*
+        for a first, empty start and may be ``None`` for recover-only
+        opens.
+        """
+        if storage is not None:
+            storage = _coerce_storage(storage)
+            if storage.recovered is not None:
+                graph = storage.recovered.graph
+            elif storage.has_state():
+                graph = storage.recover().graph
+            else:
+                graph = None
+            if graph is not None:
+                return cls(
+                    graph,
+                    engine=engine,
+                    storage=storage,
+                    checkpoint_every=checkpoint_every,
+                    **engine_kwargs,
+                )
+        if source is None:
+            raise TypeError(
+                "GraphDB.open needs a source graph (the storage directory "
+                "holds no recoverable state)"
+            )
         if isinstance(source, LabeledMultigraph):
             graph = source
         elif isinstance(source, (str, PathLike, Path)):
             graph = load_edge_list(source)
         else:
             graph = LabeledMultigraph.from_edges(source)
-        return cls(graph, engine=engine, **engine_kwargs)
+        return cls(
+            graph,
+            engine=engine,
+            storage=storage,
+            checkpoint_every=checkpoint_every,
+            **engine_kwargs,
+        )
 
     @property
     def closed(self) -> bool:
         return self._closed
 
     def close(self) -> None:
-        """Drop shared caches and watchers; further queries raise."""
+        """Drop shared caches and watchers; further queries raise.
+
+        With storage attached, pending WAL state is flushed and fsync'd
+        and the handles released first.  Idempotent either way.  No
+        implicit checkpoint is taken -- call :meth:`checkpoint` before
+        closing when the next start should come back warm.
+        """
         with self._lock:
             if self._closed:
                 return
+            if self._storage is not None:
+                self._storage.sync()
+                self._storage.close()
             self._reset_engine_cache()
             self._watchers.clear()
             self._closed = True
@@ -259,14 +364,25 @@ class GraphDB:
         session stays consistent with the partially-updated graph -- the
         watchers are rebuilt from it and the engine caches dropped before
         the error propagates.
+
+        With storage attached the applied edges are write-ahead logged
+        (fsync'd) before this method returns -- including the applied
+        prefix of a failing batch, so replay always reproduces the live
+        graph.  Edges the storage format cannot persist raise
+        :class:`~repro.errors.StorageError` *before* anything mutates.
         """
         with self._lock:
             self._update_locked(add, remove)
 
     def _update_locked(self, add: Iterable[tuple], remove: Iterable[tuple]) -> None:
         self._check_open()
+        add = [tuple(edge) for edge in add]
+        remove = [tuple(edge) for edge in remove]
+        if self._storage is not None:
+            self._storage.validate_edges(add + remove)
         watchers = list(self._watchers.values())
-        mutated = False
+        applied_add: list[tuple] = []
+        applied_remove: list[tuple] = []
         try:
             for source, label, target in add:
                 new_vertices = [
@@ -275,24 +391,97 @@ class GraphDB:
                     if not self.graph.has_vertex(vertex)
                 ]
                 self.graph.add_edge(source, label, target)
-                mutated = True
+                applied_add.append((source, label, target))
                 for watcher in watchers:
                     watcher.notify_edge_added(source, label, target, new_vertices)
-            removed = False
             for source, label, target in remove:
                 self.graph.remove_edge(source, label, target)
-                mutated = True
-                removed = True
-            if removed:
+                applied_remove.append((source, label, target))
+            if applied_remove:
                 for watcher in watchers:
                     watcher.notify_graph_replaced()
         except BaseException:
-            if mutated:
+            if applied_add or applied_remove:
                 for watcher in watchers:
                     watcher.notify_graph_replaced()
-            raise
-        finally:
             self._reset_engine_cache()
+            # Log exactly the applied prefix: replay must reproduce the
+            # partially-updated graph the live session keeps serving.
+            self._log_applied(applied_add, applied_remove)
+            raise
+        self._reset_engine_cache()
+        self._log_applied(applied_add, applied_remove)
+        self._maybe_auto_checkpoint()
+
+    def _log_applied(self, applied_add: list, applied_remove: list) -> None:
+        if self._storage is None or (not applied_add and not applied_remove):
+            return
+        if self._storage.log_update(applied_add, applied_remove) is not None:
+            self._updates_since_checkpoint += 1
+
+    def _maybe_auto_checkpoint(self) -> None:
+        if (
+            self._storage is not None
+            and self._checkpoint_every is not None
+            and self._updates_since_checkpoint >= self._checkpoint_every
+        ):
+            self.checkpoint()
+
+    # -- durability ------------------------------------------------------
+    @property
+    def storage(self):
+        """The attached :class:`~repro.storage.ShardStorage`, or ``None``."""
+        return self._storage
+
+    @property
+    def warm_stats(self) -> dict:
+        """What the RTC store installed at open time.
+
+        ``{"entries": n, "watchers": n, "stale": n}`` -- cached closures
+        installed, watchers restored without recomputation, and store
+        entries skipped because their LSN stamp (or cache mode) no
+        longer matched.  All zeros for cold starts and storage-less
+        sessions.
+        """
+        return dict(self._warm)
+
+    def checkpoint(self, extra_sessions: Sequence["GraphDB"] = ()) -> dict:
+        """Commit a snapshot + warm RTC store covering the current LSN.
+
+        After this returns, recovery replays *no* WAL records and comes
+        back hot for every closure body cached right now (in this session
+        or any of the ``extra_sessions`` -- replica siblings that saw the
+        same update stream).  Raises
+        :class:`~repro.errors.StorageError` without storage attached.
+        """
+        from repro.errors import StorageError
+
+        with self._lock:
+            self._check_open()
+            if self._storage is None:
+                raise StorageError(
+                    "this session has no storage attached; open it with storage="
+                )
+            info = self._storage.checkpoint(self, tuple(extra_sessions))
+            self._updates_since_checkpoint = 0
+            return info
+
+    def restore_watcher(
+        self, body: str | RegexNode, gr_edges: Iterable[tuple], rtc
+    ) -> IncrementalRTC:
+        """Install a persisted watcher without re-running ``eval_rpq``.
+
+        The warm-start entry point used by :mod:`repro.storage.rtc_store`;
+        ``gr_edges``/``rtc`` come from a store entry whose LSN stamp
+        matches the recovered log position, so the state is exact for the
+        current graph.
+        """
+        key = parse(body).to_string()
+        with self._lock:
+            self._check_open()
+            watcher = IncrementalRTC.from_state(self.graph, key, gr_edges, rtc)
+            self._watchers[key] = watcher
+        return watcher
 
     # -- introspection ---------------------------------------------------
     def stats(self) -> dict:
@@ -303,7 +492,7 @@ class GraphDB:
 
     def _stats_locked(self) -> dict:
         engine = self.engine
-        return {
+        document = {
             "engine": self.engine_name,
             "graph": {
                 "vertices": self.graph.num_vertices,
@@ -315,6 +504,12 @@ class GraphDB:
             "shared_pairs": getattr(engine, "shared_data_size", lambda: 0)(),
             "watchers": sorted(self._watchers),
         }
+        if self._storage is not None:
+            document["storage"] = dict(self._storage.stats())
+            document["storage"]["warm"] = dict(self._warm)
+            document["storage"]["updates_since_checkpoint"] = self._updates_since_checkpoint
+            document["storage"]["checkpoint_every"] = self._checkpoint_every
+        return document
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"

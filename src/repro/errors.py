@@ -35,6 +35,17 @@ class GraphFormatError(GraphError):
     """A serialized graph (edge list / adjacency file) could not be parsed."""
 
 
+class StorageError(ReproError):
+    """A durability operation of :mod:`repro.storage` failed.
+
+    Raised for unusable data directories, manifests that do not match the
+    on-disk write-ahead log, vertices/labels the JSON record format cannot
+    persist, and operations on closed storage handles.  Corrupt WAL
+    *tails* do **not** raise -- the reader truncates them (crash-during-
+    append is an expected state, not an error).
+    """
+
+
 class RPQSyntaxError(ReproError):
     """The textual form of a regular path query could not be parsed.
 

@@ -62,6 +62,7 @@ from repro.errors import (
     ReproError,
     RPQSyntaxError,
     ServerError,
+    StorageError,
 )
 
 __all__ = [
@@ -86,8 +87,10 @@ PROTOCOL_VERSION = 1
 #: Hard cap on one request/response line (also the asyncio read limit).
 MAX_LINE_BYTES = 4 * 1024 * 1024
 
-#: The protocol verbs the server dispatches on.
-VERBS = ("query", "stats", "update", "watch", "reaches", "ping")
+#: The protocol verbs the server dispatches on.  ``checkpoint`` is
+#: answered only by storage-backed deployments (``--data-dir``); others
+#: respond with a structured ``storage.unsupported``-style error.
+VERBS = ("query", "stats", "update", "watch", "reaches", "checkpoint", "ping")
 
 _CODE_TO_ERROR = {
     "rejected": AdmissionError,
@@ -95,6 +98,7 @@ _CODE_TO_ERROR = {
     "bad_request": ProtocolError,
     "cluster": ClusterError,
     "syntax": RPQSyntaxError,
+    "storage": StorageError,
 }
 
 
@@ -147,6 +151,8 @@ def error_payload(error: BaseException) -> dict:
         code = "syntax"
     elif isinstance(error, ServerError):
         code = error.code
+    elif isinstance(error, StorageError):
+        code = "storage"
     elif isinstance(error, ReproError):
         code = "evaluation"
     else:

@@ -91,6 +91,7 @@ class QueryServer:
             "update": self._op_update,
             "watch": self._op_watch,
             "reaches": self._op_reaches,
+            "checkpoint": self._op_checkpoint,
             "ping": self._op_ping,
         }
 
@@ -345,6 +346,19 @@ class QueryServer:
                 )
             edges.append(tuple(entry))
         return edges
+
+    async def _op_checkpoint(self, request_id, request) -> dict:
+        """Commit a durable checkpoint (``{"op": "checkpoint"}``).
+
+        Routed to ``self.db.checkpoint`` -- a storage-backed
+        :class:`~repro.db.GraphDB` (or a whole
+        :class:`~repro.cluster.GraphCluster`, which fans out per shard).
+        Deployments without a data dir answer with the structured error
+        the session/cluster raises.  Snapshot writes block, so the
+        commit runs off the event loop.
+        """
+        info = await self._in_executor(self.db.checkpoint)
+        return protocol.ok_response(request_id, checkpoint=info)
 
     async def _op_watch(self, request_id, request) -> dict:
         body = request.get("body")

@@ -1,0 +1,155 @@
+"""Full-graph snapshots: edge-list fast path, JSON-triples fallback, sidecar.
+
+A snapshot is the graph at one WAL position, written as two files (both
+atomic, both named by the covering LSN so generations never collide):
+
+``snapshot-<lsn>.edges``
+    The edges.  The fast path is the :mod:`repro.graph.io` edge-list
+    format -- human-readable, identical to the dataset dumps.  That
+    format deliberately *refuses* tokens that would not round-trip
+    (int-lookalike string vertices such as ``"123"``, labels or vertices
+    containing whitespace -- see the PR 5 ``GraphFormatError`` work), so
+    when it raises, the snapshot falls back to one JSON array
+    ``[source, label, target]`` per line, which preserves the int/str
+    distinction and arbitrary whitespace exactly.  The manifest records
+    which format was used (``edge_format``).
+
+``snapshot-<lsn>.isolated.json``
+    The isolated-vertex sidecar: a JSON list of vertices with no edges,
+    which neither edge format can carry.
+
+Only JSON-representable vertices (``int``/``str``, not ``bool``) and
+``str`` labels can be persisted at all; anything else raises
+:class:`~repro.errors.StorageError` *before* any file is touched.
+Graphs carrying richer vertex types keep working in memory -- they just
+cannot be attached to storage (same rule as the cluster's spawn-time
+edge-list handoff).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import GraphFormatError, StorageError
+from repro.graph.io import format_edge_lines, parse_edge_lines
+from repro.graph.multigraph import LabeledMultigraph
+from repro.storage.manifest import atomic_write_text
+
+__all__ = [
+    "check_persistable_edge",
+    "check_persistable_vertex",
+    "read_snapshot",
+    "write_snapshot",
+]
+
+EDGE_LIST = "edge-list"
+JSON_TRIPLES = "json-triples"
+
+
+def check_persistable_vertex(vertex: object) -> None:
+    """Raise :class:`StorageError` unless ``vertex`` survives a JSON trip."""
+    if isinstance(vertex, bool) or not isinstance(vertex, (int, str)):
+        raise StorageError(
+            f"vertex {vertex!r} ({type(vertex).__name__}) cannot be "
+            "persisted; storage records only int and str vertices"
+        )
+
+
+def check_persistable_edge(source: object, label: object, target: object) -> None:
+    """Raise :class:`StorageError` unless the edge survives a JSON trip."""
+    check_persistable_vertex(source)
+    check_persistable_vertex(target)
+    if not isinstance(label, str):
+        raise StorageError(
+            f"label {label!r} ({type(label).__name__}) cannot be persisted; "
+            "storage records only str labels"
+        )
+
+
+def _sorted_edges(graph: LabeledMultigraph) -> list[tuple[object, str, object]]:
+    return sorted(graph.edges(), key=lambda edge: (str(edge[0]), str(edge[1]), str(edge[2])))
+
+
+def write_snapshot(graph: LabeledMultigraph, directory: str | Path, lsn: int) -> dict:
+    """Write the snapshot of ``graph`` at ``lsn`` into ``directory``.
+
+    Returns the manifest's ``snapshot`` entry.  Every edge and every
+    vertex is validated up front, so a non-persistable token leaves the
+    directory untouched.
+    """
+    directory = Path(directory)
+    for source, label, target in graph.edges():
+        check_persistable_edge(source, label, target)
+    isolated = sorted(
+        (
+            vertex
+            for vertex in graph.vertices()
+            if graph.out_degree(vertex) == 0 and graph.in_degree(vertex) == 0
+        ),
+        key=lambda vertex: (str(vertex), isinstance(vertex, str)),
+    )
+    for vertex in isolated:
+        check_persistable_vertex(vertex)
+
+    try:
+        edge_text = "".join(format_edge_lines(graph))
+        edge_format = EDGE_LIST
+    except GraphFormatError:
+        edge_text = "".join(
+            json.dumps([source, label, target]) + "\n"
+            for source, label, target in _sorted_edges(graph)
+        )
+        edge_format = JSON_TRIPLES
+
+    edges_name = f"snapshot-{int(lsn)}.edges"
+    isolated_name = f"snapshot-{int(lsn)}.isolated.json"
+    atomic_write_text(directory / edges_name, edge_text)
+    atomic_write_text(directory / isolated_name, json.dumps(isolated) + "\n")
+    return {"edges": edges_name, "edge_format": edge_format, "isolated": isolated_name}
+
+
+def read_snapshot(directory: str | Path, entry: dict) -> LabeledMultigraph:
+    """Rebuild the graph a manifest ``snapshot`` entry describes."""
+    directory = Path(directory)
+    edges_path = directory / entry["edges"]
+    edge_format = entry.get("edge_format", EDGE_LIST)
+    if not edges_path.exists():
+        raise StorageError(f"manifest names missing snapshot file {edges_path}")
+
+    graph = LabeledMultigraph()
+    if edge_format == EDGE_LIST:
+        with open(edges_path, "r", encoding="utf-8") as handle:
+            for source, label, target in parse_edge_lines(handle):
+                graph.add_edge(source, label, target)
+    elif edge_format == JSON_TRIPLES:
+        with open(edges_path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    triple = json.loads(line)
+                except ValueError as error:
+                    raise StorageError(
+                        f"{edges_path} line {line_number}: invalid JSON triple: {error}"
+                    ) from error
+                if not isinstance(triple, list) or len(triple) != 3:
+                    raise StorageError(
+                        f"{edges_path} line {line_number}: expected [source, label, target]"
+                    )
+                graph.add_edge(triple[0], triple[1], triple[2])
+    else:
+        raise StorageError(f"unknown snapshot edge format {edge_format!r}")
+
+    isolated_name = entry.get("isolated")
+    if isolated_name:
+        isolated_path = directory / isolated_name
+        if not isolated_path.exists():
+            raise StorageError(f"manifest names missing sidecar {isolated_path}")
+        try:
+            isolated = json.loads(isolated_path.read_text(encoding="utf-8"))
+        except ValueError as error:
+            raise StorageError(f"corrupt isolated-vertex sidecar {isolated_path}: {error}") from error
+        for vertex in isolated:
+            graph.add_vertex(vertex)
+    return graph

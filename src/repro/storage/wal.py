@@ -1,0 +1,165 @@
+"""The per-shard write-ahead log: fsync'd JSON-lines with monotonic LSNs.
+
+One record per line::
+
+    {"lsn": 12, "op": "update", "add": [["a", "l0", "b"]], "remove": []}
+
+``lsn`` is assigned by the log itself and is strictly contiguous: the
+first record after :meth:`WriteAheadLog.reset`/construction carries
+``start_lsn + 1`` and every later record increments by one.  Contiguity
+is what makes the reader corruption-*tolerant* rather than corruption-
+oblivious: on open, the file is scanned record by record and truncated at
+the first line that is torn (no trailing newline), unparseable, or out of
+sequence -- everything before that point is trusted, everything after is
+discarded.  A torn tail is the expected crash-during-append state, so
+truncation is silent; the honest durability story is "whatever ``append``
+returned for is on disk, the record being written when the power died is
+not".
+
+Every ``append`` flushes and ``os.fsync``\\ s before returning -- an acked
+record survives ``kill -9``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import StorageError
+
+__all__ = ["WriteAheadLog"]
+
+
+class WriteAheadLog:
+    """An append-only JSON-lines log with contiguous LSNs.
+
+    ``start_lsn`` is the position the log *logically begins after*: the
+    manifest's covered LSN on recovery, ``0`` for a fresh directory.  The
+    first valid record on disk must carry ``start_lsn + 1``; a mismatch
+    (stale file from a different manifest generation) truncates the whole
+    file rather than replaying records the snapshot already contains.
+    """
+
+    def __init__(self, path: str | Path, start_lsn: int = 0) -> None:
+        self.path = Path(path)
+        self.start_lsn = int(start_lsn)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._closed = False
+        self.truncated_bytes = 0
+        records, valid_end, size = self._scan()
+        if valid_end < size:
+            self.truncated_bytes = size - valid_end
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self.last_lsn = records[-1]["lsn"] if records else self.start_lsn
+        self._handle = open(self.path, "ab")
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def _scan(self) -> tuple[list[dict], int, int]:
+        """``(valid records, byte offset after them, file size)``."""
+        if not self.path.exists():
+            self.path.touch()
+            return [], 0, 0
+        data = self.path.read_bytes()
+        records: list[dict] = []
+        expected = self.start_lsn + 1
+        offset = 0
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline == -1:
+                break  # torn tail: record written without its newline
+            line = data[offset:newline]
+            try:
+                record = json.loads(line)
+            except ValueError:
+                break
+            if not isinstance(record, dict) or record.get("lsn") != expected:
+                break
+            records.append(record)
+            expected += 1
+            offset = newline + 1
+        return records, offset, len(data)
+
+    def records(self) -> list[dict]:
+        """All valid records currently on disk, in LSN order."""
+        records, _end, _size = self._scan()
+        return records
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> int:
+        """Durably append ``record``; returns its assigned LSN.
+
+        The record is JSON-encoded with an ``lsn`` field prepended,
+        written, flushed and fsync'd before this method returns.
+        """
+        self._check_open()
+        lsn = self.last_lsn + 1
+        payload = {"lsn": lsn}
+        payload.update(record)
+        try:
+            line = json.dumps(payload, sort_keys=False)
+        except (TypeError, ValueError) as error:
+            raise StorageError(f"WAL record is not JSON-serialisable: {error}") from error
+        self._handle.write(line.encode("utf-8") + b"\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.last_lsn = lsn
+        return lsn
+
+    def reset(self, start_lsn: int) -> None:
+        """Truncate the log and rebase it after ``start_lsn``.
+
+        Called after a checkpoint: the manifest now covers everything up
+        to ``start_lsn``, so the records are dead weight.
+        """
+        self._check_open()
+        self._handle.close()
+        with open(self.path, "wb") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.start_lsn = int(start_lsn)
+        self.last_lsn = int(start_lsn)
+        self._handle = open(self.path, "ab")
+
+    def sync(self) -> None:
+        """Flush and fsync the log handle (appends already do this)."""
+        self._check_open()
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Fsync and close; idempotent."""
+        if self._closed:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"write-ahead log {self.path} is closed")
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"WriteAheadLog({str(self.path)!r}, last_lsn={self.last_lsn}, {state})"

@@ -1,0 +1,95 @@
+"""GraphDB durability contract: logging, auto-checkpoint, close semantics."""
+
+import pytest
+
+from repro.db import GraphDB
+from repro.errors import ReproError
+from repro.storage import ShardStorage, read_manifest
+
+EDGES = [("a", "x", "b"), ("b", "x", "c")]
+
+
+class TestOpenSignature:
+    def test_storage_accepts_a_path_string(self, tmp_path):
+        db = GraphDB.open(list(EDGES), storage=str(tmp_path / "data"))
+        assert isinstance(db.storage, ShardStorage)
+        db.close()
+
+    def test_storage_accepts_a_shardstorage(self, tmp_path):
+        storage = ShardStorage(tmp_path / "data")
+        db = GraphDB.open(list(EDGES), storage=storage)
+        assert db.storage is storage
+        db.close()
+
+    def test_checkpoint_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            GraphDB.open(
+                list(EDGES), storage=tmp_path / "data", checkpoint_every=0
+            )
+
+    def test_storage_less_session_has_no_durability_surface(self):
+        db = GraphDB.open(list(EDGES))
+        assert db.storage is None
+        assert db.warm_stats == {"entries": 0, "watchers": 0, "stale": 0}
+        assert "storage" not in db.stats()
+
+
+class TestLogging:
+    def test_every_acked_update_is_on_disk_before_return(self, tmp_path):
+        db = GraphDB.open(list(EDGES), storage=tmp_path / "data")
+        db.update(add=[("c", "x", "d")])
+        # No close, no checkpoint: a parallel reader (the crash stand-in)
+        # must already see the record.
+        storage = ShardStorage(tmp_path / "data")
+        assert storage.recover().graph.has_edge("c", "x", "d")
+        db.close()
+
+    def test_empty_batches_consume_no_lsn(self, tmp_path):
+        db = GraphDB.open(list(EDGES), storage=tmp_path / "data")
+        db.update(add=[], remove=[])
+        assert db.storage.last_lsn == 0
+        db.close()
+
+
+class TestAutoCheckpoint:
+    def test_checkpoint_every_n_compacts_automatically(self, tmp_path):
+        db = GraphDB.open(
+            list(EDGES), storage=tmp_path / "data", checkpoint_every=2
+        )
+        db.update(add=[("c", "x", "d")])
+        assert read_manifest(tmp_path / "data")["lsn"] == 0  # not yet
+        db.update(add=[("d", "x", "e")])
+        assert read_manifest(tmp_path / "data")["lsn"] == 2  # rolled
+        assert db.stats()["storage"]["updates_since_checkpoint"] == 0
+        db.update(add=[("e", "x", "f")])
+        assert read_manifest(tmp_path / "data")["lsn"] == 2  # counting again
+        db.close()
+
+    def test_manual_checkpoint_resets_the_counter(self, tmp_path):
+        db = GraphDB.open(
+            list(EDGES), storage=tmp_path / "data", checkpoint_every=3
+        )
+        db.update(add=[("c", "x", "d")])
+        db.update(add=[("d", "x", "e")])
+        db.checkpoint()
+        db.update(add=[("e", "x", "f")])
+        # Two away from the threshold again: no auto-checkpoint yet.
+        assert read_manifest(tmp_path / "data")["lsn"] == 2
+        db.close()
+
+
+class TestClose:
+    def test_update_after_close_raises(self, tmp_path):
+        db = GraphDB.open(list(EDGES), storage=tmp_path / "data")
+        db.close()
+        with pytest.raises(ReproError, match="closed"):
+            db.update(add=[("c", "x", "d")])
+
+    def test_close_without_checkpoint_still_recovers_updates(self, tmp_path):
+        db = GraphDB.open(list(EDGES), storage=tmp_path / "data")
+        db.update(add=[("c", "x", "d")])
+        db.close()  # WAL only; no checkpoint
+        recovered = GraphDB.open(storage=tmp_path / "data")
+        assert recovered.graph.has_edge("c", "x", "d")
+        assert recovered.warm_stats["entries"] == 0  # warmth was not promised
+        recovered.close()

@@ -1,0 +1,122 @@
+"""Warm-start RTC persistence: cached closures and watchers survive restart."""
+
+from repro.db import GraphDB
+from repro.storage import ShardStorage
+
+EDGES = [
+    (0, "d", 1), (1, "b", 2), (2, "c", 1), (2, "c", 3),
+    (3, "b", 4), (4, "c", 3), (4, "c", 5), (6, "d", 3), (7, "d", 6),
+]
+CLOSURE_QUERY = "d.(b.c)+.c"
+
+
+def warm_cycle(tmp_path, before_close=None, checkpoint=True):
+    """Seed -> query -> (checkpoint) -> close -> reopen; returns the new db."""
+    db = GraphDB.open(list(EDGES), storage=tmp_path / "data")
+    db.execute(CLOSURE_QUERY)
+    if before_close is not None:
+        before_close(db)
+    if checkpoint:
+        db.checkpoint()
+    db.close()
+    return GraphDB.open(storage=tmp_path / "data")
+
+
+class TestWarmEntries:
+    def test_checkpointed_closure_comes_back_hot(self, tmp_path):
+        db = warm_cycle(tmp_path)
+        assert db.warm_stats["entries"] == 1
+        stats = db.engine.rtc_cache.stats
+        hits, misses = stats.hits, stats.misses
+        db.execute(CLOSURE_QUERY)
+        assert stats.hits == hits + 1
+        assert stats.misses == misses  # no recompute
+        db.close()
+
+    def test_warm_answer_matches_cold_answer(self, tmp_path):
+        warm = warm_cycle(tmp_path).execute(CLOSURE_QUERY)
+        cold = GraphDB.open(list(EDGES)).execute(CLOSURE_QUERY)
+        assert warm == cold
+
+    def test_no_checkpoint_means_cold_start(self, tmp_path):
+        db = warm_cycle(tmp_path, checkpoint=False)
+        assert db.warm_stats == {"entries": 0, "watchers": 0, "stale": 0}
+        db.close()
+
+    def test_entries_staler_than_the_log_are_skipped(self, tmp_path):
+        def update_after_checkpoint(db):
+            db.checkpoint()
+            db.update(add=[(5, "b", 6)])  # advances the WAL past the store
+
+        db = warm_cycle(tmp_path, before_close=update_after_checkpoint,
+                        checkpoint=False)
+        assert db.warm_stats["entries"] == 0
+        assert db.warm_stats["stale"] >= 1
+        db.close()
+
+
+class TestWarmWatchers:
+    def test_watcher_survives_restart_and_keeps_answering(self, tmp_path):
+        def attach(db):
+            db.watch("b.c")
+        db = warm_cycle(tmp_path, before_close=attach)
+        assert db.warm_stats["watchers"] == 1
+        assert "b.c" in db.watchers
+        assert db.reaches("b.c", 1, 3)
+        assert not db.reaches("b.c", 5, 1)
+        db.close()
+
+    def test_restored_watcher_tracks_new_updates(self, tmp_path):
+        def attach(db):
+            db.watch("b.c")
+        db = warm_cycle(tmp_path, before_close=attach)
+        assert not db.reaches("b.c", 5, 3)
+        db.update(add=[(5, "b", 8), (8, "c", 3)])
+        assert db.reaches("b.c", 5, 3)
+        db.close()
+
+    def test_restored_watcher_equals_freshly_computed(self, tmp_path):
+        def attach(db):
+            db.watch("b.c")
+        db = warm_cycle(tmp_path, before_close=attach)
+        fresh = GraphDB.open(list(EDGES))
+        fresh.watch("b.c")
+        vertices = sorted(db.graph.vertices(), key=str)
+        for source in vertices:
+            for target in vertices:
+                assert db.reaches("b.c", source, target) == fresh.reaches(
+                    "b.c", source, target
+                ), (source, target)
+        db.close()
+
+
+class TestReplicaMerge:
+    def test_extra_sessions_fold_their_caches_into_the_store(self, tmp_path):
+        primary = GraphDB.open(list(EDGES), storage=tmp_path / "data")
+        replica = GraphDB.open(primary.graph.copy())
+        replica.execute(CLOSURE_QUERY)  # cached only on the replica
+        primary.checkpoint(extra_sessions=[replica])
+        primary.close()
+        replica.close()
+
+        db = GraphDB.open(storage=tmp_path / "data")
+        assert db.warm_stats["entries"] == 1
+        db.close()
+
+    def test_install_warms_a_sibling_session(self, tmp_path):
+        db = GraphDB.open(list(EDGES), storage=tmp_path / "data")
+        db.execute(CLOSURE_QUERY)
+        db.checkpoint()
+        db.close()
+
+        storage = ShardStorage(tmp_path / "data")
+        state = storage.recover()
+        primary = GraphDB.open(state.graph, storage=storage)
+        sibling = GraphDB.open(state.graph.copy())
+        warm = storage.install(sibling)
+        assert warm["entries"] == 1
+        misses = sibling.engine.rtc_cache.stats.misses
+        sibling.execute(CLOSURE_QUERY)
+        assert sibling.engine.rtc_cache.stats.misses == misses
+        primary.close()
+        sibling.close()

@@ -1,0 +1,95 @@
+"""Snapshot round trips, including the tokens the edge-list format refuses."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.graph.multigraph import LabeledMultigraph
+from repro.storage.snapshot import (
+    EDGE_LIST,
+    JSON_TRIPLES,
+    check_persistable_edge,
+    read_snapshot,
+    write_snapshot,
+)
+
+
+def graph_identity(left: LabeledMultigraph, right: LabeledMultigraph) -> None:
+    """Edges (with exact types) and vertex sets must match."""
+    assert sorted(left.edges(), key=str) == sorted(right.edges(), key=str)
+    assert set(left.vertices()) == set(right.vertices())
+    for vertex in left.vertices():
+        assert any(v == vertex and type(v) is type(vertex) for v in right.vertices())
+
+
+def roundtrip(graph: LabeledMultigraph, tmp_path, lsn=7):
+    entry = write_snapshot(graph, tmp_path, lsn)
+    return entry, read_snapshot(tmp_path, entry)
+
+
+class TestRoundTrip:
+    def test_plain_graph_uses_edge_list_format(self, tmp_path):
+        graph = LabeledMultigraph.from_edges(
+            [(0, "a", 1), (1, "b", 2), ("v", "a", 0)]
+        )
+        entry, restored = roundtrip(graph, tmp_path)
+        assert entry["edge_format"] == EDGE_LIST
+        graph_identity(graph, restored)
+
+    def test_int_lookalike_string_vertex_falls_back_to_json(self, tmp_path):
+        # "123" (a string) and 123 (an int) are different vertices; the
+        # edge-list text format cannot tell them apart, so the snapshot
+        # must switch to JSON triples and keep both distinct.
+        graph = LabeledMultigraph.from_edges(
+            [("123", "a", 123), (123, "a", 5)]
+        )
+        entry, restored = roundtrip(graph, tmp_path)
+        assert entry["edge_format"] == JSON_TRIPLES
+        graph_identity(graph, restored)
+        assert restored.has_edge("123", "a", 123)
+        assert not restored.has_edge(123, "a", 123)
+
+    def test_whitespace_label_falls_back_to_json(self, tmp_path):
+        graph = LabeledMultigraph.from_edges(
+            [("a", "two words", "b"), ("b", "tab\there", "c")]
+        )
+        entry, restored = roundtrip(graph, tmp_path)
+        assert entry["edge_format"] == JSON_TRIPLES
+        graph_identity(graph, restored)
+
+    def test_isolated_vertices_ride_the_sidecar(self, tmp_path):
+        graph = LabeledMultigraph.from_edges([("a", "x", "b")])
+        graph.add_vertex("lonely")
+        graph.add_vertex(99)
+        _entry, restored = roundtrip(graph, tmp_path)
+        graph_identity(graph, restored)
+        assert restored.has_vertex("lonely")
+        assert restored.has_vertex(99)
+
+    def test_empty_graph_round_trips(self, tmp_path):
+        graph = LabeledMultigraph()
+        graph.add_vertex("only")
+        _entry, restored = roundtrip(graph, tmp_path)
+        graph_identity(graph, restored)
+
+
+class TestPersistability:
+    def test_tuple_vertex_is_rejected_before_any_write(self, tmp_path):
+        graph = LabeledMultigraph.from_edges([(("tu", "ple"), "a", "b")])
+        with pytest.raises(StorageError, match="cannot be persisted"):
+            write_snapshot(graph, tmp_path, 1)
+        assert list(tmp_path.iterdir()) == []  # nothing written
+
+    def test_bool_vertex_is_rejected(self):
+        with pytest.raises(StorageError):
+            check_persistable_edge(True, "a", "b")
+
+    def test_non_string_label_is_rejected(self):
+        with pytest.raises(StorageError, match="label"):
+            check_persistable_edge("a", 7, "b")
+
+    def test_missing_snapshot_file_raises(self, tmp_path):
+        graph = LabeledMultigraph.from_edges([("a", "x", "b")])
+        entry = write_snapshot(graph, tmp_path, 3)
+        (tmp_path / entry["edges"]).unlink()
+        with pytest.raises(StorageError, match="missing snapshot"):
+            read_snapshot(tmp_path, entry)

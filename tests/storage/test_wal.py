@@ -1,0 +1,114 @@
+"""Write-ahead log unit tests: LSN discipline and torn-tail tolerance."""
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.wal import WriteAheadLog
+
+
+def wal_path(tmp_path):
+    return tmp_path / "wal.jsonl"
+
+
+class TestAppend:
+    def test_lsns_are_monotonic_from_start(self, tmp_path):
+        wal = WriteAheadLog(wal_path(tmp_path), start_lsn=0)
+        assert wal.append({"op": "update", "add": []}) == 1
+        assert wal.append({"op": "update", "add": []}) == 2
+        assert wal.last_lsn == 2
+        wal.close()
+
+    def test_records_survive_reopen(self, tmp_path):
+        wal = WriteAheadLog(wal_path(tmp_path))
+        wal.append({"op": "update", "add": [["a", "x", "b"]], "remove": []})
+        wal.close()
+        reopened = WriteAheadLog(wal_path(tmp_path))
+        records = reopened.records()
+        assert len(records) == 1
+        assert records[0]["lsn"] == 1
+        assert records[0]["add"] == [["a", "x", "b"]]
+        assert reopened.last_lsn == 1
+        reopened.close()
+
+    def test_start_lsn_rebases_the_sequence(self, tmp_path):
+        wal = WriteAheadLog(wal_path(tmp_path), start_lsn=41)
+        assert wal.append({"op": "update"}) == 42
+        wal.close()
+        assert WriteAheadLog(wal_path(tmp_path), start_lsn=41).last_lsn == 42
+
+    def test_non_serialisable_record_raises_before_writing(self, tmp_path):
+        wal = WriteAheadLog(wal_path(tmp_path))
+        with pytest.raises(StorageError):
+            wal.append({"op": "update", "add": [object()]})
+        assert wal.records() == []
+        wal.close()
+
+
+class TestTornTail:
+    def append_two(self, tmp_path):
+        wal = WriteAheadLog(wal_path(tmp_path))
+        wal.append({"op": "update", "add": [["a", "x", "b"]]})
+        wal.append({"op": "update", "add": [["b", "x", "c"]]})
+        wal.close()
+
+    def test_partial_last_line_is_truncated(self, tmp_path):
+        self.append_two(tmp_path)
+        path = wal_path(tmp_path)
+        intact = path.read_bytes()
+        path.write_bytes(intact + b'{"lsn": 3, "op": "upd')  # no newline
+        wal = WriteAheadLog(path)
+        assert [record["lsn"] for record in wal.records()] == [1, 2]
+        assert wal.truncated_bytes > 0
+        assert path.read_bytes() == intact  # file physically truncated
+        # The log stays appendable at the next LSN after the valid prefix.
+        assert wal.append({"op": "update"}) == 3
+        wal.close()
+
+    def test_garbage_tail_line_is_truncated(self, tmp_path):
+        self.append_two(tmp_path)
+        path = wal_path(tmp_path)
+        with path.open("ab") as handle:
+            handle.write(b"not json at all\n")
+        wal = WriteAheadLog(path)
+        assert [record["lsn"] for record in wal.records()] == [1, 2]
+        assert wal.truncated_bytes > 0
+        wal.close()
+
+    def test_lsn_gap_truncates_from_the_gap(self, tmp_path):
+        self.append_two(tmp_path)
+        path = wal_path(tmp_path)
+        with path.open("ab") as handle:
+            handle.write(
+                (json.dumps({"lsn": 9, "op": "update"}) + "\n").encode()
+            )
+        wal = WriteAheadLog(path)
+        assert wal.last_lsn == 2  # record 9 is out of sequence
+        wal.close()
+
+    def test_intact_log_reports_no_truncation(self, tmp_path):
+        self.append_two(tmp_path)
+        wal = WriteAheadLog(wal_path(tmp_path))
+        assert wal.truncated_bytes == 0
+        wal.close()
+
+
+class TestResetAndClose:
+    def test_reset_compacts_and_rebases(self, tmp_path):
+        wal = WriteAheadLog(wal_path(tmp_path))
+        wal.append({"op": "update"})
+        wal.append({"op": "update"})
+        wal.reset(2)
+        assert wal.records() == []
+        assert wal.last_lsn == 2
+        assert wal.append({"op": "update"}) == 3
+        wal.close()
+
+    def test_close_is_idempotent_and_fences_appends(self, tmp_path):
+        wal = WriteAheadLog(wal_path(tmp_path))
+        wal.close()
+        wal.close()
+        assert wal.closed
+        with pytest.raises(StorageError):
+            wal.append({"op": "update"})

@@ -15,6 +15,7 @@ from repro.errors import (
     ReproError,
     RPQSyntaxError,
     ServerError,
+    StorageError,
     UnknownEngineError,
     UnknownLabelError,
     VertexNotFoundError,
@@ -33,6 +34,8 @@ PACKAGES = [
     "repro.workloads",
     "repro.bench",
     "repro.server",
+    "repro.cluster",
+    "repro.storage",
 ]
 
 
@@ -45,7 +48,7 @@ class TestExports:
             assert hasattr(package, name), f"{package_name}.{name}"
 
     def test_version(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
 
     def test_top_level_quickstart_names(self):
         for name in (
@@ -87,6 +90,7 @@ class TestErrorHierarchy:
             AdmissionError,
             DeadlineExpiredError,
             ProtocolError,
+            StorageError,
         ],
     )
     def test_all_derive_from_repro_error(self, error_class):
