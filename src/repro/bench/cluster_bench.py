@@ -39,6 +39,7 @@ from repro.cluster import ClusterConfig, ClusterRouter, GraphCluster
 from repro.db import GraphDB
 from repro.graph.multigraph import LabeledMultigraph
 from repro.server import Client, ServerConfig, ServerThread
+from repro.obs import phase_totals
 from repro.server.metrics import percentile
 
 __all__ = [
@@ -139,6 +140,7 @@ def measure_cluster_configuration(
     per_client_latencies: list[list[float]] = [[] for _ in range(num_clients)]
     update_counts = [0] * num_clients
     errors: list[BaseException] = []
+    phases_before = phase_totals()
 
     with ServerThread(router) as handle:
         if verify:
@@ -235,6 +237,17 @@ def measure_cluster_configuration(
         "cache_hits": scheduler_stats.get("cache", {}).get("hits", 0),
         "cache_misses": scheduler_stats.get("cache", {}).get("misses", 0),
         "verified": verify,
+    }
+    # This cell's engine/storage phase breakdown (rtc vs evaluate vs
+    # join vs wal ...) as a delta over the router process's phase
+    # ledger.  Process-backend shards burn their evaluate/wal time in
+    # the worker processes; the router-side ledger still captures the
+    # join rounds it runs itself.
+    phases_after = phase_totals()
+    row["phases"] = {
+        phase: round(total - phases_before.get(phase, 0.0), 6)
+        for phase, total in sorted(phases_after.items())
+        if total - phases_before.get(phase, 0.0) > 0.0
     }
     return row
 

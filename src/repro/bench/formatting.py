@@ -12,8 +12,13 @@ from collections.abc import Sequence
 __all__ = ["format_table", "format_seconds", "format_ratio", "banner"]
 
 
-def format_seconds(seconds: float) -> str:
-    """Human-scaled time: micro/milli/seconds with 3 significant digits."""
+def format_seconds(seconds: float | None) -> str:
+    """Human-scaled time: micro/milli/seconds with 3 significant digits.
+
+    ``None`` (an empty latency reservoir's percentile) renders as ``-``.
+    """
+    if seconds is None:
+        return "-"
     if seconds < 1e-3:
         return f"{seconds * 1e6:.1f}us"
     if seconds < 1.0:

@@ -21,6 +21,7 @@ import time
 from repro.bench.formatting import format_seconds, format_table
 from repro.db import GraphDB
 from repro.graph.multigraph import LabeledMultigraph
+from repro.obs import phase_totals
 from repro.server import Client, ServerConfig, ServerThread
 from repro.server.metrics import percentile
 
@@ -46,6 +47,7 @@ def measure_configuration(
     )
     per_client_latencies: list[list[float]] = [[] for _ in range(num_clients)]
     errors: list[BaseException] = []
+    phases_before = phase_totals()
     with ServerThread(db, config) as handle:
         barrier = threading.Barrier(num_clients + 1)
 
@@ -100,6 +102,15 @@ def measure_configuration(
     cache = scheduler_stats.get("cache")
     row["cache_hits"] = cache["hits"] if cache else 0
     row["cache_misses"] = cache["misses"] if cache else 0
+    # Where the engine's wall time went during this cell (the always-on
+    # phase ledger: rtc construction vs evaluation vs join vs wal ...),
+    # as this cell's delta over the process-wide counters.
+    phases_after = phase_totals()
+    row["phases"] = {
+        phase: round(total - phases_before.get(phase, 0.0), 6)
+        for phase, total in sorted(phases_after.items())
+        if total - phases_before.get(phase, 0.0) > 0.0
+    }
     return row
 
 

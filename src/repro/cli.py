@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the interactive workflow a downstream user wants
+The subcommands cover the interactive workflow a downstream user wants
 before writing any code; all of them run through the
 :class:`~repro.db.GraphDB` session facade:
 
@@ -18,7 +18,12 @@ before writing any code; all of them run through the
   relation the router joins over;
 * ``reduce`` -- show the two-level reduction statistics of a closure body
   on a graph (the Fig. 12/13 quantities for your own data);
-* ``stats``  -- Table-IV style statistics of an edge-list file;
+* ``stats``  -- Table-IV style statistics of an edge-list file; with
+  ``--connect host:port`` the live stats of a running server instead
+  (``--prometheus`` for the metrics registry in Prometheus text format,
+  ``--watch N`` to refresh every N seconds);
+* ``trace``  -- render trace trees recorded by ``serve
+  --slow-query-log`` (or a raw trace JSON) as indented phase breakdowns;
 * ``explain``-- show the static RTCSharing evaluation plan of a query
   (DNF clauses, batch-unit decomposition, cache keys);
 * ``dot``    -- render the graph, a reduction, or a query automaton as
@@ -40,6 +45,9 @@ Examples::
     python -m repro serve graph.txt --shards 4 --replicas 2 --backend process
     python -m repro serve graph.txt --shards 2 --strategy edge-cut
     python -m repro query --connect 127.0.0.1:7687 "a.(b.c)+.c"
+    python -m repro stats --connect 127.0.0.1:7687 --prometheus
+    python -m repro serve graph.txt --slow-query-log slow.jsonl
+    python -m repro trace slow.jsonl --limit 3
     python -m repro reduce graph.txt "b.c"
     python -m repro dot graph.txt --query "b.c" --view condensation
 """
@@ -250,6 +258,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="default per-request deadline (0 disables; default: 30)",
     )
+    serve.add_argument(
+        "--slow-query-log",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append completed trace trees (+ explain plans) of requests "
+            "slower than the threshold to this JSONL file; enables "
+            "server-side tracing of every request (responses unchanged); "
+            "inspect with 'repro trace PATH'"
+        ),
+    )
+    serve.add_argument(
+        "--slow-query-threshold",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="slow-query log threshold (default: 1.0)",
+    )
 
     reduce = commands.add_parser(
         "reduce", help="show two-level reduction statistics for a closure body"
@@ -262,12 +288,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable JSON instead of tables",
     )
 
-    stats = commands.add_parser("stats", help="dataset statistics of a graph")
-    stats.add_argument("graph", help="edge-list file")
+    stats = commands.add_parser(
+        "stats",
+        help="dataset statistics of a graph, or live stats of a server",
+    )
+    stats.add_argument(
+        "graph",
+        nargs="?",
+        help="edge-list file (omit when using --connect)",
+    )
     stats.add_argument(
         "--json",
         action="store_true",
         help="emit machine-readable JSON instead of tables",
+    )
+    stats.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="show a running server's live stats instead of a file's",
+    )
+    stats.add_argument(
+        "--prometheus",
+        action="store_true",
+        help=(
+            "with --connect: print the server's metrics registry in "
+            "Prometheus text exposition format"
+        ),
+    )
+    stats.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --connect: refresh every N seconds until interrupted",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="render recorded trace trees (slow-query log / trace JSON)",
+    )
+    trace.add_argument(
+        "path",
+        help=(
+            "a slow-query JSONL log written by 'serve --slow-query-log', "
+            "or a JSON file holding one trace object"
+        ),
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render only the N slowest entries",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw entries as JSON instead of rendering trees",
     )
 
     explain = commands.add_parser(
@@ -396,6 +473,8 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch,
         default_timeout=args.timeout if args.timeout > 0 else None,
         engine_kwargs=engine_kwargs,
+        slow_query_log=args.slow_query_log,
+        slow_query_threshold=args.slow_query_threshold,
     )
     if args.checkpoint_every is not None and args.data_dir is None:
         print("error: --checkpoint-every requires --data-dir", file=sys.stderr)
@@ -516,6 +595,20 @@ def _cmd_reduce(args) -> int:
 
 
 def _cmd_stats(args) -> int:
+    if args.connect:
+        return _stats_remote(args)
+    if args.prometheus or args.watch is not None:
+        print(
+            "error: --prometheus/--watch need --connect host:port",
+            file=sys.stderr,
+        )
+        return 2
+    if args.graph is None:
+        print(
+            "error: stats needs a graph file (or --connect host:port)",
+            file=sys.stderr,
+        )
+        return 2
     graph = load_edge_list(args.graph)
     if args.json:
         print(
@@ -544,6 +637,97 @@ def _cmd_stats(args) -> int:
             ],
         )
     )
+    return 0
+
+
+def _stats_remote(args) -> int:
+    """``stats --connect``: live server stats, metrics text, or a watch loop."""
+    import time as time_module
+
+    from repro.server import Client
+
+    def emit(client) -> None:
+        if args.prometheus:
+            sys.stdout.write(client.metrics())
+            sys.stdout.flush()
+            return
+        stats = client.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, default=str))
+            return
+        scheduler = stats.get("scheduler", {})
+        latency = scheduler.get("latency", {})
+        print(
+            format_table(
+                [
+                    "admitted",
+                    "completed",
+                    "in-flight",
+                    "qps",
+                    "p50",
+                    "p95",
+                    "p99",
+                ],
+                [
+                    [
+                        scheduler.get("admitted", 0),
+                        scheduler.get("completed", 0),
+                        scheduler.get("in_flight", 0),
+                        f"{scheduler.get('qps', 0.0):.1f}",
+                        format_seconds(latency.get("p50")),
+                        format_seconds(latency.get("p95")),
+                        format_seconds(latency.get("p99")),
+                    ]
+                ],
+            )
+        )
+
+    with Client.connect(args.connect) as client:
+        if args.watch is None:
+            emit(client)
+            return 0
+        try:
+            while True:
+                emit(client)
+                time_module.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_trace(args) -> int:
+    """Render recorded trace trees as indented phase breakdowns."""
+    from repro.obs import SlowQueryLog, render_trace
+
+    entries = SlowQueryLog.read(args.path)
+    if not entries:
+        print(f"error: no trace entries in {args.path}", file=sys.stderr)
+        return 1
+    entries.sort(key=lambda entry: entry.get("elapsed", 0.0), reverse=True)
+    if args.limit is not None:
+        entries = entries[: args.limit]
+    if args.json:
+        print(json.dumps(entries, indent=2, default=str))
+        return 0
+    for index, entry in enumerate(entries):
+        if index:
+            print()
+        # A slow-log entry wraps its trace; a raw trace file *is* one.
+        trace = entry.get("trace")
+        if trace is None and "spans" in entry:
+            trace = entry
+        queries = entry.get("queries")
+        if queries:
+            print(
+                f"slow query ({format_seconds(entry.get('elapsed'))}, "
+                f"threshold {format_seconds(entry.get('threshold'))}): "
+                + "; ".join(str(query) for query in queries)
+            )
+        if trace:
+            print(render_trace(trace))
+        for query, plan in sorted((entry.get("plans") or {}).items()):
+            print(f"plan for {query}:")
+            for line in str(plan).splitlines():
+                print(f"  {line}")
     return 0
 
 
@@ -577,6 +761,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "reduce": _cmd_reduce,
     "stats": _cmd_stats,
+    "trace": _cmd_trace,
     "explain": _cmd_explain,
     "dot": _cmd_dot,
 }

@@ -48,6 +48,7 @@ from repro.core.cache import make_key_function
 from repro.db.session import GraphDB
 from repro.errors import AdmissionError, ClusterError, ServerError
 from repro.graph.multigraph import LabeledMultigraph
+from repro.obs import activate, get_registry
 from repro.regex.ast import RegexNode
 from repro.regex.parser import parse
 from repro.server.metrics import percentile
@@ -123,7 +124,27 @@ def aggregate_scheduler_stats(stats_list: list[dict], latencies: list[float]) ->
     the *pooled* raw reservoirs, never from averaging per-replica
     percentiles.  Shared by the router's cluster-wide ``stats`` and the
     shard workers' per-shard ``stats`` verb.
+
+    An empty ``stats_list`` (a backend probed before any replica came
+    up) aggregates to zeros with ``None`` latency quantiles rather than
+    raising -- the same null-safety contract as an idle
+    :meth:`~repro.server.metrics.ServerMetrics.snapshot`.
     """
+    if not stats_list:
+        return {
+            "uptime": 0.0,
+            **{key: 0 for key in _COUNTER_KEYS},
+            "qps": 0.0,
+            "mean_batch_size": 0.0,
+            "max_batch_size": 0,
+            "latency": {
+                "window": len(latencies),
+                "mean": sum(latencies) / len(latencies) if latencies else None,
+                "p50": percentile(latencies, 0.50),
+                "p95": percentile(latencies, 0.95),
+                "p99": percentile(latencies, 0.99),
+            },
+        }
     total = {
         key: sum(stats[key] for stats in stats_list) for key in _COUNTER_KEYS
     }
@@ -139,7 +160,7 @@ def aggregate_scheduler_stats(stats_list: list[dict], latencies: list[float]) ->
         "max_batch_size": max(stats["max_batch_size"] for stats in stats_list),
         "latency": {
             "window": len(latencies),
-            "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+            "mean": sum(latencies) / len(latencies) if latencies else None,
             "p50": percentile(latencies, 0.50),
             "p95": percentile(latencies, 0.95),
             "p99": percentile(latencies, 0.99),
@@ -229,13 +250,17 @@ class ShardBackend:
         key: str | None = None,
         timeout: float | None = None,
         want_pairs: bool = True,
+        trace: tuple | None = None,
     ) -> Future:
         """Admit one query; future of ``(pairs, engine_elapsed)``.
 
         ``want_pairs=False`` lets a remote backend answer with a bare
         count instead of a pair-set (in-process backends may keep
         returning the set -- it is free); the router's merge accepts
-        both.
+        both.  ``trace`` is the router's ``(tracer, parent_span_id)``
+        when the request is traced: in-process backends record straight
+        into the tracer, process backends propagate the trace over the
+        wire and absorb the worker's span subtree into it.
         """
         raise NotImplementedError
 
@@ -247,6 +272,7 @@ class ShardBackend:
         boundary,
         frontier=None,
         timeout: float | None = None,
+        trace: tuple | None = None,
     ) -> Future:
         """Admit one shard-local partial evaluation (edge-cut path).
 
@@ -260,8 +286,16 @@ class ShardBackend:
         """
         raise NotImplementedError
 
-    def update(self, add=(), remove=()) -> Future:
+    def update(self, add=(), remove=(), trace: tuple | None = None) -> Future:
         """Admit an edge change to every replica; future of ``None``."""
+        raise NotImplementedError
+
+    def metrics_text(self) -> str:
+        """This shard's metrics registry in Prometheus text format.
+
+        In-process shards share the router's registry; process shards
+        fetch the worker's registry over the ``metrics`` wire verb.
+        """
         raise NotImplementedError
 
     def watch(self, body: str) -> None:
@@ -462,6 +496,7 @@ class InProcessBackend(ShardBackend):
         key: str | None = None,
         timeout: float | None = None,
         want_pairs: bool = True,
+        trace: tuple | None = None,
     ) -> Future:
         # want_pairs is a wire-cost hint; in-process pair-sets travel by
         # reference, so the set is returned either way.
@@ -470,7 +505,7 @@ class InProcessBackend(ShardBackend):
         if key is None:
             key = self.route_key(text, node)
         replica = self._pick_replica(key)
-        future = replica.scheduler.submit(text, node, timeout=timeout)
+        future = replica.scheduler.submit(text, node, timeout=timeout, trace=trace)
         with self._lock:
             replica.in_flight += 1
         future.add_done_callback(
@@ -503,6 +538,7 @@ class InProcessBackend(ShardBackend):
         boundary,
         frontier=None,
         timeout: float | None = None,
+        trace: tuple | None = None,
     ) -> Future:
         # Partial evaluations bypass the scheduler (it batches whole
         # RegexNode queries, not automaton fragments) and run on a small
@@ -524,7 +560,17 @@ class InProcessBackend(ShardBackend):
 
         def evaluate():
             started = time.perf_counter()
-            accepts, rows = replica.db.evaluate_partial(nfa, boundary, frontier)
+            if trace is not None:
+                # The session's ``partial`` ambient span records into
+                # the router's tracer under the join-round span.
+                with activate(*trace):
+                    accepts, rows = replica.db.evaluate_partial(
+                        nfa, boundary, frontier
+                    )
+            else:
+                accepts, rows = replica.db.evaluate_partial(
+                    nfa, boundary, frontier
+                )
             return accepts, rows, time.perf_counter() - started
 
         future = executor.submit(evaluate)
@@ -535,17 +581,19 @@ class InProcessBackend(ShardBackend):
         )
         return future
 
-    def update(self, add=(), remove=()) -> Future:
+    def update(self, add=(), remove=(), trace: tuple | None = None) -> Future:
         """Broadcast one edge change drain-then-apply to every replica.
 
         Admission is blocking on every replica queue (a half-accepted
         update would leave the copies diverged), and the update lock
-        pins one global ordering across concurrent updates.
+        pins one global ordering across concurrent updates.  A traced
+        update records each replica's drain/apply spans under the same
+        parent (one subtree per replica).
         """
         with self._update_lock:
             children = [
                 replica.scheduler.submit_update(
-                    add=add, remove=remove, block=True
+                    add=add, remove=remove, block=True, trace=trace
                 )
                 for replica in self.replicas
             ]
@@ -614,17 +662,22 @@ class InProcessBackend(ShardBackend):
             document["storage"] = primary_session["storage"]
         return document
 
+    def metrics_text(self) -> str:
+        """In-process shards publish into the process-wide registry."""
+        return get_registry().render_prometheus()
+
     # -- QueryServer scheduler surface (the worker front end) -------------
     def submit(
         self,
         text: str,
         node: RegexNode | None = None,
         timeout: float | None = None,
+        trace: tuple | None = None,
     ) -> Future:
-        return self.query(text, node, timeout=timeout)
+        return self.query(text, node, timeout=timeout, trace=trace)
 
-    def submit_update(self, add=(), remove=()) -> Future:
-        return self.update(add=add, remove=remove)
+    def submit_update(self, add=(), remove=(), trace: tuple | None = None) -> Future:
+        return self.update(add=add, remove=remove, trace=trace)
 
     def scheduler_stats(self) -> dict:
         """Aggregated scheduler-shaped stats (the worker's ``stats`` verb)."""
@@ -893,6 +946,7 @@ class ProcessBackend(ShardBackend):
         key: str | None = None,
         timeout: float | None = None,
         want_pairs: bool = True,
+        trace: tuple | None = None,
     ) -> Future:
         # ``node`` and ``key`` are router-side artifacts; the worker
         # re-derives both from the text (its own memo makes that O(1)
@@ -905,7 +959,7 @@ class ProcessBackend(ShardBackend):
             self._pending += 1
         try:
             future = self._executor.submit(
-                self._remote_query, text, timeout, want_pairs
+                self._remote_query, text, timeout, want_pairs, trace
             )
         except BaseException:
             with self._lock:
@@ -918,9 +972,42 @@ class ProcessBackend(ShardBackend):
         with self._lock:
             self._pending -= 1
 
-    def _remote_query(self, text: str, timeout: float | None, want_pairs: bool):
+    @staticmethod
+    def _wire_trace(trace: tuple | None) -> dict | None:
+        """The propagated form of a router trace: ``{"id", "parent"}``."""
+        if trace is None:
+            return None
+        tracer, parent = trace
+        wire = {"id": tracer.trace_id}
+        if parent is not None:
+            wire["parent"] = parent
+        return wire
+
+    @staticmethod
+    def _absorb_trace(trace: tuple | None, response: dict) -> None:
+        """Stitch the worker's span subtree into the router's tracer."""
+        if trace is None:
+            return
+        remote = response.get("trace")
+        if isinstance(remote, dict):
+            trace[0].absorb(remote.get("spans") or ())
+
+    def _remote_query(
+        self,
+        text: str,
+        timeout: float | None,
+        want_pairs: bool,
+        trace: tuple | None = None,
+    ):
         with self._pool.lease() as client:
-            result = client.query(text, timeout=timeout, pairs=want_pairs)
+            results, response = client.query_call(
+                [text],
+                timeout=timeout,
+                pairs=want_pairs,
+                trace=self._wire_trace(trace),
+            )
+        self._absorb_trace(trace, response)
+        result = results[0]
         # Counts-only answers carry no pair-set; the router's merge
         # sums the counts (shard answers are component-disjoint).
         payload = result.pairs if want_pairs else result.count
@@ -934,6 +1021,7 @@ class ProcessBackend(ShardBackend):
         boundary,
         frontier=None,
         timeout: float | None = None,
+        trace: tuple | None = None,
     ) -> Future:
         # Same local admission as ``query``: partial rounds compete for
         # the same worker capacity.
@@ -951,7 +1039,7 @@ class ProcessBackend(ShardBackend):
             self._pending += 1
         try:
             future = self._executor.submit(
-                self._remote_partial, text, boundary, frontier, timeout
+                self._remote_partial, text, boundary, frontier, timeout, trace
             )
         except BaseException:
             with self._lock:
@@ -960,7 +1048,7 @@ class ProcessBackend(ShardBackend):
         future.add_done_callback(self._release_pending)
         return future
 
-    def _remote_partial(self, text, boundary, frontier, timeout):
+    def _remote_partial(self, text, boundary, frontier, timeout, trace=None):
         from repro.server import protocol
 
         payload = {"query": text, "mode": "partial", "boundary": boundary}
@@ -968,8 +1056,12 @@ class ProcessBackend(ShardBackend):
             payload["frontier"] = frontier
         if timeout is not None:
             payload["timeout"] = timeout
+        wire_trace = self._wire_trace(trace)
+        if wire_trace is not None:
+            payload["trace"] = wire_trace
         with self._pool.lease() as client:
             response = client.call("query", **payload)
+        self._absorb_trace(trace, response)
         partial = response["partial"]
         return (
             protocol.wire_to_pairs(partial["accepts"]),
@@ -977,7 +1069,7 @@ class ProcessBackend(ShardBackend):
             partial["time"],
         )
 
-    def update(self, add=(), remove=()) -> Future:
+    def update(self, add=(), remove=(), trace: tuple | None = None) -> Future:
         """One edge change through the single-connection update lane.
 
         The dedicated lane (one thread, one connection) makes the wire
@@ -987,10 +1079,12 @@ class ProcessBackend(ShardBackend):
         self._ensure_ready()
         add = [list(edge) for edge in add]
         remove = [list(edge) for edge in remove]
+        wire_trace = self._wire_trace(trace)
 
         def apply() -> None:
             client = self._lease_update_client()
-            client.update(add=add, remove=remove)
+            response = client.update(add=add, remove=remove, trace=wire_trace)
+            self._absorb_trace(trace, response)
             with self._lock:
                 self._edge_estimate += len(add) - len(remove)
 
@@ -1035,6 +1129,12 @@ class ProcessBackend(ShardBackend):
         self._ensure_ready()
         with self._pool.lease() as client:
             return client.call("checkpoint")["checkpoint"]
+
+    def metrics_text(self) -> str:
+        """The worker process's registry, over the ``metrics`` verb."""
+        self._ensure_ready()
+        with self._pool.lease() as client:
+            return client.metrics()
 
     def edge_count(self) -> int:
         with self._lock:

@@ -91,6 +91,7 @@ from repro.errors import (
 )
 from repro.graph.io import load_edge_list
 from repro.graph.multigraph import LabeledMultigraph
+from repro.obs import get_registry
 from repro.regex.ast import RegexNode
 from repro.regex.nfa import compile_nfa
 from repro.regex.parser import parse
@@ -110,6 +111,23 @@ _ROUTE_MEMO_LIMIT = 4096
 
 #: The shard-backend transports a cluster can be built on.
 BACKENDS = ("thread", "process")
+
+# Router-side observability: the boundary join is the one engine phase
+# that runs *at the router* (everything else is per-shard and publishes
+# from the worker's process), so its metrics live here.
+_join_rounds_total = get_registry().counter(
+    "repro_join_rounds_total",
+    "Boundary-join shard rounds run at the router.",
+)
+_join_cache_hits_total = get_registry().counter(
+    "repro_join_cache_hits_total",
+    "Boundary-join queries answered from the router's join cache.",
+)
+_phase_seconds = get_registry().counter(
+    "repro_phase_seconds_total",
+    "Wall seconds spent per engine/storage phase.",
+    labels=("phase",),
+)
 
 
 @dataclass
@@ -508,6 +526,7 @@ class GraphCluster:
         node: RegexNode | None = None,
         timeout: float | None = None,
         want_pairs: bool = True,
+        trace: tuple | None = None,
     ) -> Future:
         """Admit one query cluster-wide; future of ``(pairs, elapsed)``.
 
@@ -529,6 +548,12 @@ class GraphCluster:
         materialises the full pair union at the router, so counts-only
         requests are answered as ``len`` of that union -- per-shard
         counts may overlap across a cut and must not be summed.
+
+        ``trace`` is the ``(tracer, parent_span_id)`` of this query's
+        span when the request is traced: the router opens one ``shard``
+        span per fan-out target (finished when that shard answers) and
+        propagates the trace into each backend, so remote workers'
+        span subtrees come back stitched under the right parent.
         """
         if self._stopped:
             raise self._closed_error()
@@ -545,7 +570,7 @@ class GraphCluster:
             if relevant:
                 return self._submit_boundary_join(
                     text, node, nfa, labels, nullable, relevant,
-                    timeout=timeout, want_pairs=want_pairs,
+                    timeout=timeout, want_pairs=want_pairs, trace=trace,
                 )
 
         targets = self._target_shards(labels, nullable)
@@ -561,15 +586,28 @@ class GraphCluster:
         children: list[Future] = []
         try:
             for shard in targets:
-                children.append(
-                    self._backends[shard].query(
-                        text,
-                        node,
-                        key=key,
-                        timeout=timeout,
-                        want_pairs=want_pairs,
+                child_trace = None
+                if trace is not None:
+                    tracer, parent_id = trace
+                    shard_span = tracer.begin(
+                        "shard", parent=parent_id, shard=shard
                     )
+                    child_trace = (tracer, shard_span.span_id)
+                child = self._backends[shard].query(
+                    text,
+                    node,
+                    key=key,
+                    timeout=timeout,
+                    want_pairs=want_pairs,
+                    trace=child_trace,
                 )
+                if trace is not None:
+                    child.add_done_callback(
+                        lambda _future, tracer=tracer, span=shard_span: (
+                            tracer.finish(span)
+                        )
+                    )
+                children.append(child)
         except BaseException:
             # All-or-nothing admission: roll back what was admitted.
             for child in children:
@@ -633,6 +671,7 @@ class GraphCluster:
         cuts: list[tuple],
         timeout: float | None,
         want_pairs: bool,
+        trace: tuple | None = None,
     ) -> Future:
         """Admit one query on the boundary-join path; future of the
         same ``(pairs-or-count, elapsed)`` shape as :meth:`submit`."""
@@ -641,6 +680,16 @@ class GraphCluster:
             version = self._graph_version
             if cached is not None and cached[0] == version:
                 _version, pairs, elapsed = cached
+                _join_cache_hits_total.inc()
+                if trace is not None:
+                    trace[0].record(
+                        "join_cache_hit",
+                        trace[1],
+                        time.time(),
+                        0.0,
+                        version=version,
+                        pairs=len(pairs),
+                    )
                 parent: Future = Future()
                 parent.set_running_or_notify_cancel()
                 parent.set_result(
@@ -655,7 +704,8 @@ class GraphCluster:
 
         def run():
             pairs, elapsed = self._run_boundary_join(
-                text, node, nfa, labels, nullable, cuts, timeout, version
+                text, node, nfa, labels, nullable, cuts, timeout, version,
+                trace=trace,
             )
             with self._lock:
                 # Cache only results still describing the live graph: an
@@ -677,6 +727,7 @@ class GraphCluster:
         cuts: list[tuple],
         timeout: float | None,
         version: int,
+        trace: tuple | None = None,
     ) -> tuple[set, float]:
         """The semi-naive join-until-fixpoint over the cut-edge relation.
 
@@ -726,32 +777,64 @@ class GraphCluster:
 
         pairs: set = set()
         rounds_elapsed = 0.0
+        round_number = 0
         expanded: set = set()    # cut expansion ran for this triple
         dispatched: set = set()  # a shard locally continued this triple
 
         def run_round(frontiers: dict) -> set:
             """One shard round; unions accepts into ``pairs``, returns
             the reported boundary triples."""
-            nonlocal rounds_elapsed
+            nonlocal rounds_elapsed, round_number
             budget = remaining()
-            children = {
-                shard: self._backends[shard].partial_query(
-                    text,
-                    node,
-                    boundary=boundary_by_shard.get(shard, ()),
-                    frontier=frontier,
-                    timeout=budget,
+            round_span = None
+            if trace is not None:
+                round_span = trace[0].begin(
+                    "join_round",
+                    parent=trace[1],
+                    round=round_number,
+                    shards=len(frontiers),
+                    frontier=sum(
+                        len(frontier) if frontier else 0
+                        for frontier in frontiers.values()
+                    ),
                 )
-                for shard, frontier in frontiers.items()
-            }
-            rows: set = set()
-            round_elapsed = 0.0
-            for shard, child in sorted(children.items()):
-                accepts, shard_rows, elapsed = child.result(timeout=budget)
-                pairs.update(accepts)
-                rows.update(shard_rows)
-                round_elapsed = max(round_elapsed, elapsed)
-            rounds_elapsed += round_elapsed
+            round_number += 1
+            round_started = time.monotonic()
+            try:
+                children = {
+                    shard: self._backends[shard].partial_query(
+                        text,
+                        node,
+                        boundary=boundary_by_shard.get(shard, ()),
+                        frontier=frontier,
+                        timeout=budget,
+                        trace=(
+                            (trace[0], round_span.span_id)
+                            if round_span is not None
+                            else None
+                        ),
+                    )
+                    for shard, frontier in frontiers.items()
+                }
+                rows: set = set()
+                round_elapsed = 0.0
+                for shard, child in sorted(children.items()):
+                    accepts, shard_rows, elapsed = child.result(timeout=budget)
+                    pairs.update(accepts)
+                    rows.update(shard_rows)
+                    round_elapsed = max(round_elapsed, elapsed)
+                rounds_elapsed += round_elapsed
+            except BaseException as error:
+                if round_span is not None:
+                    trace[0].finish(round_span, error=type(error).__name__)
+                raise
+            finally:
+                _join_rounds_total.inc()
+                _phase_seconds.inc(
+                    time.monotonic() - round_started, phase="join"
+                )
+            if round_span is not None:
+                trace[0].finish(round_span, rows=len(rows))
             return rows
 
         def absorb(rows: set) -> set:
@@ -816,7 +899,7 @@ class GraphCluster:
         return pairs, rounds_elapsed
 
     # -- updates ---------------------------------------------------------
-    def submit_update(self, add=(), remove=()) -> Future:
+    def submit_update(self, add=(), remove=(), trace: tuple | None = None) -> Future:
         """Admit a streaming edge change; future of ``None``.
 
         Each edge routes to the shard owning its endpoints; the owning
@@ -983,10 +1066,29 @@ class GraphCluster:
                         "cut_discard": [list(edge) for edge in cut_removes],
                     }
                 )
-            children = [
-                self._backends[shard].update(add=adds, remove=removes)
-                for shard, (adds, removes) in sorted(by_shard.items())
-            ]
+            children = []
+            for shard, (adds, removes) in sorted(by_shard.items()):
+                child_trace = None
+                if trace is not None:
+                    tracer, parent_id = trace
+                    shard_span = tracer.begin(
+                        "shard_update",
+                        parent=parent_id,
+                        shard=shard,
+                        add=len(adds),
+                        remove=len(removes),
+                    )
+                    child_trace = (tracer, shard_span.span_id)
+                child = self._backends[shard].update(
+                    add=adds, remove=removes, trace=child_trace
+                )
+                if trace is not None:
+                    child.add_done_callback(
+                        lambda _future, tracer=tracer, span=shard_span: (
+                            tracer.finish(span)
+                        )
+                    )
+                children.append(child)
 
         return merge_futures(children)
 
@@ -1217,11 +1319,13 @@ class ClusterRouter(QueryServer):
                 await self._in_executor(warm)
         return await super()._op_query(request_id, request)
 
-    def _submit_query(self, text, node, timeout, include_pairs):
+    def _submit_query(self, text, node, timeout, include_pairs, trace=None):
         # Forward the client's pairs/counts intent: counts-only requests
-        # let process shards answer without serialising pair-sets.
+        # let process shards answer without serialising pair-sets.  The
+        # trace rides along so each fan-out target gets a ``shard`` span
+        # and remote workers' subtrees stitch back under it.
         return self.cluster.submit(
-            text, node, timeout=timeout, want_pairs=include_pairs
+            text, node, timeout=timeout, want_pairs=include_pairs, trace=trace
         )
 
     async def _op_update(self, request_id, request) -> dict:
@@ -1231,15 +1335,37 @@ class ClusterRouter(QueryServer):
             raise protocol.ProtocolError(
                 "'update' op needs 'add' and/or 'remove' edges"
             )
+        tracer, parent, root_span, echo = self._begin_trace(request)
+        started = time.monotonic()
+        trace = (tracer, parent) if tracer is not None else None
         # submit_update admits to every replica with blocking semantics
         # (so the copies never diverge on a full queue) -- keep that
         # potential wait off the event loop.
         future = await self._in_executor(
-            lambda: self.cluster.submit_update(add=add, remove=remove)
+            lambda: self.cluster.submit_update(
+                add=add, remove=remove, trace=trace
+            )
         )
         await asyncio.wrap_future(future)
+        if tracer is None:
+            return protocol.ok_response(
+                request_id, added=len(add), removed=len(remove)
+            )
+        await self._finish_trace(
+            tracer,
+            root_span,
+            [f"update(+{len(add)},-{len(remove)})"],
+            started,
+        )
+        if not echo:
+            return protocol.ok_response(
+                request_id, added=len(add), removed=len(remove)
+            )
         return protocol.ok_response(
-            request_id, added=len(add), removed=len(remove)
+            request_id,
+            added=len(add),
+            removed=len(remove),
+            trace=tracer.to_wire(),
         )
 
     async def _op_stats(self, request_id, request) -> dict:

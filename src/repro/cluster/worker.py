@@ -37,6 +37,7 @@ from __future__ import annotations
 import asyncio
 import logging
 import sys
+import time
 from dataclasses import dataclass, field
 
 from repro.cluster.backends import InProcessBackend, aggregate_scheduler_stats
@@ -147,21 +148,37 @@ class ShardWorkerServer(QueryServer):
                 )
             frontier = [tuple(triple) for triple in frontier]
         timeout = request.get("timeout")
+        # A propagated router trace joins here: the backend activates it
+        # around the evaluation, the session records its ``partial``
+        # span into it, and the subtree ships back for the router's
+        # join-round span to adopt.
+        tracer, parent, root_span, echo = self._begin_trace(request)
+        trace = (tracer, parent) if tracer is not None else None
         # Admission + NFA compilation happen off the loop (first contact
         # with a text compiles its automaton), like the key warm-up.
         future = await self._in_executor(
             lambda: self.backend.partial_query(
-                text, boundary=boundary, frontier=frontier, timeout=timeout
+                text,
+                boundary=boundary,
+                frontier=frontier,
+                timeout=timeout,
+                trace=trace,
             )
         )
         accepts, rows, elapsed = await asyncio.wrap_future(future)
+        payload = {
+            "accepts": protocol.pairs_to_wire(accepts),
+            "boundary": protocol.rows_to_wire(rows),
+            "time": elapsed,
+        }
+        if tracer is None:
+            return protocol.ok_response(request_id, partial=payload)
+        if root_span is not None:
+            tracer.finish(root_span)
+        if not echo:
+            return protocol.ok_response(request_id, partial=payload)
         return protocol.ok_response(
-            request_id,
-            partial={
-                "accepts": protocol.pairs_to_wire(accepts),
-                "boundary": protocol.rows_to_wire(rows),
-                "time": elapsed,
-            },
+            request_id, partial=payload, trace=tracer.to_wire()
         )
 
     async def _op_update(self, request_id, request) -> dict:
@@ -171,13 +188,33 @@ class ShardWorkerServer(QueryServer):
             raise protocol.ProtocolError(
                 "'update' op needs 'add' and/or 'remove' edges"
             )
+        tracer, parent, root_span, echo = self._begin_trace(request)
+        started = time.monotonic()
+        trace = (tracer, parent) if tracer is not None else None
         # Blocking admission to every replica queue -- off the loop.
         future = await self._in_executor(
-            lambda: self.backend.update(add=add, remove=remove)
+            lambda: self.backend.update(add=add, remove=remove, trace=trace)
         )
         await asyncio.wrap_future(future)
+        if tracer is None:
+            return protocol.ok_response(
+                request_id, added=len(add), removed=len(remove)
+            )
+        await self._finish_trace(
+            tracer,
+            root_span,
+            [f"update(+{len(add)},-{len(remove)})"],
+            started,
+        )
+        if not echo:
+            return protocol.ok_response(
+                request_id, added=len(add), removed=len(remove)
+            )
         return protocol.ok_response(
-            request_id, added=len(add), removed=len(remove)
+            request_id,
+            added=len(add),
+            removed=len(remove),
+            trace=tracer.to_wire(),
         )
 
     async def _op_stats(self, request_id, request) -> dict:

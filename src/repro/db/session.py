@@ -83,6 +83,7 @@ from repro.db.resultset import ExecutionStats, ResultSet
 from repro.errors import ReproError
 from repro.graph.io import load_edge_list
 from repro.graph.multigraph import LabeledMultigraph
+from repro.obs import ambient_span
 from repro.regex.ast import RegexNode
 from repro.regex.parser import parse
 
@@ -286,13 +287,18 @@ class GraphDB:
             engine = self.engine
             timer = getattr(engine, "timer", None)
             before = timer.snapshot() if timer is not None else {}
-            started = time.perf_counter()
-            pairs = engine.evaluate(node)
-            elapsed = time.perf_counter() - started
-            after = timer.snapshot() if timer is not None else {}
-            phases = {
-                phase: after[phase] - before.get(phase, 0.0) for phase in after
-            }
+            with ambient_span("evaluate") as span:
+                started = time.perf_counter()
+                pairs = engine.evaluate(node)
+                elapsed = time.perf_counter() - started
+                after = timer.snapshot() if timer is not None else {}
+                phases = {
+                    phase: after[phase] - before.get(phase, 0.0) for phase in after
+                }
+                if span is not None:
+                    for phase, seconds in phases.items():
+                        if seconds > 0:
+                            span.attrs[phase] = round(seconds, 6)
             shared_size = getattr(engine, "shared_data_size", lambda: 0)()
         return pairs, ExecutionStats(
             total_time=elapsed, phase_times=phases, shared_pairs=shared_size
@@ -311,7 +317,11 @@ class GraphDB:
 
         with self._lock:
             self._check_open()
-            return eval_partial_rpq(self.graph, nfa, boundary, frontier)
+            with ambient_span("partial") as span:
+                if span is not None:
+                    span.attrs["boundary"] = len(boundary)
+                    span.attrs["frontier"] = len(frontier) if frontier else 0
+                return eval_partial_rpq(self.graph, nfa, boundary, frontier)
 
     # -- updates ---------------------------------------------------------
     def watch(self, body: str | RegexNode) -> IncrementalRTC:

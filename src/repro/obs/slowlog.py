@@ -1,0 +1,87 @@
+"""Router-side slow-query forensics: a JSONL log of completed traces.
+
+The serving layer calls :meth:`SlowQueryLog.maybe_record` once per
+finished request with the request's elapsed wall time, its assembled
+trace tree, and (when the serving session can produce one) the
+``explain()`` plan for each query text.  Requests under the threshold
+cost one float comparison; requests over it append a single JSON line::
+
+    {"ts": ..., "elapsed": ..., "threshold": ..., "queries": [...],
+     "trace": {"id": ..., "spans": [...]}, "plans": {...}}
+
+The file is line-buffered append-only JSONL so a crash mid-request
+loses at most the last line, and ``repro trace <file>`` renders each
+recorded trace as an indented phase breakdown.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    """Thread-safe JSONL appender for over-threshold request traces."""
+
+    def __init__(self, path: str, threshold: float = 1.0) -> None:
+        self.path = str(path)
+        self.threshold = float(threshold)
+        self._lock = threading.Lock()
+        self._recorded = 0
+
+    @property
+    def recorded(self) -> int:
+        return self._recorded
+
+    def maybe_record(
+        self,
+        queries,
+        elapsed: float,
+        trace: dict | None = None,
+        plans: dict | None = None,
+    ) -> bool:
+        """Append one entry when ``elapsed`` meets the threshold.
+
+        Returns whether an entry was written.  IO failures are swallowed
+        after the fast-path check -- forensics must never fail a request
+        that already succeeded.
+        """
+        if elapsed < self.threshold:
+            return False
+        entry = {
+            "ts": time.time(),
+            "elapsed": elapsed,
+            "threshold": self.threshold,
+            "queries": list(queries),
+        }
+        if trace is not None:
+            entry["trace"] = trace
+        if plans:
+            entry["plans"] = plans
+        line = json.dumps(entry, separators=(",", ":"), default=str)
+        try:
+            with self._lock:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+                self._recorded += 1
+        except OSError:
+            return False
+        return True
+
+    @staticmethod
+    def read(path: str) -> list:
+        """All entries of a slow-query log, tolerant of a torn tail."""
+        entries: list = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break
+        return entries

@@ -207,6 +207,23 @@ class Client:
         """Evaluate one RPQ; raises the server-side error if it failed."""
         return self.query_many([query], timeout=timeout, pairs=pairs)[0]
 
+    def query_traced(
+        self,
+        query: str,
+        timeout: float | None = None,
+        pairs: bool = True,
+    ) -> tuple[QueryResult, dict | None]:
+        """Evaluate one RPQ with distributed tracing turned on.
+
+        Returns ``(result, trace)`` where ``trace`` is the assembled
+        cross-process span tree (``{"id": ..., "spans": [...]}``; render
+        it with :func:`repro.obs.render_trace`).
+        """
+        results, response = self.query_call(
+            [query], timeout=timeout, pairs=pairs, trace=True
+        )
+        return results[0], response.get("trace")
+
     def query_many(
         self,
         queries: list[str],
@@ -219,9 +236,29 @@ class Client:
         queries sharing the same closure bodies) through its scheduler.
         Raises on the first per-query error.
         """
+        results, _response = self.query_call(queries, timeout=timeout, pairs=pairs)
+        return results
+
+    def query_call(
+        self,
+        queries: list[str],
+        timeout: float | None = None,
+        pairs: bool = True,
+        trace: object = None,
+    ) -> tuple[list[QueryResult], dict]:
+        """The raw query round trip: ``(results, full_response)``.
+
+        ``trace`` goes out verbatim as the request's ``trace`` field --
+        ``True`` to originate a trace, an ``{"id", "parent"}`` dict to
+        join one (how the cluster router propagates to shard workers).
+        The caller reads the assembled span tree off
+        ``response.get("trace")``.
+        """
         payload: dict = {"op": "query", "queries": list(queries), "pairs": pairs}
         if timeout is not None:
             payload["timeout"] = timeout
+        if trace is not None:
+            payload["trace"] = trace
         response = self._call(payload)
         results = []
         for entry in response["results"]:
@@ -239,21 +276,26 @@ class Client:
                     ),
                 )
             )
-        return results
+        return results, response
 
     def stats(self) -> dict:
         """The server's live ``stats`` document."""
         return self._call({"op": "stats"})["stats"]
 
-    def update(self, add=(), remove=()) -> dict:
+    def metrics(self) -> str:
+        """The server's metrics registry in Prometheus exposition format."""
+        return self._call({"op": "metrics"})["metrics"]
+
+    def update(self, add=(), remove=(), trace: object = None) -> dict:
         """Apply streaming edge changes on the server's session."""
-        return self._call(
-            {
-                "op": "update",
-                "add": [list(edge) for edge in add],
-                "remove": [list(edge) for edge in remove],
-            }
-        )
+        payload: dict = {
+            "op": "update",
+            "add": [list(edge) for edge in add],
+            "remove": [list(edge) for edge in remove],
+        }
+        if trace is not None:
+            payload["trace"] = trace
+        return self._call(payload)
 
     def watch(self, body: str) -> str:
         """Attach an incremental watcher; returns the normalised body."""

@@ -6,6 +6,11 @@ lock.  Latencies are kept in a bounded reservoir (the most recent
 ``window`` completions) -- percentiles describe recent behaviour, not
 the full history, which is what a live ``stats`` probe wants.
 
+Every recording also publishes into the process-wide
+:class:`repro.obs.MetricsRegistry`, which is what the ``metrics`` wire
+verb renders in Prometheus format: the reservoir answers "what were
+recent latencies", the registry answers "what happened since boot".
+
 The shared-cache hit/miss counts are *not* tracked here; they live in
 the engine's :class:`~repro.core.cache.SharedDataCache` stats and are
 merged into the ``stats`` response by the scheduler, so one counter
@@ -19,19 +24,25 @@ import threading
 import time
 from collections import deque
 
+from repro.obs import get_registry
+
 __all__ = ["ServerMetrics", "percentile"]
 
 
-def percentile(values: list[float], fraction: float) -> float:
-    """The ``fraction``-quantile of ``values`` by nearest-rank (0 if empty).
+def percentile(values: list[float], fraction: float) -> float | None:
+    """The ``fraction``-quantile of ``values`` by nearest-rank.
 
     Nearest-rank: the smallest value such that at least ``fraction`` of
     the sample is <= it, i.e. the 1-based rank ``ceil(fraction * n)``.
     ``percentile([1, 2, 3, 4], 0.5)`` is 2 (not 3: ``int(fraction * n)``
     is the *next* rank whenever ``fraction * n`` is exact).
+
+    An empty sample has no quantiles: returns ``None`` (which JSON
+    serialises as ``null``) so a freshly started or idle server's stats
+    are distinguishable from a genuinely-zero latency.
     """
     if not values:
-        return 0.0
+        return None
     ordered = sorted(values)
     rank = math.ceil(fraction * len(ordered)) - 1
     return ordered[min(len(ordered) - 1, max(0, rank))]
@@ -54,38 +65,66 @@ class ServerMetrics:
         self.batches = 0
         self.batched_queries = 0
         self.max_batch_size = 0
+        registry = get_registry()
+        self._requests_total = registry.counter(
+            "repro_requests_total",
+            "Queries by final outcome (admitted counts entries, not exits).",
+            labels=("outcome",),
+        )
+        self._latency_histogram = registry.histogram(
+            "repro_request_latency_seconds",
+            "Admission-to-completion latency of finished queries.",
+        )
+        self._updates_total = registry.counter(
+            "repro_updates_total", "Graph updates applied by the scheduler."
+        )
+        self._batches_total = registry.counter(
+            "repro_batches_total", "Micro-batches dispatched to worker engines."
+        )
+        self._batched_queries_total = registry.counter(
+            "repro_batched_queries_total",
+            "Queries dispatched inside micro-batches.",
+        )
 
     # -- recording (one call per event, all under the lock) --------------
     def record_admitted(self) -> None:
         with self._lock:
             self.admitted += 1
+        self._requests_total.inc(outcome="admitted")
 
     def record_rejected(self) -> None:
         with self._lock:
             self.rejected += 1
+        self._requests_total.inc(outcome="rejected")
 
     def record_expired(self) -> None:
         with self._lock:
             self.expired += 1
+        self._requests_total.inc(outcome="expired")
 
     def record_failed(self) -> None:
         with self._lock:
             self.failed += 1
+        self._requests_total.inc(outcome="failed")
 
     def record_cancelled(self) -> None:
         """An admitted job was cancelled before a worker claimed it."""
         with self._lock:
             self.cancelled += 1
+        self._requests_total.inc(outcome="cancelled")
 
     def record_completed(self, latency: float) -> None:
         """One query finished ``latency`` seconds after admission."""
         with self._lock:
             self.completed += 1
             self._latencies.append(latency)
+        self._requests_total.inc(outcome="completed")
+        self._latency_histogram.observe(latency)
 
     def record_update(self) -> None:
         with self._lock:
             self.updates += 1
+        self._updates_total.inc()
 
     def record_batch(self, size: int) -> None:
         """One micro-batch of ``size`` queries was dispatched to a worker."""
@@ -94,6 +133,8 @@ class ServerMetrics:
             self.batched_queries += size
             if size > self.max_batch_size:
                 self.max_batch_size = size
+        self._batches_total.inc()
+        self._batched_queries_total.inc(size)
 
     # -- reading ---------------------------------------------------------
     @property
@@ -140,7 +181,7 @@ class ServerMetrics:
             }
         snapshot["latency"] = {
             "window": len(latencies),
-            "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+            "mean": sum(latencies) / len(latencies) if latencies else None,
             "p50": percentile(latencies, 0.50),
             "p95": percentile(latencies, 0.95),
             "p99": percentile(latencies, 0.99),

@@ -27,6 +27,12 @@ Verbs
     Live server metrics (QPS, latency percentiles, batch sizes, queue
     depth, shared-cache hits) merged with the session's graph/engine
     statistics.
+``metrics``
+    ``{"op": "metrics"}`` -- the process-wide metrics registry rendered
+    in Prometheus text exposition format; the response is
+    ``{"ok": true, "metrics": "<text>", "format": "prometheus"}``.
+    Scrape-friendly and append-only: counters are monotonic across
+    requests.
 ``update``
     ``{"op": "update", "add": [["v", "label", "w"], ...],
     "remove": [...]}`` -- streaming edge changes, applied exclusively
@@ -36,6 +42,20 @@ Verbs
     reachability probe from it.
 ``ping``
     Liveness check; echoes the protocol version.
+
+Tracing
+-------
+``query`` and ``update`` requests accept an optional ``trace`` field.
+``"trace": true`` (client-originated) asks the server to record a
+distributed trace for this request; the response then carries
+``"trace": {"id": ..., "spans": [...]}`` -- the flat span list of the
+assembled tree (see :mod:`repro.obs.trace`).  Routers propagate by
+sending ``"trace": {"id": trace_id, "parent": span_id}`` to shard
+workers, whose response spans are absorbed into the router's tree with
+parent links intact (span ids are pid-prefixed, hence unique across
+the cluster's processes).  Requests without a ``trace`` field are
+served exactly as before -- no span objects are allocated and the
+response is unchanged.
 
 Error codes
 -----------
@@ -90,7 +110,16 @@ MAX_LINE_BYTES = 4 * 1024 * 1024
 #: The protocol verbs the server dispatches on.  ``checkpoint`` is
 #: answered only by storage-backed deployments (``--data-dir``); others
 #: respond with a structured ``storage.unsupported``-style error.
-VERBS = ("query", "stats", "update", "watch", "reaches", "checkpoint", "ping")
+VERBS = (
+    "query",
+    "stats",
+    "metrics",
+    "update",
+    "watch",
+    "reaches",
+    "checkpoint",
+    "ping",
+)
 
 _CODE_TO_ERROR = {
     "rejected": AdmissionError,

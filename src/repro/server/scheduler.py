@@ -48,6 +48,7 @@ from repro.core.dnf import to_dnf
 from repro.db.registry import create_engine
 from repro.db.session import GraphDB
 from repro.errors import AdmissionError, DeadlineExpiredError, ReproError, ServerError
+from repro.obs import activate, get_registry
 from repro.regex.ast import RegexNode, contains_closure
 from repro.regex.parser import parse
 from repro.server.metrics import ServerMetrics
@@ -114,6 +115,10 @@ class QueryJob:
     group_key: str | None = None
     deadline: float | None = None  # time.monotonic() deadline, None = none
     enqueued_at: float = field(default_factory=time.monotonic)
+    # ``(tracer, parent_span_id)`` when the request is traced; None (the
+    # overwhelmingly common case) costs nothing anywhere below.
+    trace: tuple | None = None
+    dequeued_at: float | None = None  # set by the dispatcher on pop
 
     @property
     def expired(self) -> bool:
@@ -127,6 +132,7 @@ class UpdateJob:
     add: tuple
     remove: tuple
     future: Future
+    trace: tuple | None = None
 
 
 def group_jobs(jobs: list[QueryJob]) -> list[list[QueryJob]]:
@@ -206,6 +212,13 @@ class SharingScheduler:
         self.batch_window = batch_window
         self.max_batch = max(1, max_batch)
         self.metrics = ServerMetrics()
+        # Always-on per-phase wall-time ledger (rtc vs evaluate vs join
+        # vs wal); the bench harness diffs it around each cell.
+        self._phase_seconds = get_registry().counter(
+            "repro_phase_seconds_total",
+            "Wall seconds spent per engine/storage phase.",
+            labels=("phase",),
+        )
         cache = self.shared_cache
         # `is not None`, not truthiness: the cache defines __len__ and is
         # always empty at construction, so `if cache` would silently key
@@ -307,6 +320,7 @@ class SharingScheduler:
         text: str,
         node: RegexNode | None = None,
         timeout: float | None = None,
+        trace: tuple | None = None,
     ) -> Future:
         """Admit one query; returns a future of ``(pairs, engine_time)``.
 
@@ -316,6 +330,9 @@ class SharingScheduler:
         :class:`~repro.errors.RPQSyntaxError` before admission.  The
         batching group key is computed later, on the dispatcher thread,
         so a pathological query cannot stall the submitting thread.
+        ``trace`` is an optional ``(tracer, parent_span_id)`` pair; the
+        worker then records admission-wait / batch-wait / evaluate spans
+        for this job.
         """
         if node is None:
             node = parse(text)
@@ -324,11 +341,14 @@ class SharingScheduler:
             node=node,
             future=Future(),
             deadline=(time.monotonic() + timeout) if timeout is not None else None,
+            trace=trace,
         )
         self._admit(job)
         return job.future
 
-    def submit_update(self, add=(), remove=(), block: bool = False) -> Future:
+    def submit_update(
+        self, add=(), remove=(), block: bool = False, trace: tuple | None = None
+    ) -> Future:
         """Admit an exclusive graph update; returns a future of ``None``.
 
         ``block=True`` waits for a queue slot instead of raising
@@ -338,7 +358,9 @@ class SharingScheduler:
         call it from a latency-sensitive thread (it can wait for a whole
         batch to drain).
         """
-        job = UpdateJob(add=tuple(add), remove=tuple(remove), future=Future())
+        job = UpdateJob(
+            add=tuple(add), remove=tuple(remove), future=Future(), trace=trace
+        )
         self._admit(job, block=block)
         return job.future
 
@@ -378,6 +400,7 @@ class SharingScheduler:
             if isinstance(head, UpdateJob):
                 self._execute_update(head)
                 continue
+            head.dequeued_at = time.monotonic()
             batch = [head]
             update_job = None
             window_end = time.monotonic() + self.batch_window
@@ -395,6 +418,7 @@ class SharingScheduler:
                 if isinstance(item, UpdateJob):
                     update_job = item
                     break
+                item.dequeued_at = time.monotonic()
                 batch.append(item)
             # Key extraction (DNF walk) runs here, on the dispatcher --
             # admission threads only parse.
@@ -424,9 +448,75 @@ class SharingScheduler:
                 return
             wait(pending)
 
+    #: Engine-timer phases -> the public span/metric phase names.
+    _PHASE_NAMES = {
+        "shared_data": "rtc",
+        "pre_join_rtc": "pre_join",
+        "remainder": "remainder",
+    }
+
+    def _record_wait_spans(self, job: QueryJob):
+        """Retroactive admission/batch-wait spans + the live evaluate span.
+
+        Queue waits are measured with monotonic timestamps; the spans'
+        wall-clock starts are reconstructed by offsetting ``time.time()``
+        backwards by the monotonic age, which keeps the whole trace on
+        one wall-clock axis across processes.
+        """
+        tracer, parent = job.trace
+        now_mono = time.monotonic()
+        now_wall = time.time()
+        dequeued = job.dequeued_at if job.dequeued_at is not None else now_mono
+        tracer.record(
+            "admission_wait",
+            parent,
+            now_wall - (now_mono - job.enqueued_at),
+            dequeued - job.enqueued_at,
+        )
+        tracer.record(
+            "batch_wait",
+            parent,
+            now_wall - (now_mono - dequeued),
+            now_mono - dequeued,
+        )
+        cache = self.shared_cache
+        cache_before = cache.snapshot_stats() if cache is not None else None
+        return tracer.begin("evaluate", parent=parent), cache_before
+
+    def _publish_phases(self, timer, timer_before, elapsed: float) -> dict:
+        """Engine-timer deltas -> the always-on phase ledger; returns them."""
+        deltas: dict = {}
+        if timer is not None and timer_before is not None:
+            for phase, total in timer.snapshot().items():
+                delta = total - timer_before.get(phase, 0.0)
+                if delta > 0:
+                    deltas[self._PHASE_NAMES.get(phase, phase)] = delta
+        self._phase_seconds.inc(elapsed, phase="evaluate")
+        for phase, delta in deltas.items():
+            self._phase_seconds.inc(delta, phase=phase)
+        return deltas
+
+    def _finish_evaluate_span(self, job, span, phases, cache_before) -> None:
+        """Close the evaluate span with phase children and cache deltas."""
+        tracer, _ = job.trace
+        offset = span.start
+        for phase, seconds in phases.items():
+            # Phase children are laid out sequentially from the timer
+            # totals (the timer keeps sums, not intervals).
+            tracer.record(phase, span.span_id, offset, seconds)
+            offset += seconds
+        attrs: dict = {"query": job.text}
+        cache = self.shared_cache
+        if cache is not None and cache_before is not None:
+            after = cache.snapshot_stats()
+            attrs["cache_hits"] = after.hits - cache_before.hits
+            attrs["cache_misses"] = after.misses - cache_before.misses
+        tracer.finish(span, **attrs)
+
     def _run_batch(self, jobs: list[QueryJob]) -> None:
         """Worker body: evaluate one micro-batch on one engine handle."""
         engine = self._engines.get()
+        timer = getattr(engine, "timer", None)
         try:
             for job in jobs:
                 # Claim the future first: once running, a late cancel()
@@ -443,14 +533,31 @@ class SharingScheduler:
                         )
                     )
                     continue
+                eval_span = cache_before = None
+                if job.trace is not None:
+                    eval_span, cache_before = self._record_wait_spans(job)
+                timer_before = timer.snapshot() if timer is not None else None
                 try:
                     started = time.perf_counter()
-                    pairs = engine.evaluate(job.node)
+                    if job.trace is not None:
+                        with activate(job.trace[0], eval_span.span_id):
+                            pairs = engine.evaluate(job.node)
+                    else:
+                        pairs = engine.evaluate(job.node)
                     elapsed = time.perf_counter() - started
                 except Exception as error:  # noqa: BLE001 -- goes to the future
+                    if job.trace is not None:
+                        job.trace[0].finish(
+                            eval_span, error=type(error).__name__
+                        )
                     self.metrics.record_failed()
                     job.future.set_exception(error)
                 else:
+                    phases = self._publish_phases(timer, timer_before, elapsed)
+                    if job.trace is not None:
+                        self._finish_evaluate_span(
+                            job, eval_span, phases, cache_before
+                        )
                     self.metrics.record_completed(
                         time.monotonic() - job.enqueued_at
                     )
@@ -460,16 +567,41 @@ class SharingScheduler:
 
     def _execute_update(self, job: UpdateJob) -> None:
         """Apply one update exclusively: drain workers first."""
+        tracer = parent = None
+        if job.trace is not None:
+            tracer, parent = job.trace
+            drain_span = tracer.begin("update_drain", parent=parent)
         self._drain_inflight()
+        if tracer is not None:
+            tracer.finish(drain_span)
         if not job.future.set_running_or_notify_cancel():
             self.metrics.record_cancelled()
             return
+        apply_span = (
+            tracer.begin("update_apply", parent=parent)
+            if tracer is not None
+            else None
+        )
+        started = time.perf_counter()
         try:
-            self.db.update(add=job.add, remove=job.remove)
+            if tracer is not None:
+                # Ambient activation lets the storage layer hang its
+                # wal_append / checkpoint spans under update_apply.
+                with activate(tracer, apply_span.span_id):
+                    self.db.update(add=job.add, remove=job.remove)
+            else:
+                self.db.update(add=job.add, remove=job.remove)
         except Exception as error:  # noqa: BLE001 -- goes to the future
+            if tracer is not None:
+                tracer.finish(apply_span, error=type(error).__name__)
             self.metrics.record_failed()
             job.future.set_exception(error)
         else:
+            self._phase_seconds.inc(
+                time.perf_counter() - started, phase="update_apply"
+            )
+            if tracer is not None:
+                tracer.finish(apply_span)
             self.metrics.record_update()
             job.future.set_result(None)
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import asyncio
 import signal
 import threading
+import time
 
 from dataclasses import dataclass, field
 
@@ -33,6 +34,7 @@ from repro.errors import (
     RPQSyntaxError,
     ServerError,
 )
+from repro.obs import SlowQueryLog, Tracer, get_registry
 from repro.regex.parser import parse
 from repro.server import protocol
 from repro.server.scheduler import SharingScheduler
@@ -54,6 +56,12 @@ class ServerConfig:
     default_timeout: float | None = 30.0
     #: Forwarded to the per-worker engines (mirror the session's options).
     engine_kwargs: dict = field(default_factory=dict)
+    #: Slow-query forensics: JSONL path for completed trace trees of
+    #: requests slower than the threshold (None = off).  Enabling it
+    #: traces *every* request server-side (the tree must already exist
+    #: when the request turns out slow); responses stay unchanged.
+    slow_query_log: str | None = None
+    slow_query_threshold: float = 1.0
 
 
 class QueryServer:
@@ -85,9 +93,17 @@ class QueryServer:
         )
         self._server: asyncio.AbstractServer | None = None
         self._connections = 0
+        self._slow_log = (
+            SlowQueryLog(
+                self.config.slow_query_log, self.config.slow_query_threshold
+            )
+            if self.config.slow_query_log
+            else None
+        )
         self._handlers = {
             "query": self._op_query,
             "stats": self._op_stats,
+            "metrics": self._op_metrics,
             "update": self._op_update,
             "watch": self._op_watch,
             "reaches": self._op_reaches,
@@ -235,6 +251,70 @@ class QueryServer:
         except Exception as error:  # noqa: BLE001 -- never kill the connection
             return protocol.error_response(request_id, error)
 
+    # -- tracing ---------------------------------------------------------
+    def _begin_trace(self, request):
+        """Start (or join) this request's distributed trace.
+
+        Returns ``(tracer, parent_span_id, root_span, echo)``:
+
+        * no ``trace`` field and no slow-query log -> all ``None``/False
+          -- the zero-cost path; nothing below allocates a span.
+        * ``"trace": true`` -- a client-originated trace: fresh tracer,
+          a ``request`` root span, and ``echo=True`` (the assembled tree
+          goes back in the response).
+        * ``"trace": {"id", "parent"}`` -- propagated by a router: join
+          the existing trace under the router's span; our spans ship
+          back for the router to absorb (``echo=True``), but we own no
+          root.
+        * slow-query log configured, client silent -> trace server-side
+          only (``echo=False``): the tree feeds forensics, the response
+          stays byte-identical.
+        """
+        wire = request.get("trace")
+        if wire is None and self._slow_log is None:
+            return None, None, None, False
+        if isinstance(wire, dict):
+            trace_id = wire.get("id")
+            tracer = Tracer(str(trace_id) if trace_id else None)
+            parent = wire.get("parent")
+            return tracer, parent if isinstance(parent, str) else None, None, True
+        if wire is not None and wire is not True:
+            raise ProtocolError(
+                "'trace' must be true or an {'id', 'parent'} object"
+            )
+        tracer = Tracer()
+        root = tracer.begin("request")
+        return tracer, root.span_id, root, wire is True
+
+    async def _finish_trace(self, tracer, root_span, queries, started) -> None:
+        """Close the root span and feed the slow-query log (off-loop)."""
+        if root_span is not None:
+            tracer.finish(root_span)
+        slow_log = self._slow_log
+        if slow_log is None or root_span is None:
+            return
+        elapsed = time.monotonic() - started
+        if elapsed < slow_log.threshold:
+            return
+        trace_wire = tracer.to_wire()
+
+        def record() -> None:
+            plans: dict = {}
+            explain = getattr(self.db, "explain", None)
+            if explain is not None:
+                for text in queries:
+                    try:
+                        plan = explain(text)
+                        describe = getattr(plan, "describe", None)
+                        plans[text] = (
+                            describe() if callable(describe) else str(plan)
+                        )
+                    except Exception:  # noqa: BLE001 -- forensics only
+                        continue
+            slow_log.maybe_record(queries, elapsed, trace_wire, plans)
+
+        await self._in_executor(record)
+
     # -- verbs -----------------------------------------------------------
     async def _op_query(self, request_id, request) -> dict:
         queries = request.get("queries")
@@ -261,12 +341,24 @@ class QueryServer:
         except RPQSyntaxError as error:
             return protocol.error_response(request_id, error)
 
+        tracer, parent, root_span, echo = self._begin_trace(request)
+        started = time.monotonic()
+
         futures = []
         try:
             for text, node in zip(queries, nodes):
-                futures.append(
-                    self._submit_query(text, node, timeout, include_pairs)
+                trace = None
+                if tracer is not None:
+                    query_span = tracer.begin("query", parent=parent, query=text)
+                    trace = (tracer, query_span.span_id)
+                future = self._submit_query(
+                    text, node, timeout, include_pairs, trace=trace
                 )
+                if tracer is not None:
+                    future.add_done_callback(
+                        lambda _future, span=query_span: tracer.finish(span)
+                    )
+                futures.append(future)
         except AdmissionError as error:
             # All-or-nothing admission: cancel what we already queued.
             for future in futures:
@@ -291,17 +383,26 @@ class QueryServer:
                 if include_pairs:
                     entry["pairs"] = protocol.pairs_to_wire(payload)
             results.append(entry)
-        return protocol.ok_response(request_id, results=results)
+        if tracer is None:
+            return protocol.ok_response(request_id, results=results)
+        await self._finish_trace(tracer, root_span, queries, started)
+        if not echo:
+            return protocol.ok_response(request_id, results=results)
+        return protocol.ok_response(
+            request_id, results=results, trace=tracer.to_wire()
+        )
 
-    def _submit_query(self, text, node, timeout, include_pairs):
+    def _submit_query(self, text, node, timeout, include_pairs, trace=None):
         """Admission hook; subclasses may forward the pairs/counts intent.
 
         The base scheduler always materialises pair-sets in this
         process (returning them is free), so ``include_pairs`` is
         irrelevant here -- the cluster router forwards it so process
-        shards can skip serialising pairs nobody asked for.
+        shards can skip serialising pairs nobody asked for.  ``trace``
+        is the ``(tracer, parent_span_id)`` of this query's span, or
+        None when the request is untraced.
         """
-        return self.scheduler.submit(text, node, timeout=timeout)
+        return self.scheduler.submit(text, node, timeout=timeout, trace=trace)
 
     async def _op_stats(self, request_id, request) -> dict:
         # db.stats() takes the session lock; keep the wait off the loop.
@@ -323,15 +424,42 @@ class QueryServer:
             None, function, *args
         )
 
+    async def _op_metrics(self, request_id, request) -> dict:
+        """The process-wide metrics registry as Prometheus text."""
+        text = await self._in_executor(get_registry().render_prometheus)
+        return protocol.ok_response(
+            request_id, metrics=text, format="prometheus"
+        )
+
     async def _op_update(self, request_id, request) -> dict:
         add = self._edge_list(request.get("add", ()), "add")
         remove = self._edge_list(request.get("remove", ()), "remove")
         if not add and not remove:
             raise ProtocolError("'update' op needs 'add' and/or 'remove' edges")
-        future = self.scheduler.submit_update(add=add, remove=remove)
+        tracer, parent, root_span, echo = self._begin_trace(request)
+        started = time.monotonic()
+        trace = (tracer, parent) if tracer is not None else None
+        future = self.scheduler.submit_update(add=add, remove=remove, trace=trace)
         await asyncio.wrap_future(future)
+        if tracer is None:
+            return protocol.ok_response(
+                request_id, added=len(add), removed=len(remove)
+            )
+        await self._finish_trace(
+            tracer,
+            root_span,
+            [f"update(+{len(add)},-{len(remove)})"],
+            started,
+        )
+        if not echo:
+            return protocol.ok_response(
+                request_id, added=len(add), removed=len(remove)
+            )
         return protocol.ok_response(
-            request_id, added=len(add), removed=len(remove)
+            request_id,
+            added=len(add),
+            removed=len(remove),
+            trace=tracer.to_wire(),
         )
 
     @staticmethod

@@ -25,17 +25,29 @@ session at an empty directory.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import StorageError
 from repro.graph.multigraph import LabeledMultigraph
+from repro.obs import ambient_span, get_registry
 from repro.storage.manifest import MANIFEST_NAME, read_manifest, write_manifest
 from repro.storage.rtc_store import install_rtc_state, load_rtc_store, write_rtc_store
 from repro.storage.snapshot import check_persistable_edge, read_snapshot, write_snapshot
 from repro.storage.wal import WriteAheadLog
 
 __all__ = ["RecoveredState", "ShardStorage", "has_state"]
+
+_registry = get_registry()
+_checkpoints_total = _registry.counter(
+    "repro_checkpoints_total", "Committed checkpoints (manifest renames)."
+)
+_phase_seconds = _registry.counter(
+    "repro_phase_seconds_total",
+    "Wall seconds spent per engine/storage phase.",
+    labels=("phase",),
+)
 
 WAL_NAME = "wal.jsonl"
 
@@ -215,14 +227,21 @@ class ShardStorage:
 
     def _checkpoint_locked(self, db, extra_sessions: tuple) -> dict:
         lsn = self._wal.last_lsn
-        old_manifest = read_manifest(self.directory)
-        snapshot_entry = write_snapshot(db.graph, self.directory, lsn)
-        store_name = write_rtc_store(db, self.directory, lsn, extra_sessions)
-        write_manifest(self.directory, lsn, snapshot_entry, store_name)
-        self._wal.reset(lsn)
-        self._last_checkpoint_lsn = lsn
-        if old_manifest is not None:
-            self._remove_generation(old_manifest, keep_lsn=lsn)
+        started = time.perf_counter()
+        with ambient_span("checkpoint") as span:
+            old_manifest = read_manifest(self.directory)
+            with ambient_span("snapshot"):
+                snapshot_entry = write_snapshot(db.graph, self.directory, lsn)
+            store_name = write_rtc_store(db, self.directory, lsn, extra_sessions)
+            write_manifest(self.directory, lsn, snapshot_entry, store_name)
+            self._wal.reset(lsn)
+            self._last_checkpoint_lsn = lsn
+            if old_manifest is not None:
+                self._remove_generation(old_manifest, keep_lsn=lsn)
+            if span is not None:
+                span.attrs["lsn"] = lsn
+        _checkpoints_total.inc()
+        _phase_seconds.inc(time.perf_counter() - started, phase="checkpoint")
         return {"lsn": lsn, "snapshot": snapshot_entry, "rtc_store": store_name}
 
     def _remove_generation(self, manifest: dict, keep_lsn: int) -> None:

@@ -24,11 +24,26 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 from repro.errors import StorageError
+from repro.obs import ambient_span, get_registry
 
 __all__ = ["WriteAheadLog"]
+
+_registry = get_registry()
+_wal_appends = _registry.counter(
+    "repro_wal_appends_total", "Durably appended (fsync'd) WAL records."
+)
+_wal_seconds = _registry.counter(
+    "repro_phase_seconds_total",
+    "Wall seconds spent per engine/storage phase.",
+    labels=("phase",),
+)
+_wal_last_lsn = _registry.gauge(
+    "repro_wal_last_lsn", "Highest LSN acknowledged by this process's WALs."
+)
 
 
 class WriteAheadLog:
@@ -107,9 +122,16 @@ class WriteAheadLog:
             line = json.dumps(payload, sort_keys=False)
         except (TypeError, ValueError) as error:
             raise StorageError(f"WAL record is not JSON-serialisable: {error}") from error
-        self._handle.write(line.encode("utf-8") + b"\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        started = time.perf_counter()
+        with ambient_span("wal_append") as span:
+            self._handle.write(line.encode("utf-8") + b"\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            if span is not None:
+                span.attrs["lsn"] = lsn
+        _wal_appends.inc()
+        _wal_seconds.inc(time.perf_counter() - started, phase="wal")
+        _wal_last_lsn.set(lsn)
         self.last_lsn = lsn
         return lsn
 

@@ -1,0 +1,122 @@
+"""Unit tests for the metrics registry and Prometheus round trip."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, get_registry, parse_prometheus, phase_totals
+
+
+class TestInstruments:
+    def test_counter_increments_and_renders(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_requests_total", "Requests.")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value() == 3.0
+        text = registry.render_prometheus()
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 3" in text
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_counter_keeps_series_apart(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("phase_seconds_total", labels=("phase",))
+        counter.inc(0.5, phase="rtc")
+        counter.inc(0.25, phase="join")
+        counter.inc(0.5, phase="rtc")
+        assert counter.value(phase="rtc") == 1.0
+        assert counter.value(phase="join") == 0.25
+
+    def test_label_mismatch_is_an_error(self):
+        counter = MetricsRegistry().counter("c_total", labels=("phase",))
+        with pytest.raises(ValueError):
+            counter.inc(1, shard="0")
+
+    def test_gauge_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("queue_depth")
+        gauge.set(5)
+        gauge.inc(-2)
+        assert gauge.value() == 3.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "latency_seconds", buckets=(0.01, 0.1, 1.0)
+        )
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        parsed = parse_prometheus(registry.render_prometheus())
+        buckets = parsed["latency_seconds_bucket"]
+        assert buckets[frozenset({("le", "0.01")})] == 1
+        assert buckets[frozenset({("le", "0.1")})] == 2
+        assert buckets[frozenset({("le", "1")})] == 3
+        assert buckets[frozenset({("le", "+Inf")})] == 4
+        assert parsed["latency_seconds_count"][frozenset()] == 4
+        assert parsed["latency_seconds_sum"][frozenset()] == pytest.approx(5.555)
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("bad name")
+
+
+class TestRegistry:
+    def test_reregistration_same_shape_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_requests_total", labels=("op",))
+        second = registry.counter("repro_requests_total", labels=("op",))
+        assert first is second
+
+    def test_reregistration_different_shape_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_requests_total", labels=("op",))
+        with pytest.raises(ValueError, match="different shape"):
+            registry.counter("repro_requests_total", labels=("shard",))
+        with pytest.raises(ValueError, match="different shape"):
+            registry.gauge("repro_requests_total", labels=("op",))
+
+    def test_default_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestParsePrometheus:
+    def test_round_trip_with_labels_and_escapes(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "Ops.", labels=("kind",))
+        counter.inc(2, kind='with "quotes"')
+        counter.inc(1, kind="plain")
+        parsed = parse_prometheus(registry.render_prometheus())
+        series = parsed["ops_total"]
+        assert series[frozenset({("kind", 'with "quotes"')})] == 2
+        assert series[frozenset({("kind", "plain")})] == 1
+
+    def test_inf_value_parses(self):
+        parsed = parse_prometheus("x_bucket{le=\"+Inf\"} +Inf\n")
+        assert parsed["x_bucket"][frozenset({("le", "+Inf")})] == math.inf
+
+    def test_comments_and_garbage_skipped(self):
+        text = "# HELP x y\n# TYPE x counter\nnot a sample line !!\nx 1\n"
+        assert parse_prometheus(text) == {"x": {frozenset(): 1.0}}
+
+
+class TestPhaseTotals:
+    def test_phase_totals_reads_the_ledger(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "repro_phase_seconds_total",
+            "Wall seconds spent per engine/storage phase.",
+            labels=("phase",),
+        )
+        counter.inc(0.125, phase="rtc")
+        counter.inc(0.5, phase="join")
+        assert phase_totals(registry) == {"rtc": 0.125, "join": 0.5}
+
+    def test_phase_totals_empty_registry(self):
+        assert phase_totals(MetricsRegistry()) == {}

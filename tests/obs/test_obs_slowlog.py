@@ -1,0 +1,59 @@
+"""Unit tests for the slow-query JSONL forensics log."""
+
+import json
+
+from repro.obs import SlowQueryLog, Tracer
+
+
+class TestSlowQueryLog:
+    def test_under_threshold_is_a_no_op(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(str(path), threshold=1.0)
+        assert log.maybe_record(["b.c"], elapsed=0.01) is False
+        assert log.recorded == 0
+        assert not path.exists()
+
+    def test_over_threshold_appends_entry(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(str(path), threshold=0.0)
+        tracer = Tracer()
+        tracer.finish(tracer.begin("request"))
+        assert log.maybe_record(
+            ["b.c"],
+            elapsed=2.5,
+            trace=tracer.to_wire(),
+            plans={"b.c": "plan text"},
+        )
+        assert log.recorded == 1
+        entries = SlowQueryLog.read(str(path))
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["queries"] == ["b.c"]
+        assert entry["elapsed"] == 2.5
+        assert entry["threshold"] == 0.0
+        assert entry["trace"]["id"] == tracer.trace_id
+        assert entry["plans"] == {"b.c": "plan text"}
+
+    def test_entries_are_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(str(path), threshold=0.0)
+        log.maybe_record(["a"], elapsed=1.0)
+        log.maybe_record(["b"], elapsed=2.0)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert [json.loads(line)["queries"] for line in lines] == [["a"], ["b"]]
+
+    def test_read_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(str(path), threshold=0.0)
+        log.maybe_record(["a"], elapsed=1.0)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"ts": 1, "elapsed":')  # crash mid-append
+        entries = SlowQueryLog.read(str(path))
+        assert len(entries) == 1
+        assert entries[0]["queries"] == ["a"]
+
+    def test_io_failure_is_swallowed(self, tmp_path):
+        log = SlowQueryLog(str(tmp_path / "no" / "such" / "dir.jsonl"), threshold=0.0)
+        assert log.maybe_record(["a"], elapsed=1.0) is False
+        assert log.recorded == 0

@@ -51,7 +51,36 @@ class TestPercentile:
         assert percentile([4, 1, 3, 2], 0.5) == 2
         assert percentile([7], 0.5) == 7
         assert percentile([7], 0.0) == 7  # rank clamps to the minimum
-        assert percentile([], 0.5) == 0.0
+
+    def test_empty_sample_has_no_quantiles(self):
+        """``percentile([])`` is None (wire ``null``), never a fake zero."""
+        for fraction in (0.0, 0.5, 0.95, 1.0):
+            assert percentile([], fraction) is None
+
+    def test_idle_server_snapshot_is_null_safe(self):
+        """A freshly started server reports null latencies, not zeros.
+
+        Every field of the snapshot must be JSON-serialisable and the
+        latency block must distinguish "no data" (None) from "zero
+        latency" (0.0) -- the empty-reservoir regression.
+        """
+        import json
+
+        metrics = ServerMetrics()
+        snapshot = metrics.snapshot()
+        latency = snapshot["latency"]
+        assert latency["window"] == 0
+        assert latency["mean"] is None
+        assert latency["p50"] is None
+        assert latency["p95"] is None
+        assert latency["p99"] is None
+        json.dumps(snapshot)  # must not raise
+        # One completion flips every field to a real number.
+        metrics.record_completed(0.25)
+        latency = metrics.snapshot()["latency"]
+        assert latency["window"] == 1
+        assert latency["mean"] == 0.25
+        assert latency["p50"] == 0.25
 
     def test_latency_values_snapshot(self):
         metrics = ServerMetrics(window=4)

@@ -1,0 +1,158 @@
+"""End-to-end observability on the single-node server: tracing on the
+wire, the ``metrics`` verb, and the slow-query forensics log."""
+
+import json
+import socket
+
+import pytest
+
+from repro.db import GraphDB
+from repro.obs import SlowQueryLog, build_tree, parse_prometheus, render_trace
+from repro.server import Client, ServerConfig, ServerThread
+
+
+@pytest.fixture
+def served(fig1):
+    db = GraphDB.open(fig1)
+    with ServerThread(db) as handle:
+        with Client(*handle.address) as client:
+            yield handle, client
+
+
+def _raw_roundtrip(address, payload: dict) -> bytes:
+    """One request over a bare socket; returns the raw response line."""
+    with socket.create_connection(address, timeout=10) as sock:
+        sock.sendall(json.dumps(payload).encode() + b"\n")
+        data = b""
+        while not data.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    return data
+
+
+class TestTracing:
+    def test_traced_query_returns_span_tree(self, served):
+        _, client = served
+        result, trace = client.query_traced("d.(b.c)+.c")
+        assert result.count == 2
+        assert trace is not None and trace["spans"]
+        names = {span["name"] for span in trace["spans"]}
+        assert {"request", "query", "evaluate"} <= names
+        # Every parent reference points inside the same trace: one tree.
+        ids = {span["id"] for span in trace["spans"]}
+        orphans = [
+            span
+            for span in trace["spans"]
+            if span.get("parent") and span["parent"] not in ids
+        ]
+        assert orphans == []
+        roots = build_tree(trace)
+        assert len(roots) == 1
+        assert roots[0]["name"] == "request"
+        # And the tree renders without blowing up.
+        assert render_trace(trace).startswith("trace ")
+
+    def test_scheduler_phases_traced(self, served):
+        _, client = served
+        _, trace = client.query_traced("a.(b.c)+")
+        names = {span["name"] for span in trace["spans"]}
+        assert "admission_wait" in names
+        assert "batch_wait" in names
+
+    def test_untraced_responses_identical_and_trace_free(self, served):
+        handle, _ = served
+        payload = {"id": 1, "op": "query", "queries": ["b.c"], "pairs": True}
+        first = json.loads(_raw_roundtrip(handle.address, payload))
+        second = json.loads(_raw_roundtrip(handle.address, payload))
+        assert "trace" not in first and "trace" not in second
+        # Modulo the measured per-query wall time, the two responses
+        # serialise identically: tracing leaves no residue when off.
+        for response in (first, second):
+            for entry in response["results"]:
+                entry["time"] = 0.0
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_malformed_trace_field_rejected(self, served):
+        handle, _ = served
+        response = json.loads(
+            _raw_roundtrip(
+                handle.address,
+                {"id": 1, "op": "query", "queries": ["b.c"], "trace": "yes"},
+            )
+        )
+        assert response["ok"] is False
+
+    def test_traced_update_returns_span_tree(self, served):
+        _, client = served
+        response = client.update(add=[(7, "b", 99)], trace=True)
+        names = {span["name"] for span in response["trace"]["spans"]}
+        assert "request" in names
+        assert "update_drain" in names or "update_apply" in names
+
+
+class TestMetricsVerb:
+    def test_prometheus_text_parses_and_counters_are_monotonic(self, served):
+        _, client = served
+        client.query("b.c")
+        parsed_before = parse_prometheus(client.metrics())
+        admitted_key = frozenset({("outcome", "admitted")})
+        before = parsed_before["repro_requests_total"][admitted_key]
+        assert before >= 1
+        client.query("b.c")
+        client.query("a.(b.c)+")
+        parsed_after = parse_prometheus(client.metrics())
+        after = parsed_after["repro_requests_total"][admitted_key]
+        assert after >= before + 2
+        # The latency histogram rides along, well-formed, and advanced
+        # by this test's own completions (the registry is process-wide,
+        # so only deltas are meaningful under the full suite).
+        assert "repro_request_latency_seconds_bucket" in parsed_after
+        hist_before = parsed_before["repro_request_latency_seconds_count"][
+            frozenset()
+        ]
+        hist_after = parsed_after["repro_request_latency_seconds_count"][
+            frozenset()
+        ]
+        assert hist_after >= hist_before + 2
+
+
+class TestSlowQueryForensics:
+    def test_slow_log_records_trace_without_touching_response(
+        self, fig1, tmp_path
+    ):
+        log_path = tmp_path / "slow.jsonl"
+        db = GraphDB.open(fig1)
+        config = ServerConfig(
+            slow_query_log=str(log_path), slow_query_threshold=0.0
+        )
+        with ServerThread(db, config) as handle:
+            with Client(*handle.address) as client:
+                payload = {"id": 1, "op": "query", "queries": ["d.(b.c)+.c"]}
+                response = json.loads(_raw_roundtrip(handle.address, payload))
+                # Forensics tracing is server-side only: the silent
+                # client's response carries no trace.
+                assert "trace" not in response
+                client.query("b.c")  # drive a second entry through Client
+        entries = SlowQueryLog.read(str(log_path))
+        assert len(entries) >= 2
+        entry = entries[0]
+        assert entry["queries"] == ["d.(b.c)+.c"]
+        assert entry["elapsed"] >= 0.0
+        names = {span["name"] for span in entry["trace"]["spans"]}
+        assert "request" in names and "evaluate" in names
+        assert entry["plans"]  # explain() plans recorded alongside
+
+    def test_fast_queries_skip_the_log(self, fig1, tmp_path):
+        log_path = tmp_path / "slow.jsonl"
+        db = GraphDB.open(fig1)
+        config = ServerConfig(
+            slow_query_log=str(log_path), slow_query_threshold=30.0
+        )
+        with ServerThread(db, config) as handle:
+            with Client(*handle.address) as client:
+                client.query("b.c")
+        assert not log_path.exists()
