@@ -56,6 +56,7 @@ from repro.db import (
 from repro.errors import (
     AdmissionError,
     DeadlineExpiredError,
+    ERROR_CODES,
     EvaluationError,
     GraphError,
     ProtocolError,
@@ -70,7 +71,7 @@ from repro.graph.multigraph import LabeledMultigraph
 from repro.regex.parser import parse
 from repro.rpq.evaluate import eval_rpq
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "GraphDB",
@@ -93,6 +94,7 @@ __all__ = [
     "edge_level_reduce",
     "vertex_level_reduce",
     "reduce_graph",
+    "ERROR_CODES",
     "ReproError",
     "GraphError",
     "RPQSyntaxError",

@@ -1,0 +1,54 @@
+"""Repo-specific static analysis: ``repro lint``.
+
+Six PRs of growth piled up invariants that were stated only in
+docstrings and defended only by end-to-end tests: the lock contracts of
+:mod:`repro.core.cache` and :mod:`repro.db.session`, the "no blocking
+calls on the asyncio router path" rule, the "ack => WAL append + fsync
+first" durability contract, the structured error-code strings of the
+wire protocol, and the span/metric/phase name registry of
+:mod:`repro.obs`.  This package is the stdlib-only (``ast`` +
+``tokenize``) checker that turns each of those contracts into a
+machine-enforced rule, wired into CI as a blocking job.
+
+Layers
+------
+* :mod:`repro.analysis.project`  -- the project loader: walks the given
+  paths, parses every module once, and exposes the module set to rules.
+* :mod:`repro.analysis.base`     -- the :class:`Rule` API (per-rule id,
+  severity, rationale; per-module ``check`` plus cross-module
+  ``collect``/``finalize`` for whole-project rules) and the registry.
+* :mod:`repro.analysis.finding`  -- the :class:`Finding` model, rendered
+  as ``file:line: RPRxxx message`` text or as JSON.
+* :mod:`repro.analysis.suppress` -- inline ``# repro: noqa[RPR101]``
+  suppressions, with an unused-suppression warning (``RPR000``).
+* :mod:`repro.analysis.engine`   -- orchestration: run the selected
+  rules over a loaded project and apply suppressions.
+* :mod:`repro.analysis.rules`    -- the rule pack (RPR1xx lock
+  discipline, RPR2xx async hygiene, RPR3xx wire/error registry, RPR4xx
+  durability, RPR5xx observability names, RPR6xx monotonic time, RPR7xx
+  exception hygiene).
+
+Entry points: ``repro lint [PATHS]`` on the command line, or
+:func:`run_lint` programmatically (the meta-test in ``tests/analysis``
+asserts the repo's own tree lints clean).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import Rule, all_rules, get_rule, register_rule
+from repro.analysis.engine import LintResult, run_lint
+from repro.analysis.finding import Finding
+from repro.analysis.project import Module, Project, load_project
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Module",
+    "Project",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "load_project",
+    "register_rule",
+    "run_lint",
+]

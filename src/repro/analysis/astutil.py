@@ -1,0 +1,102 @@
+"""Shared AST helpers for the rule pack (stdlib ``ast`` only)."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "call_name",
+    "dotted_source",
+    "iter_methods",
+    "is_self_attr",
+    "lock_attr_name",
+    "string_const",
+    "walk_function_body",
+]
+
+
+def string_const(node) -> str | None:
+    """The value of a string-literal node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def dotted_source(node) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call, imports: dict | None = None) -> str | None:
+    """The dotted target of a call, import-aliases resolved.
+
+    ``sleep(1)`` after ``from time import sleep`` resolves to
+    ``time.sleep``; ``t.sleep(1)`` after ``import time as t`` likewise.
+    Calls whose target is not a plain name/attribute chain (e.g. a
+    subscript) return ``None``.
+    """
+    dotted = dotted_source(call.func)
+    if dotted is None:
+        return None
+    if imports:
+        head, _, rest = dotted.partition(".")
+        resolved = imports.get(head)
+        if resolved is not None:
+            dotted = f"{resolved}.{rest}" if rest else resolved
+    return dotted
+
+
+def is_self_attr(node, name: str | None = None) -> bool:
+    """Is ``node`` ``self.<attr>`` (optionally a specific ``<attr>``)?"""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (name is None or node.attr == name)
+    )
+
+
+def lock_attr_name(node) -> str | None:
+    """``self.<x>`` where ``<x>`` smells like a lock -> ``<x>``.
+
+    The repo convention: every :class:`threading.Lock`/``RLock``
+    attribute has ``lock`` in its name (``_lock``, ``lock``,
+    ``_update_lock``, ``_admission_lock``, ...).  The convention is
+    itself part of the contract this heuristic leans on.
+    """
+    if is_self_attr(node) and "lock" in node.attr.lower():
+        return node.attr
+    return None
+
+
+def iter_methods(classdef: ast.ClassDef):
+    """The direct function definitions of a class body."""
+    for statement in classdef.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield statement
+
+
+def walk_function_body(function, include_nested: bool = False):
+    """Walk a function's own statements/expressions.
+
+    With ``include_nested=False`` the walk stops at nested function and
+    class definitions (and lambdas) -- the semantics async-hygiene
+    needs: a blocking call inside a closure handed to ``_in_executor``
+    is not a blocking call *on the event loop*.
+    """
+    stack = list(function.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if not include_nested and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,79 @@
+"""The :class:`Rule` API and the rule registry.
+
+A rule is a class with identity metadata (``id`` like ``RPR101``,
+``name``, ``severity``, ``rationale`` -- what ``--explain`` prints) and
+up to three hooks, all optional:
+
+* ``check(module)``   -- per-module analysis; returns findings.
+* ``collect(module)`` -- first pass of a cross-module rule; accumulate
+  state on ``self`` (each run instantiates fresh rule objects, so
+  instance state is run-local).
+* ``finalize(project)`` -- second pass; returns findings computed from
+  the collected whole-project state (registries, lock-order graphs).
+
+Rules self-register via :func:`register_rule`; the engine instantiates
+the selected subset per run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.finding import Finding
+
+__all__ = ["Rule", "register_rule", "all_rules", "get_rule"]
+
+_REGISTRY: dict = {}
+
+
+class Rule:
+    """Base class; subclass, set the metadata, implement the hooks."""
+
+    #: Stable rule id (``RPRxxx``); the suppression/selection key.
+    id = "RPR999"
+    #: Short human name for listings.
+    name = "unnamed rule"
+    #: ``"error"`` or ``"warning"`` -- reporting metadata only.
+    severity = "error"
+    #: The contract this rule enforces and why it exists (``--explain``).
+    rationale = ""
+
+    def check(self, module) -> list:
+        return []
+
+    def collect(self, module) -> None:
+        return None
+
+    def finalize(self, project) -> list:
+        return []
+
+    # -- convenience -----------------------------------------------------
+    def finding(self, module, node, message: str, **detail) -> Finding:
+        """A finding of this rule anchored at ``node`` in ``module``."""
+        return Finding(
+            rule=self.id,
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            severity=self.severity,
+            message=message,
+            detail=detail,
+        )
+
+
+def register_rule(cls):
+    """Class decorator adding a rule to the registry (id-unique)."""
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> dict:
+    """``{rule_id: rule_class}`` -- importing the pack fills this."""
+    import repro.analysis.rules  # noqa: F401 -- registration side effect
+
+    return dict(_REGISTRY)
+
+
+def get_rule(rule_id: str):
+    """The rule class for ``rule_id`` (``None`` when unknown)."""
+    return all_rules().get(rule_id)

@@ -1,0 +1,113 @@
+"""Orchestration: load -> run rules -> suppress -> render.
+
+:func:`run_lint` is the single entry point both the CLI and the test
+suite use.  One run instantiates fresh rule objects (cross-module rules
+keep their accumulated state on the instance), executes the two-pass
+protocol (``collect`` over every module, then per-module ``check``,
+then ``finalize``), applies the inline suppressions, and returns a
+:class:`LintResult` that renders as text or JSON.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.base import all_rules
+from repro.analysis.finding import sort_findings
+from repro.analysis.project import load_project
+from repro.analysis.suppress import apply_suppressions, scan_suppressions
+
+__all__ = ["LintResult", "run_lint", "select_rules"]
+
+
+class LintResult:
+    """The outcome of one lint run."""
+
+    def __init__(self, findings: list, modules: int, rules: list) -> None:
+        self.findings = sort_findings(findings)
+        self.modules = modules
+        self.rules = rules
+
+    @property
+    def ok(self) -> bool:
+        """Clean run?  Any unsuppressed finding -- warnings included --
+        fails; severity is reporting metadata, not an exit-code tier."""
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        lines.append(
+            f"{len(self.findings)} {noun} "
+            f"({self.modules} modules, {len(self.rules)} rules)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "modules": self.modules,
+            "rules": list(self.rules),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+
+def select_rules(select=None, ignore=None) -> dict:
+    """The rule subset of one run; unknown ids raise ``ValueError``.
+
+    ``select``/``ignore`` accept iterables of rule ids or id *prefixes*
+    (``RPR1`` selects the whole lock-discipline family).
+    """
+    registry = all_rules()
+
+    def expand(ids) -> set:
+        chosen: set = set()
+        for rule_id in ids:
+            matches = {
+                known for known in registry if known.startswith(rule_id)
+            }
+            if not matches:
+                raise ValueError(
+                    f"unknown rule or prefix {rule_id!r}; known rules: "
+                    f"{', '.join(sorted(registry))}"
+                )
+            chosen |= matches
+        return chosen
+
+    chosen = expand(select) if select else set(registry)
+    if ignore:
+        chosen -= expand(ignore)
+    return {rule_id: registry[rule_id] for rule_id in sorted(chosen)}
+
+
+def run_lint(paths, select=None, ignore=None) -> LintResult:
+    """Lint ``paths`` with the selected rules; returns a result object."""
+    chosen = select_rules(select, ignore)
+    project = load_project(paths)
+    rules = [cls() for cls in chosen.values()]
+
+    findings: list = list(project.errors)
+    for rule in rules:
+        for module in project:
+            rule.collect(module)
+    for rule in rules:
+        for module in project:
+            findings.extend(rule.check(module))
+        findings.extend(rule.finalize(project))
+
+    suppressions: list = []
+    for module in project:
+        suppressions.extend(scan_suppressions(module))
+    # Unused-suppression warnings only make sense against the full rule
+    # set: under --select/--ignore, a suppression for an unselected rule
+    # is silent by construction, not stale.
+    full_run = select is None and ignore is None
+    findings = apply_suppressions(findings, suppressions, warn_unused=full_run)
+    return LintResult(findings, modules=len(project), rules=sorted(chosen))

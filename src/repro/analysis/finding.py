@@ -1,0 +1,53 @@
+"""The :class:`Finding` model -- one rule violation at one source location.
+
+Findings are value objects: rules create them, the engine filters them
+through the suppression table, and the CLI renders the survivors either
+as ``file:line: RPRxxx message`` lines (the human form, one per finding,
+stable-sorted by location) or as the JSON document CI uploads as an
+artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation of one rule at one location.
+
+    ``severity`` is ``"error"`` (contract violation) or ``"warning"``
+    (hygiene/meta finding, e.g. an unused suppression); ``repro lint``
+    exits non-zero on *any* unsuppressed finding either way -- severity
+    is reporting metadata, not an escape hatch.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    col: int = 0
+    severity: str = "error"
+    #: Extra machine-readable context (offending name, cycle, ...).
+    detail: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        document = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.detail:
+            document["detail"] = self.detail
+        return document
+
+
+def sort_findings(findings: list) -> list:
+    """Stable report order: by file, then line, then rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))

@@ -1,0 +1,162 @@
+"""The project loader: paths -> parsed modules -> one :class:`Project`.
+
+Every module is read and parsed exactly once (``ast`` for structure,
+plain line splitting for the suppression scanner); rules receive the
+shared :class:`Module` objects, so a ten-rule run costs one parse per
+file.  The loader also derives each module's dotted name (walking up
+through ``__init__.py`` packages), which is how cross-module rules like
+the wire-registry check recognise their anchor modules
+(``repro.server.client``, ``repro.server.protocol``, ...) without
+hard-coding filesystem layouts -- fixture corpora under ``tests/``
+reuse the same recognition by file name.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.finding import Finding
+
+__all__ = ["Module", "Project", "load_project"]
+
+#: Directories never worth linting (caches, VCS internals).
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", ".mypy_cache", ".ruff_cache"}
+
+
+class Module:
+    """One parsed source file plus the derived metadata rules need."""
+
+    def __init__(self, path: Path, source: str, tree: ast.AST) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.name = _dotted_name(path)
+        #: ``import``/``from`` aliases visible at module level:
+        #: ``{"time": "time", "osp": "os.path", "sleep": "time.sleep"}``.
+        self.imports = _collect_imports(tree)
+
+    @property
+    def display_path(self) -> str:
+        """The path as given on the command line (kept relative)."""
+        return str(self.path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Module({self.name!r}, {self.path})"
+
+
+class Project:
+    """The loaded module set one lint run operates on."""
+
+    def __init__(self, modules: list, errors: list) -> None:
+        self.modules = modules
+        #: Parse failures as ready findings (RPR001); a file the linter
+        #: cannot read is a finding, not a crash.
+        self.errors = errors
+        self._by_name = {module.name: module for module in modules}
+
+    def module(self, name: str):
+        """Look up a module by dotted name (``None`` when absent)."""
+        return self._by_name.get(name)
+
+    def modules_named(self, basename: str) -> list:
+        """Every module whose file name matches (``client.py`` ...)."""
+        return [
+            module for module in self.modules if module.path.name == basename
+        ]
+
+    def __iter__(self):
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+
+def _dotted_name(path: Path) -> str:
+    """``src/repro/server/client.py`` -> ``repro.server.client``.
+
+    Walks upward while ``__init__.py`` siblings mark package levels, so
+    the name is layout-independent (works from the repo root, from
+    ``src/``, or on a fixture tree that is not a package at all -- then
+    the bare stem is the name).
+    """
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _collect_imports(tree: ast.AST) -> dict:
+    imports: dict = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return imports
+
+
+def iter_python_files(paths) -> list:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: set = set()
+    files: list = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not _SKIP_DIRS.intersection(candidate.parts)
+            )
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                files.append(candidate)
+    return files
+
+
+def load_project(paths) -> Project:
+    """Read and parse every ``.py`` file under ``paths``.
+
+    Unreadable or syntactically invalid files become ``RPR001``
+    findings on the returned project instead of raising -- the linter
+    must be able to report on a tree it cannot fully parse.
+    """
+    modules: list = []
+    errors: list = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as error:
+            errors.append(
+                Finding(
+                    rule="RPR001",
+                    path=str(path),
+                    line=1,
+                    message=f"cannot read file: {error}",
+                )
+            )
+            continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            errors.append(
+                Finding(
+                    rule="RPR001",
+                    path=str(path),
+                    line=error.lineno or 1,
+                    message=f"syntax error: {error.msg}",
+                )
+            )
+            continue
+        modules.append(Module(path, source, tree))
+    return Project(modules, errors)

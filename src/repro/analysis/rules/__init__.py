@@ -1,0 +1,24 @@
+"""The rule pack; importing this package registers every rule.
+
+Families (one module per family):
+
+* ``RPR1xx`` :mod:`~repro.analysis.rules.locks` -- lock discipline.
+* ``RPR2xx`` :mod:`~repro.analysis.rules.async_rules` -- async hygiene.
+* ``RPR3xx`` :mod:`~repro.analysis.rules.wire` -- wire/error registry.
+* ``RPR4xx`` :mod:`~repro.analysis.rules.durability` -- WAL before ack.
+* ``RPR5xx`` :mod:`~repro.analysis.rules.obs_names` -- observability
+  name registry.
+* ``RPR6xx`` :mod:`~repro.analysis.rules.timeapi` -- monotonic time.
+* ``RPR7xx`` :mod:`~repro.analysis.rules.handlers` -- exception
+  hygiene.
+"""
+
+from repro.analysis.rules import (  # noqa: F401 -- registration imports
+    async_rules,
+    durability,
+    handlers,
+    locks,
+    obs_names,
+    timeapi,
+    wire,
+)

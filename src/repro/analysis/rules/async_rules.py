@@ -1,0 +1,118 @@
+"""RPR2xx -- async hygiene.
+
+The server's event loop (``server/service.py``) and the cluster router
+(``cluster/service.py``) are single-threaded asyncio loops; one
+blocking call in a coroutine stalls every connected client.  The repo
+contract is that anything blocking runs through ``_in_executor`` (or
+``loop.run_in_executor``) -- the coroutine only ever *references* the
+blocking callable, it never calls it on the loop.
+
+``RPR201`` flags direct calls to known-blocking APIs in ``async def``
+bodies.  The walk stops at nested functions and lambdas, so a blocking
+call inside a closure handed to an executor is (correctly) exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import call_name, dotted_source, walk_function_body
+from repro.analysis.base import Rule, register_rule
+
+__all__ = ["AsyncBlockingCallRule"]
+
+#: Exact dotted names that block the calling thread.
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "os.fsync",
+    "os.fdatasync",
+    "open",
+    "io.open",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "socket.create_connection",
+    "socket.socket",
+    "socket.getaddrinfo",
+    "socket.gethostbyname",
+    "selectors.DefaultSelector",
+}
+
+#: Prefixes that are blocking wholesale.
+_BLOCKING_PREFIXES = ("subprocess.", "socket.")
+
+
+def _is_blocking(resolved: str | None) -> bool:
+    if resolved is None:
+        return False
+    if resolved in _BLOCKING_CALLS:
+        return True
+    return resolved.startswith(_BLOCKING_PREFIXES)
+
+
+def _blocking_method(call: ast.Call) -> str | None:
+    """Blocking *method* patterns: ``.submit(...).result()`` and
+    ``<queue-ish>.get()`` / ``.join()``."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr == "result" and isinstance(func.value, ast.Call):
+        inner = func.value.func
+        if isinstance(inner, ast.Attribute) and inner.attr == "submit":
+            return ".submit(...).result() blocks until the future resolves"
+    if func.attr in {"get", "join"}:
+        receiver = dotted_source(func.value) or ""
+        if "queue" in receiver.lower():
+            # queue.Queue.get(block=False) / get_nowait() don't block.
+            for keyword in call.keywords:
+                if (
+                    keyword.arg == "block"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is False
+                ):
+                    return None
+            return f"{receiver}.{func.attr}() blocks the event loop"
+    return None
+
+
+@register_rule
+class AsyncBlockingCallRule(Rule):
+    id = "RPR201"
+    name = "blocking call in async def body"
+    rationale = (
+        "The query server and cluster router are single-threaded asyncio "
+        "loops; a blocking call (time.sleep, sync socket/file I/O, "
+        "os.fsync, subprocess, blocking queue.get, .result() on a "
+        "just-submitted future) in a coroutine stalls every connected "
+        "client at once.  Route blocking work through _in_executor / "
+        "loop.run_in_executor -- pass the callable, don't call it."
+    )
+
+    def check(self, module) -> list:
+        findings: list = []
+        for function in ast.walk(module.tree):
+            if not isinstance(function, ast.AsyncFunctionDef):
+                continue
+            for node in walk_function_body(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = call_name(node, module.imports)
+                message = None
+                if _is_blocking(resolved):
+                    message = f"{resolved}() blocks the event loop"
+                else:
+                    message = _blocking_method(node)
+                if message is not None:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"{message} (inside async def "
+                            f"{function.name}; route it through "
+                            f"_in_executor)",
+                            coroutine=function.name,
+                        )
+                    )
+        return findings

@@ -1,0 +1,139 @@
+"""RPR4xx -- durability: WAL before ack.
+
+The storage contract (``repro.storage``, PR 7) is that an
+acknowledged mutation is on disk: the WAL append (fsync'd) happens
+before the mutating call returns to its caller.  Both live examples
+follow one shape -- mutate in-memory state, then log:
+
+* ``db/session.py`` ``_update_locked``: ``graph.add_edge`` /
+  ``remove_edge`` then ``self._log_applied(...)`` on **every** exit
+  path, including the partial-failure ``except`` path.
+* ``cluster/service.py`` ``submit_update``: ``partition.assign`` /
+  ``record_cut`` / ``discard_cut`` then ``self._router_wal.append``.
+
+``RPR401`` enforces the shape: in a *storage-bound* class (one that
+references ``self._storage`` or ``self._router_wal``), a method that
+calls a graph/routing mutator must also call a logging API -- and must
+not ``return`` between the first mutation and the first log call
+(an early ack path that skips the append).  Methods named
+``recover*``/``replay*``/``_recover*``/``_replay*`` are exempt: they
+*apply* already-logged records, logging again would double them.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import dotted_source, is_self_attr
+from repro.analysis.base import Rule, register_rule
+
+__all__ = ["WalBeforeAckRule"]
+
+#: Attribute-call names that mutate graph or routing state.
+_MUTATORS = {"add_edge", "remove_edge", "assign", "record_cut", "discard_cut"}
+#: Attribute-call names that log durably.
+_LOGGERS = {"_log_applied", "log_update"}
+#: ``.append``/``.sync``/``.checkpoint`` count as logging only on a
+#: storage-ish receiver (``self._router_wal.append``, not
+#: ``results.append``).
+_RECEIVER_LOGGERS = {"append", "sync", "checkpoint", "commit"}
+_STORAGE_ATTRS = {"_storage", "_router_wal", "_wal"}
+
+_EXEMPT_PREFIXES = ("recover", "_recover", "replay", "_replay")
+
+
+def _storage_bound(classdef: ast.ClassDef) -> bool:
+    for node in ast.walk(classdef):
+        if is_self_attr(node) and node.attr in _STORAGE_ATTRS:
+            return True
+    return False
+
+
+def _is_logging_call(call: ast.Call) -> bool:
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    if func.attr in _LOGGERS:
+        return True
+    if func.attr in _RECEIVER_LOGGERS:
+        receiver = (dotted_source(func.value) or "").lower()
+        return "wal" in receiver or "storage" in receiver or "_log" in receiver
+    return False
+
+
+def _is_mutator_call(call: ast.Call) -> bool:
+    func = call.func
+    return isinstance(func, ast.Attribute) and func.attr in _MUTATORS
+
+
+@register_rule
+class WalBeforeAckRule(Rule):
+    id = "RPR401"
+    name = "graph mutation without a WAL append before the ack"
+    rationale = (
+        "An acknowledged mutation must be on disk: storage-bound code "
+        "mutates in-memory state and then appends to the WAL before "
+        "returning (db/session.py _update_locked and cluster "
+        "submit_update are the canonical shapes).  A mutating method "
+        "with no log call -- or a return between the first mutation and "
+        "the first append -- is an ack the recovery replay cannot "
+        "reproduce.  recover*/replay* methods apply already-logged "
+        "records and are exempt."
+    )
+
+    def check(self, module) -> list:
+        findings: list = []
+        for classdef in ast.walk(module.tree):
+            if not isinstance(classdef, ast.ClassDef):
+                continue
+            if not _storage_bound(classdef):
+                continue
+            for method in classdef.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if method.name.startswith(_EXEMPT_PREFIXES):
+                    continue
+                mutators = []
+                loggers = []
+                returns = []
+                for node in ast.walk(method):
+                    if isinstance(node, ast.Call):
+                        if _is_mutator_call(node):
+                            mutators.append(node)
+                        if _is_logging_call(node):
+                            loggers.append(node)
+                    elif isinstance(node, ast.Return):
+                        returns.append(node)
+                if not mutators:
+                    continue
+                if not loggers:
+                    findings.append(
+                        self.finding(
+                            module,
+                            mutators[0],
+                            f"{classdef.name}.{method.name} mutates "
+                            f"graph/routing state but never logs to the "
+                            f"WAL -- an ack from here is not durable",
+                            method=method.name,
+                        )
+                    )
+                    continue
+                first_mutation = min(node.lineno for node in mutators)
+                first_log = min(node.lineno for node in loggers)
+                for node in returns:
+                    if first_mutation <= node.lineno < first_log:
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                f"{classdef.name}.{method.name} returns "
+                                f"after mutating (line {first_mutation}) "
+                                f"but before the first WAL append (line "
+                                f"{first_log}) -- early ack skips "
+                                f"durability",
+                                method=method.name,
+                            )
+                        )
+        return findings

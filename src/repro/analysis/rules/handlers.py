@@ -1,0 +1,80 @@
+"""RPR7xx -- exception hygiene.
+
+A broad ``except Exception:`` that swallows is how bugs become silent
+wrong answers: the connection loop *must* catch everything (never kill
+the socket on one bad request), but a warm-up path that hides a
+``TypeError`` behind ``except Exception: pass`` just moves the crash
+three calls downstream.  ``RPR701`` flags broad handlers -- bare
+``except:``, ``except Exception:``, ``except BaseException:`` -- that
+do not re-raise.  Handlers whose body contains a bare ``raise`` are
+exempt (catch-log-reraise is the *good* broad pattern, e.g. the
+partial-update path in ``db/session.py``).  The deliberate broad
+catches at the serving boundary carry ``# repro: noqa[RPR701]`` with
+their rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Rule, register_rule
+
+__all__ = ["BroadExceptRule"]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _broad_names(handler: ast.ExceptHandler) -> list:
+    """The broad exception names this handler catches (possibly [])."""
+    if handler.type is None:
+        return ["bare except"]
+    candidates = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return [
+        f"except {node.id}"
+        for node in candidates
+        if isinstance(node, ast.Name) and node.id in _BROAD
+    ]
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+@register_rule
+class BroadExceptRule(Rule):
+    id = "RPR701"
+    name = "broad exception handler that does not re-raise"
+    severity = "warning"
+    rationale = (
+        "except Exception / bare except without a re-raise converts "
+        "bugs into silent wrong behaviour.  Catch the specific types a "
+        "path can actually raise (usually ReproError subclasses); the "
+        "few legitimate catch-alls (connection loops, thread mains) "
+        "re-raise or carry a `# repro: noqa[RPR701] -- <why>`."
+    )
+
+    def check(self, module) -> list:
+        findings: list = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_names(node)
+            if not broad or _reraises(node):
+                continue
+            findings.append(
+                self.finding(
+                    module,
+                    node,
+                    f"{broad[0]} without re-raise -- catch the specific "
+                    f"types this path raises, or suppress with the "
+                    f"reason this boundary must never propagate",
+                )
+            )
+        return findings

@@ -1,0 +1,265 @@
+"""RPR1xx -- lock discipline.
+
+The repo's concurrency contracts (``core/cache.py``, ``db/session.py``,
+the scheduler, the cluster router) all follow one convention: shared
+mutable attributes are written under ``with self.<lock>:`` where the
+lock attribute has ``lock`` in its name.  Two rules lean on exactly
+that convention:
+
+``RPR101`` (guarded attribute written without the lock)
+    Any attribute that *some* method of a class assigns under a
+    ``with``-lock is treated as lock-guarded; an assignment to it
+    outside any ``with``-lock in the same class (``__init__``/
+    ``__new__`` excepted -- pre-publication writes race with nobody) is
+    a data-race candidate.  A write inside a closure defined under a
+    lock does **not** count as locked: the closure runs later, when the
+    ``with`` block is long gone.
+
+``RPR102`` (lock-acquisition-order cycle)
+    Builds the acquisition-order graph over every ``self.<lock>``
+    attribute in the project: an edge ``A -> B`` when a ``with A:``
+    body acquires ``B`` -- lexically, or through a same-class method
+    call that acquires ``B`` at its top level.  A cycle in that graph
+    is a deadlock candidate: two threads entering the cycle from
+    different edges can block each other forever.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import is_self_attr, iter_methods, lock_attr_name
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.finding import Finding
+
+__all__ = ["LockGuardRule", "LockOrderRule"]
+
+_PRE_PUBLICATION = {"__init__", "__new__", "__post_init__"}
+
+
+def _assigned_self_attrs(node):
+    """``self.<attr>`` targets of one assignment statement."""
+    targets: list = []
+    if isinstance(node, ast.Assign):
+        raw = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        raw = [node.target]
+    else:
+        return targets
+    stack = list(raw)
+    while stack:
+        target = stack.pop()
+        if isinstance(target, (ast.Tuple, ast.List)):
+            stack.extend(target.elts)
+        elif is_self_attr(target):
+            targets.append(target)
+    return targets
+
+
+class _WriteCollector:
+    """Attribute writes of one method, tagged locked/unlocked.
+
+    The lock context is lexical *within the method*: entering a nested
+    function or lambda resets it (deferred bodies do not inherit the
+    ``with`` block they were defined in).
+    """
+
+    def __init__(self) -> None:
+        self.writes: list = []  # (attr_name, node, locked)
+        self.acquisitions: list = []  # (lock_name, with_node, held_stack)
+        self.calls: list = []  # (method_name, held_stack)
+
+    def visit(self, node, held: tuple) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            held = ()
+        elif isinstance(node, ast.With) or isinstance(node, ast.AsyncWith):
+            for item in node.items:
+                lock = lock_attr_name(item.context_expr)
+                if lock is not None:
+                    self.acquisitions.append((lock, node, held))
+                    held = held + (lock,)
+        else:
+            for target in _assigned_self_attrs(node):
+                self.writes.append((target.attr, node, bool(held)))
+            if (
+                isinstance(node, ast.Call)
+                and is_self_attr(node.func)
+            ):
+                self.calls.append((node.func.attr, held))
+        for child in ast.iter_child_nodes(node):
+            self.visit(child, held)
+
+
+def _scan_class(classdef: ast.ClassDef) -> dict:
+    """Per-method write/acquisition facts of one class."""
+    facts: dict = {}
+    for method in iter_methods(classdef):
+        collector = _WriteCollector()
+        for statement in method.body:
+            collector.visit(statement, ())
+        facts[method.name] = collector
+    return facts
+
+
+@register_rule
+class LockGuardRule(Rule):
+    id = "RPR101"
+    name = "lock-guarded attribute written without its lock"
+    rationale = (
+        "An attribute some method writes under `with self.<lock>:` is "
+        "shared mutable state; writing it elsewhere without the lock is "
+        "a data race the GIL only hides, not prevents (interleavings "
+        "between bytecodes, and read-modify-write like `+=`, still "
+        "tear).  Writes in __init__ run before the object is shared and "
+        "are exempt."
+    )
+
+    def check(self, module) -> list:
+        findings: list = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            facts = _scan_class(node)
+            guarded: set = set()
+            for method_name, collector in facts.items():
+                if method_name in _PRE_PUBLICATION:
+                    continue
+                for attr, _write, locked in collector.writes:
+                    if locked:
+                        guarded.add(attr)
+            if not guarded:
+                continue
+            for method_name, collector in facts.items():
+                if method_name in _PRE_PUBLICATION:
+                    continue
+                for attr, write, locked in collector.writes:
+                    if attr in guarded and not locked:
+                        findings.append(
+                            self.finding(
+                                module,
+                                write,
+                                f"{node.name}.{attr} is written under a "
+                                f"lock elsewhere in this class but "
+                                f"mutated here without one (method "
+                                f"{method_name})",
+                                attribute=attr,
+                                method=method_name,
+                            )
+                        )
+        return findings
+
+
+@register_rule
+class LockOrderRule(Rule):
+    id = "RPR102"
+    name = "lock-acquisition-order cycle (deadlock candidate)"
+    rationale = (
+        "If one code path takes lock A then B while another takes B "
+        "then A, two threads can deadlock.  The acquisition-order graph "
+        "over every `with self.<lock>:` site (including one level of "
+        "same-class method calls) must stay acyclic."
+    )
+
+    def __init__(self) -> None:
+        # edge (holder, acquired) -> first (module, node) witnessing it
+        self._edges: dict = {}
+
+    def collect(self, module) -> None:
+        for classdef in ast.walk(module.tree):
+            if not isinstance(classdef, ast.ClassDef):
+                continue
+            facts = _scan_class(classdef)
+            toplevel: dict = {}
+            for method_name, collector in facts.items():
+                toplevel[method_name] = {
+                    lock
+                    for lock, _node, held in collector.acquisitions
+                    if not held
+                }
+            qualify = lambda lock: f"{classdef.name}.{lock}"  # noqa: E731
+            for collector in facts.values():
+                for lock, with_node, held in collector.acquisitions:
+                    for holder in held:
+                        if holder != lock:
+                            self._edges.setdefault(
+                                (qualify(holder), qualify(lock)),
+                                (module, with_node),
+                            )
+                for method_name, held in collector.calls:
+                    if not held:
+                        continue
+                    for lock in toplevel.get(method_name, ()):
+                        for holder in held:
+                            if holder != lock:
+                                self._edges.setdefault(
+                                    (qualify(holder), qualify(lock)),
+                                    (module, None),
+                                )
+
+    def finalize(self, project) -> list:
+        graph: dict = {}
+        for holder, acquired in self._edges:
+            graph.setdefault(holder, set()).add(acquired)
+        findings: list = []
+        seen_cycles: set = set()
+        for start in sorted(graph):
+            cycle = _find_cycle(graph, start)
+            if cycle is None:
+                continue
+            key = frozenset(cycle)
+            if key in seen_cycles:
+                continue
+            seen_cycles.add(key)
+            witness = None
+            for index, node in enumerate(cycle):
+                edge = (node, cycle[(index + 1) % len(cycle)])
+                if self._edges.get(edge, (None, None))[1] is not None:
+                    witness = self._edges[edge]
+                    break
+            if witness is None:
+                witness = next(
+                    self._edges[(node, cycle[(index + 1) % len(cycle)])]
+                    for index, node in enumerate(cycle)
+                    if (node, cycle[(index + 1) % len(cycle)]) in self._edges
+                )
+            module, node = witness
+            ordered = " -> ".join(cycle + [cycle[0]])
+            findings.append(
+                Finding(
+                    rule=self.id,
+                    path=str(module.path),
+                    line=getattr(node, "lineno", 1),
+                    severity=self.severity,
+                    message=(
+                        f"lock-acquisition-order cycle: {ordered} "
+                        "(deadlock candidate; pick one global order)"
+                    ),
+                    detail={"cycle": cycle},
+                )
+            )
+        return findings
+
+
+def _find_cycle(graph: dict, start: str):
+    """The first cycle reachable from ``start`` (DFS), or ``None``."""
+    path: list = []
+    on_path: set = set()
+    visited: set = set()
+
+    def dfs(node: str):
+        if node in on_path:
+            return path[path.index(node):]
+        if node in visited:
+            return None
+        visited.add(node)
+        path.append(node)
+        on_path.add(node)
+        for neighbour in sorted(graph.get(node, ())):
+            found = dfs(neighbour)
+            if found is not None:
+                return found
+        path.pop()
+        on_path.discard(node)
+        return None
+
+    return dfs(start)

@@ -1,0 +1,51 @@
+"""RPR6xx -- monotonic time.
+
+``time.time()`` is wall-clock: NTP steps it backwards and forwards
+under you, so elapsed-time arithmetic on it produces negative latencies
+and phantom slow queries.  The repo contract: *durations* come from
+``time.monotonic()``/``time.perf_counter()``; ``time.time()`` is for
+*timestamps* that leave the process (span start epochs, slow-log
+records, WAL metadata) -- and each such site carries a
+``# repro: noqa[RPR601]`` with the rationale, making the intent
+auditable at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import call_name
+from repro.analysis.base import Rule, register_rule
+
+__all__ = ["WallClockRule"]
+
+
+@register_rule
+class WallClockRule(Rule):
+    id = "RPR601"
+    name = "time.time() call (wall-clock; not for elapsed time)"
+    rationale = (
+        "time.time() is stepped by NTP; subtracting two readings can go "
+        "negative or jump, corrupting latency metrics and deadline "
+        "math.  Use time.monotonic()/time.perf_counter() for elapsed "
+        "time.  Genuine wall-clock timestamps (epochs that leave the "
+        "process in logs/WAL/spans) are fine -- suppress with "
+        "`# repro: noqa[RPR601] -- <why this is a timestamp>`."
+    )
+
+    def check(self, module) -> list:
+        findings: list = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node, module.imports) == "time.time":
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "time.time() is wall-clock; use time.monotonic()"
+                        "/perf_counter() for elapsed time, or suppress "
+                        "with a rationale if this is a genuine timestamp",
+                    )
+                )
+        return findings

@@ -1,0 +1,137 @@
+"""Inline suppressions: ``# repro: noqa[RPR101] -- rationale``.
+
+A suppression silences the named rules *on its own physical line* (the
+line a finding anchors to -- for a multi-line statement that is the
+statement's first line).  The codes are explicit on purpose: a blanket
+``# repro: noqa`` is not accepted, because a suppression that does not
+name what it hides also hides what it was never meant to.
+
+The engine tracks which suppressions actually matched a finding; ones
+that matched nothing are reported as ``RPR000`` warnings, so stale
+suppressions cannot linger after the code they excused is fixed.  A
+suppression without a trailing rationale (free text after the bracket,
+conventionally ``-- why``) is also an ``RPR000``: the reviewer of the
+*next* edit to that line needs to know what was being excused.
+
+Comment scanning uses :mod:`tokenize`, not substring search, so the
+marker inside a string literal does not suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from repro.analysis.finding import Finding
+
+__all__ = ["Suppression", "scan_suppressions", "apply_suppressions"]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<codes>[A-Z0-9,\s]+)\]\s*(?P<rationale>.*)$"
+)
+
+
+class Suppression:
+    """One ``# repro: noqa[...]`` comment on one line."""
+
+    __slots__ = ("path", "line", "codes", "rationale", "used")
+
+    def __init__(self, path: str, line: int, codes: tuple, rationale: str) -> None:
+        self.path = path
+        self.line = line
+        self.codes = codes
+        self.rationale = rationale
+        self.used = False
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.line == self.line and finding.rule in self.codes
+
+
+def scan_suppressions(module) -> list:
+    """All suppression comments of one module, in line order."""
+    suppressions: list = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(module.source).readline)
+        comments = [
+            token for token in tokens if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):
+        # The AST parsed but tokenize choked (rare); treat as no comments.
+        return []
+    for token in comments:
+        match = _NOQA_RE.search(token.string)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip()
+            for code in match.group("codes").split(",")
+            if code.strip()
+        )
+        rationale = match.group("rationale").strip().lstrip("-: ").strip()
+        suppressions.append(
+            Suppression(
+                path=str(module.path),
+                line=token.start[0],
+                codes=codes,
+                rationale=rationale,
+            )
+        )
+    return suppressions
+
+
+def apply_suppressions(
+    findings: list, suppressions: list, warn_unused: bool = True
+) -> list:
+    """Filter suppressed findings; append RPR000 meta-warnings.
+
+    ``warn_unused=False`` skips the unused-suppression warnings -- the
+    engine sets it when running a rule *subset* (``--select``/
+    ``--ignore``), where a suppression for an unselected rule is not
+    evidence of staleness.
+    """
+    kept: list = []
+    by_line: dict = {}
+    for suppression in suppressions:
+        by_line.setdefault((suppression.path, suppression.line), []).append(
+            suppression
+        )
+    for finding in findings:
+        matched = False
+        for suppression in by_line.get((finding.path, finding.line), ()):
+            if suppression.matches(finding):
+                suppression.used = True
+                matched = True
+        if not matched:
+            kept.append(finding)
+    if warn_unused:
+        for suppression in suppressions:
+            if not suppression.used:
+                kept.append(
+                    Finding(
+                        rule="RPR000",
+                        path=suppression.path,
+                        line=suppression.line,
+                        severity="warning",
+                        message=(
+                            "unused suppression "
+                            f"[{', '.join(suppression.codes)}]: no such "
+                            "finding on this line -- remove the comment"
+                        ),
+                    )
+                )
+            elif not suppression.rationale:
+                kept.append(
+                    Finding(
+                        rule="RPR000",
+                        path=suppression.path,
+                        line=suppression.line,
+                        severity="warning",
+                        message=(
+                            "suppression without a rationale: say why, "
+                            "e.g. # repro: noqa[RPR601] -- wall-clock "
+                            "log timestamp"
+                        ),
+                    )
+                )
+    return kept

@@ -60,7 +60,7 @@ def measure_configuration(
                         started = time.perf_counter()
                         client.query(query, pairs=False)
                         latencies.append(time.perf_counter() - started)
-            except BaseException as error:  # noqa: BLE001 -- re-raised below
+            except BaseException as error:  # noqa: BLE001  # repro: noqa[RPR701] -- bench worker thread: the failure is stashed and re-raised by the harness after join
                 errors.append(error)
                 barrier.abort()
 

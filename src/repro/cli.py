@@ -26,6 +26,11 @@ before writing any code; all of them run through the
   --slow-query-log`` (or a raw trace JSON) as indented phase breakdowns;
 * ``explain``-- show the static RTCSharing evaluation plan of a query
   (DNF clauses, batch-unit decomposition, cache keys);
+* ``lint``   -- run the :mod:`repro.analysis` static invariant checker
+  over the source tree (lock discipline, async hygiene, wire/error
+  registries, WAL-before-ack, observability names, monotonic time);
+  ``--select``/``--ignore`` pick rule families, ``--json`` emits the CI
+  artifact, ``--explain RPR401`` prints a rule's contract;
 * ``dot``    -- render the graph, a reduction, or a query automaton as
   Graphviz DOT text.
 
@@ -48,6 +53,9 @@ Examples::
     python -m repro stats --connect 127.0.0.1:7687 --prometheus
     python -m repro serve graph.txt --slow-query-log slow.jsonl
     python -m repro trace slow.jsonl --limit 3
+    python -m repro lint src/repro --json
+    python -m repro lint --select RPR1,RPR601
+    python -m repro lint --explain RPR401
     python -m repro reduce graph.txt "b.c"
     python -m repro dot graph.txt --query "b.c" --view condensation
 """
@@ -352,6 +360,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain.add_argument("graph", help="edge-list file")
     explain.add_argument("query", help="the RPQ to plan")
+
+    lint = commands.add_parser(
+        "lint",
+        help="statically check repro's concurrency/wire/durability contracts",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help=(
+            "comma-separated rule ids or family prefixes to run "
+            "(e.g. RPR101 or RPR1); repeatable"
+        ),
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule ids or family prefixes to skip; repeatable",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of file:line text",
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="RULE",
+        default=None,
+        help="print a rule's rationale and exit (e.g. --explain RPR401)",
+    )
 
     dot = commands.add_parser("dot", help="emit Graphviz DOT")
     dot.add_argument("graph", help="edge-list file")
@@ -737,6 +784,50 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """``repro lint`` -- the static invariant checker of
+    :mod:`repro.analysis`."""
+    from repro.analysis import all_rules, run_lint
+
+    if args.explain is not None:
+        rule = all_rules().get(args.explain)
+        if rule is None:
+            known = ", ".join(sorted(all_rules()))
+            print(
+                f"error: unknown rule {args.explain!r}; known rules: {known}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"{rule.id} [{rule.severity}] {rule.name}")
+        print()
+        print(rule.rationale)
+        return 0
+
+    def split(values: list) -> list | None:
+        flat = [
+            item.strip()
+            for value in values
+            for item in value.split(",")
+            if item.strip()
+        ]
+        return flat or None
+
+    paths = args.paths
+    if not paths:
+        import repro
+
+        paths = [repro.__path__[0]]
+    try:
+        result = run_lint(
+            paths, select=split(args.select), ignore=split(args.ignore)
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.render_json() if args.json else result.render_text())
+    return result.exit_code
+
+
 def _cmd_dot(args) -> int:
     graph = load_edge_list(args.graph)
     if args.view == "graph":
@@ -763,6 +854,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "trace": _cmd_trace,
     "explain": _cmd_explain,
+    "lint": _cmd_lint,
     "dot": _cmd_dot,
 }
 

@@ -198,7 +198,7 @@ def merge_futures(children: list[Future]) -> Future:
     def on_done(child: Future) -> None:
         try:
             child.result()
-        except (CancelledError, Exception) as error:  # noqa: BLE001
+        except (CancelledError, Exception) as error:  # noqa: BLE001  # repro: noqa[RPR701] -- fan-in callback: the first failure is stashed and delivered through the merged future
             outcome: BaseException | None = error
         else:
             outcome = None
@@ -442,9 +442,13 @@ class InProcessBackend(ShardBackend):
         if self._closed:
             return
         self._closed = True
-        if self._partial_executor is not None:
-            self._partial_executor.shutdown(wait=True, cancel_futures=True)
-            self._partial_executor = None
+        # Swap the executor out under the lock (its lazy creation in
+        # _run_partial races with close), but shut it down outside --
+        # in-flight partials take self._lock for their NFA memo.
+        with self._lock:
+            executor, self._partial_executor = self._partial_executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
         for replica in self.replicas:
             replica.scheduler.stop()
         for replica in self.replicas:

@@ -86,6 +86,7 @@ from repro.errors import (
     ClusterError,
     DeadlineExpiredError,
     GraphError,
+    ReproError,
     ServerError,
     StorageError,
 )
@@ -259,7 +260,7 @@ class GraphCluster:
         # replayed here -- before any request routes -- on every start.
         self._router_wal = None
         if config.data_dir is not None:
-            self._open_router_log(Path(config.data_dir) / "router")
+            self._recover_router_log(Path(config.data_dir) / "router")
         # Routing keys must agree with the backends' cache keying, or
         # body-affine replica picking hashes on different keys than the
         # caches share on.  Thread backends expose their live cache
@@ -338,7 +339,7 @@ class GraphCluster:
             **common,
         )
 
-    def _open_router_log(self, router_dir: Path) -> None:
+    def _recover_router_log(self, router_dir: Path) -> None:
         """Open (and replay) the router's own durability log.
 
         Shard WALs make the *graphs* recoverable; what they cannot carry
@@ -628,7 +629,7 @@ class GraphCluster:
     ) -> None:
         try:
             payload, elapsed = child.result()
-        except (CancelledError, Exception) as error:  # noqa: BLE001
+        except (CancelledError, Exception) as error:  # noqa: BLE001  # repro: noqa[RPR701] -- fan-in callback: the first failure is stashed and delivered through the join future
             outcome: BaseException | None = error
         else:
             outcome = None
@@ -685,7 +686,7 @@ class GraphCluster:
                     trace[0].record(
                         "join_cache_hit",
                         trace[1],
-                        time.time(),
+                        time.time(),  # repro: noqa[RPR601] -- span start is a wall-clock epoch (trace axis); the hit has zero duration
                         0.0,
                         version=version,
                         pairs=len(pairs),
@@ -1314,7 +1315,10 @@ class ClusterRouter(QueryServer):
                     for text in missing:
                         try:
                             self.cluster._route_info(text, parse(text))
-                        except Exception:  # noqa: BLE001 -- base reports
+                        except ReproError:
+                            # Warm-up only: the base handler re-routes
+                            # and reports the real error to the client.
+                            # Genuine bugs propagate.
                             return
                 await self._in_executor(warm)
         return await super()._op_query(request_id, request)

@@ -41,6 +41,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.cluster.backends import InProcessBackend, aggregate_scheduler_stats
+from repro.errors import ReproError
 from repro.server import protocol
 from repro.server.service import QueryServer, ServerConfig
 
@@ -121,7 +122,10 @@ class ShardWorkerServer(QueryServer):
                     for text in missing:
                         try:
                             self.backend.route_key(text)
-                        except Exception:  # noqa: BLE001 -- base reports
+                        except ReproError:
+                            # Warm-up only: the base handler re-parses
+                            # and reports the real error to the client.
+                            # Genuine bugs propagate.
                             return
 
                 await self._in_executor(warm)
@@ -313,7 +317,7 @@ def worker_main(spec: WorkerSpec, ready_conn) -> None:
             backend,
             ServerConfig(host=spec.host, port=0, default_timeout=None),
         )
-    except BaseException as error:  # noqa: BLE001 -- reported to the parent
+    except BaseException as error:  # noqa: BLE001  # repro: noqa[RPR701] -- worker-process boundary: the failure is serialised to the parent over the ready pipe, then the process exits
         logger.exception("shard %d failed to start", spec.shard_id)
         ready_conn.send(("error", f"{type(error).__name__}: {error}"))
         ready_conn.close()
@@ -340,7 +344,7 @@ def worker_main(spec: WorkerSpec, ready_conn) -> None:
 
     try:
         server.run(ready_callback=announce)
-    except BaseException:  # noqa: BLE001 -- the log is the artifact
+    except BaseException:  # noqa: BLE001  # repro: noqa[RPR701] -- worker-process boundary: the crash log is the artifact; the process exits 1 and the parent sees the dead socket
         logger.exception("shard %d crashed", spec.shard_id)
         sys.exit(1)
     logger.info("shard %d shut down cleanly", spec.shard_id)

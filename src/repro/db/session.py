@@ -427,7 +427,7 @@ class GraphDB:
         if self._storage is None or (not applied_add and not applied_remove):
             return
         if self._storage.log_update(applied_add, applied_remove) is not None:
-            self._updates_since_checkpoint += 1
+            self._updates_since_checkpoint += 1  # repro: noqa[RPR101] -- every caller (update/_update_locked, checkpoint) already holds self._lock
 
     def _maybe_auto_checkpoint(self) -> None:
         if (

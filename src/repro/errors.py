@@ -8,6 +8,36 @@ RPQ syntax problems, and evaluation-time failures.
 
 from __future__ import annotations
 
+#: The canonical registry of wire-protocol error codes.
+#:
+#: Every ``code`` attached to an exception anywhere in the library --
+#: class attributes below, ``code=`` constructor keywords, post-hoc
+#: ``error.code = ...`` tags, and the classification locals in
+#: :func:`repro.server.protocol.error_payload` -- must be a key here;
+#: ``repro lint`` (rule ``RPR302``) enforces it statically, and the
+#: round-trip test drives every key through ``error_payload`` ->
+#: ``exception_from_payload`` to prove clients can rehydrate it.
+ERROR_CODES = {
+    # server/protocol.py classification of evaluation failures
+    "syntax": "the query text failed to parse (RPQSyntaxError)",
+    "storage": "a durability operation failed (StorageError)",
+    "evaluation": "the query could not be evaluated (EvaluationError)",
+    "internal": "unclassified server-side failure (ServerError base)",
+    # admission control and lifecycle
+    "rejected": "admission queue full; back off and retry (AdmissionError)",
+    "deadline": "deadline passed before evaluation (DeadlineExpiredError)",
+    "closed": "the server/scheduler/backend is shut down",
+    "poisoned": "the client connection is in an unrecoverable state",
+    "bad_request": "the wire message violated the protocol (ProtocolError)",
+    # cluster routing (any `cluster`-prefixed code rehydrates to
+    # ClusterError, preserving the sub-code)
+    "cluster": "unclassified cluster routing failure (ClusterError base)",
+    "cluster.topology": "the shard topology cannot satisfy the request",
+    "cluster.unsupported": "a sharded deployment cannot express this op",
+    "cluster.unknown_edge": "edge removal references no known shard/cut",
+    "cluster.worker_start": "a shard worker process failed to start",
+}
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
@@ -45,6 +75,9 @@ class StorageError(ReproError):
     append is an expected state, not an error).
     """
 
+    #: Wire-protocol error code (see :data:`ERROR_CODES`).
+    code = "storage"
+
 
 class RPQSyntaxError(ReproError):
     """The textual form of a regular path query could not be parsed.
@@ -52,6 +85,9 @@ class RPQSyntaxError(ReproError):
     Carries the offending ``position`` (character offset into the query
     string) when it is known, so callers can point at the error.
     """
+
+    #: Wire-protocol error code (see :data:`ERROR_CODES`).
+    code = "syntax"
 
     def __init__(self, message: str, position: int | None = None) -> None:
         if position is not None:
@@ -62,6 +98,9 @@ class RPQSyntaxError(ReproError):
 
 class EvaluationError(ReproError):
     """An RPQ could not be evaluated against the given graph."""
+
+    #: Wire-protocol error code (see :data:`ERROR_CODES`).
+    code = "evaluation"
 
 
 class UnknownEngineError(ReproError, ValueError):

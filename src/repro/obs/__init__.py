@@ -13,12 +13,16 @@ Three legs, one package:
   (counters, gauges, fixed-bucket histograms) every layer publishes
   into, rendered in Prometheus text exposition format by the ``metrics``
   wire verb and ``repro stats --connect --prometheus``.
+* :mod:`repro.obs.names` -- the declared registry of span, metric, and
+  phase names all of the above draw from, enforced statically by
+  ``repro lint`` (rule ``RPR501``).
 * :mod:`repro.obs.slowlog` -- router-side slow-query forensics: completed
   trace trees (plus the query's ``explain()`` plan, when the serving
   session has one) appended as JSONL whenever a request exceeds a
   configured threshold; rendered by ``repro trace``.
 """
 
+from repro.obs.names import METRIC_NAMES, PHASE_KEYS, SPAN_NAMES
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     MetricsRegistry,
@@ -39,7 +43,10 @@ from repro.obs.trace import (
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "METRIC_NAMES",
     "MetricsRegistry",
+    "PHASE_KEYS",
+    "SPAN_NAMES",
     "get_registry",
     "parse_prometheus",
     "phase_totals",

@@ -52,7 +52,7 @@ class SlowQueryLog:
         if elapsed < self.threshold:
             return False
         entry = {
-            "ts": time.time(),
+            "ts": time.time(),  # repro: noqa[RPR601] -- the log record's wall-clock timestamp; elapsed is measured upstream monotonically
             "elapsed": elapsed,
             "threshold": self.threshold,
             "queries": list(queries),

@@ -81,7 +81,7 @@ class Span:
         self.span_id = span_id if span_id is not None else new_span_id()
         self.parent_id = parent_id
         self.name = name
-        self.start = start if start is not None else time.time()
+        self.start = start if start is not None else time.time()  # repro: noqa[RPR601] -- span starts are wall-clock epochs so cross-process traces share one axis; durations use the monotonic anchor below
         self.duration = duration
         self.attrs = attrs if attrs is not None else {}
         # Monotonic anchor for finish(); wall clocks can step backwards.

@@ -465,7 +465,7 @@ class SharingScheduler:
         """
         tracer, parent = job.trace
         now_mono = time.monotonic()
-        now_wall = time.time()
+        now_wall = time.time()  # repro: noqa[RPR601] -- reconstructs wall-clock span starts by offsetting monotonic ages; waits themselves are monotonic
         dequeued = job.dequeued_at if job.dequeued_at is not None else now_mono
         tracer.record(
             "admission_wait",
@@ -545,7 +545,7 @@ class SharingScheduler:
                     else:
                         pairs = engine.evaluate(job.node)
                     elapsed = time.perf_counter() - started
-                except Exception as error:  # noqa: BLE001 -- goes to the future
+                except Exception as error:  # noqa: BLE001  # repro: noqa[RPR701] -- evaluation outcome boundary: the error becomes the job future's result, never lost
                     if job.trace is not None:
                         job.trace[0].finish(
                             eval_span, error=type(error).__name__
@@ -591,7 +591,7 @@ class SharingScheduler:
                     self.db.update(add=job.add, remove=job.remove)
             else:
                 self.db.update(add=job.add, remove=job.remove)
-        except Exception as error:  # noqa: BLE001 -- goes to the future
+        except Exception as error:  # noqa: BLE001  # repro: noqa[RPR701] -- update outcome boundary: the error becomes the job future's result, never lost
             if tracer is not None:
                 tracer.finish(apply_span, error=type(error).__name__)
             self.metrics.record_failed()

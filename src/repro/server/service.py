@@ -31,6 +31,7 @@ from repro.db.session import GraphDB
 from repro.errors import (
     AdmissionError,
     ProtocolError,
+    ReproError,
     RPQSyntaxError,
     ServerError,
 )
@@ -248,7 +249,7 @@ class QueryServer:
                     f"unknown op {op!r}; expected one of {', '.join(protocol.VERBS)}"
                 )
             return await handler(request_id, request)
-        except Exception as error:  # noqa: BLE001 -- never kill the connection
+        except Exception as error:  # noqa: BLE001  # repro: noqa[RPR701] -- connection loop: every failure must become an error response, never a dead socket
             return protocol.error_response(request_id, error)
 
     # -- tracing ---------------------------------------------------------
@@ -309,7 +310,10 @@ class QueryServer:
                         plans[text] = (
                             describe() if callable(describe) else str(plan)
                         )
-                    except Exception:  # noqa: BLE001 -- forensics only
+                    except ReproError:
+                        # Forensics only: a query that cannot be planned
+                        # (syntax/evaluation errors) just has no plan in
+                        # the slow-log entry.  Genuine bugs propagate.
                         continue
             slow_log.maybe_record(queries, elapsed, trace_wire, plans)
 
@@ -370,7 +374,7 @@ class QueryServer:
             entry: dict = {"query": text}
             try:
                 payload, elapsed = await asyncio.wrap_future(future)
-            except Exception as error:  # noqa: BLE001 -- per-query outcome
+            except Exception as error:  # noqa: BLE001  # repro: noqa[RPR701] -- per-query outcome: each query's failure is its own response entry; the batch must not die
                 entry["error"] = protocol.error_payload(error)
             else:
                 # A counts-aware scheduler (the cluster, when the client
@@ -579,7 +583,7 @@ class ServerThread:
         self._stop_event = asyncio.Event()
         try:
             await self.server.start()
-        except BaseException as error:  # noqa: BLE001 -- re-raised by start()
+        except BaseException as error:  # noqa: BLE001  # repro: noqa[RPR701] -- thread main: the startup error is stashed and re-raised by start() on the caller's thread
             self._startup_error = error
             self._ready.set()
             return

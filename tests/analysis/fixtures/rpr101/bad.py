@@ -1,0 +1,21 @@
+"""RPR101 bad fixture: lock-guarded attribute written without the lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def reset(self):
+        self.value = 0  # written without self._lock -> RPR101
+
+    def deferred_bump(self):
+        with self._lock:
+            # A closure defined under the lock runs later, without it.
+            return lambda: setattr(self, "other", 1)

@@ -1,0 +1,17 @@
+"""RPR101 good fixture: every post-init write holds the lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # pre-publication write: exempt
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def reset(self):
+        with self._lock:
+            self.value = 0

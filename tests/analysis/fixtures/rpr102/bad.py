@@ -1,0 +1,20 @@
+"""RPR102 bad fixture: two methods acquire the same locks in opposite
+order -- the classic deadlock."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self):
+        self._source_lock = threading.Lock()
+        self._target_lock = threading.Lock()
+
+    def forward(self):
+        with self._source_lock:
+            with self._target_lock:
+                pass
+
+    def backward(self):
+        with self._target_lock:
+            with self._source_lock:  # opposite order -> cycle
+                pass

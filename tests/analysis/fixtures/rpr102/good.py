@@ -1,0 +1,19 @@
+"""RPR102 good fixture: one global acquisition order."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self):
+        self._source_lock = threading.Lock()
+        self._target_lock = threading.Lock()
+
+    def forward(self):
+        with self._source_lock:
+            with self._target_lock:
+                pass
+
+    def backward(self):
+        with self._source_lock:
+            with self._target_lock:
+                pass

@@ -1,0 +1,12 @@
+"""RPR201 bad fixture: blocking calls directly in async def bodies."""
+
+import subprocess
+import time
+
+
+async def handler(request, work_queue, pool):
+    time.sleep(0.1)  # blocks the loop
+    subprocess.run(["true"])  # blocks the loop
+    item = work_queue.get()  # blocking queue read
+    answer = pool.submit(len, request).result()  # sync future wait
+    return item, answer

@@ -1,0 +1,13 @@
+"""RPR201 good fixture: blocking work routed off the event loop."""
+
+import asyncio
+import time
+
+
+async def handler(request, work_queue):
+    loop = asyncio.get_running_loop()
+    # The blocking callable is *referenced*, never called on the loop.
+    await loop.run_in_executor(None, time.sleep, 0.1)
+    item = work_queue.get_nowait()
+    await asyncio.sleep(0)  # async sleep is fine
+    return item

@@ -1,0 +1,13 @@
+"""RPR301 bad fixture (sender side): constructs a verb nobody handles."""
+
+
+class Client:
+    def _call(self, request):
+        raise NotImplementedError
+
+    def ping(self):
+        return self._call({"op": "ping"})
+
+    def flush(self):
+        # No handler registers "flush" -> RPR301.
+        return self._call({"op": "flush"})

@@ -1,0 +1,16 @@
+"""RPR301 bad fixture (handler side): registers a verb nobody sends."""
+
+
+class Server:
+    def __init__(self):
+        self._handlers = {
+            "ping": self._op_ping,
+            # No client constructs "stats" -> RPR301.
+            "stats": self._op_stats,
+        }
+
+    def _op_ping(self, request):
+        return {"ok": True}
+
+    def _op_stats(self, request):
+        return {"ok": True}

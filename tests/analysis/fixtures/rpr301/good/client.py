@@ -1,0 +1,12 @@
+"""RPR301 good fixture: every constructed verb has a handler."""
+
+
+class Client:
+    def _call(self, request):
+        raise NotImplementedError
+
+    def ping(self):
+        return self._call({"op": "ping"})
+
+    def stats(self):
+        return self._call({"op": "stats"})

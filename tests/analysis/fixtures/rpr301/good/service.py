@@ -1,0 +1,15 @@
+"""RPR301 good fixture: handlers mirror the constructed verbs."""
+
+
+class Server:
+    def __init__(self):
+        self._handlers = {
+            "ping": self._op_ping,
+            "stats": self._op_stats,
+        }
+
+    def _op_ping(self, request):
+        return {"ok": True}
+
+    def _op_stats(self, request):
+        return {"ok": True}

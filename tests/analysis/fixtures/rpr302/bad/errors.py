@@ -1,0 +1,5 @@
+"""RPR302 bad fixture: a registry that misses a code in use."""
+
+ERROR_CODES = {
+    "known": "a declared failure mode",
+}

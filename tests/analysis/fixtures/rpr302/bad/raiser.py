@@ -1,0 +1,10 @@
+"""RPR302 bad fixture: raises a code absent from ERROR_CODES."""
+
+
+def fail(make_error):
+    raise make_error("boom", code="mystery")  # undeclared -> RPR302
+
+
+def tag(error):
+    error.code = "known"  # declared: fine
+    return error

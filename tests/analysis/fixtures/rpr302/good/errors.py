@@ -1,0 +1,6 @@
+"""RPR302 good fixture: every code in use is declared."""
+
+ERROR_CODES = {
+    "known": "a declared failure mode",
+    "mystery": "now declared, with its meaning",
+}

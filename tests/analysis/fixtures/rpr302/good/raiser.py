@@ -1,0 +1,10 @@
+"""RPR302 good fixture: raised codes all appear in the registry."""
+
+
+def fail(make_error):
+    raise make_error("boom", code="mystery")
+
+
+def tag(error):
+    error.code = "known"
+    return error

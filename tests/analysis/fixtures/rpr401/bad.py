@@ -1,0 +1,20 @@
+"""RPR401 bad fixture: storage-bound mutations without (or before) the
+WAL append."""
+
+
+class Store:
+    def __init__(self, graph, storage):
+        self.graph = graph
+        self._storage = storage
+
+    def apply(self, source, label, target):
+        # Mutates, never logs -> the ack is not durable.
+        self.graph.add_edge(source, label, target)
+        return True
+
+    def apply_maybe(self, source, label, target, dry_run):
+        self.graph.add_edge(source, label, target)
+        if dry_run:
+            return False  # early ack between mutation and append
+        self._storage.log_update([(source, label, target)], [])
+        return True

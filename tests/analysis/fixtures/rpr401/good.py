@@ -1,0 +1,18 @@
+"""RPR401 good fixture: mutate, append, then ack."""
+
+
+class Store:
+    def __init__(self, graph, storage):
+        self.graph = graph
+        self._storage = storage
+
+    def apply(self, source, label, target):
+        self.graph.add_edge(source, label, target)
+        self._storage.log_update([(source, label, target)], [])
+        return True
+
+    def recover_edges(self, records):
+        # Replay applies already-logged records; logging again would
+        # double them -- the rule's recover*/replay* exemption.
+        for source, label, target in records:
+            self.graph.add_edge(source, label, target)

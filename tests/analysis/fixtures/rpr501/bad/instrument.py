@@ -1,0 +1,8 @@
+"""RPR501 bad fixture: typo'd span/metric/phase names."""
+
+
+def work(tracer, registry):
+    span = tracer.begin("reqest")  # typo -> RPR501
+    counter = registry.counter("repro_requets_total", "typo")  # RPR501
+    counter.inc(1.0, phase="walx")  # undeclared phase -> RPR501
+    return span

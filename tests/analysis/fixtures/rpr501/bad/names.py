@@ -1,0 +1,5 @@
+"""RPR501 bad fixture: the declared observability-name registry."""
+
+SPAN_NAMES = frozenset({"request"})
+METRIC_NAMES = frozenset({"repro_requests_total"})
+PHASE_KEYS = frozenset({"wal"})

@@ -1,0 +1,8 @@
+"""RPR501 good fixture: every instrumentation literal is declared."""
+
+
+def work(tracer, registry):
+    span = tracer.begin("request")
+    counter = registry.counter("repro_requests_total", "documented")
+    counter.inc(1.0, phase="wal")
+    return span

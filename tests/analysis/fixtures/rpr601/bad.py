@@ -1,0 +1,9 @@
+"""RPR601 bad fixture: wall-clock elapsed measurement."""
+
+import time
+
+
+def timed(work):
+    started = time.time()  # RPR601
+    work()
+    return time.time() - started  # RPR601

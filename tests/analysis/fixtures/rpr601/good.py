@@ -1,0 +1,9 @@
+"""RPR601 good fixture: monotonic elapsed measurement."""
+
+import time
+
+
+def timed(work):
+    started = time.perf_counter()
+    work()
+    return time.perf_counter() - started

@@ -1,0 +1,15 @@
+"""RPR701 bad fixture: broad handlers that swallow."""
+
+
+def risky(task):
+    try:
+        return task()
+    except Exception:  # swallows bugs -> RPR701
+        return None
+
+
+def riskier(task):
+    try:
+        return task()
+    except:  # noqa: E722 -- bare except, also RPR701
+        return None

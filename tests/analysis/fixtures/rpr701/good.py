@@ -1,0 +1,16 @@
+"""RPR701 good fixture: specific types, or broad with a re-raise."""
+
+
+def risky(task):
+    try:
+        return task()
+    except ValueError:
+        return None
+
+
+def logged(task, log):
+    try:
+        return task()
+    except Exception:
+        log.exception("task failed")
+        raise  # catch-log-reraise: the good broad pattern

@@ -1,0 +1,7 @@
+"""Suppression fixture: a used noqa that never says why."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro: noqa[RPR601]

@@ -1,0 +1,7 @@
+"""Suppression fixture: a finding silenced with a rationale."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro: noqa[RPR601] -- wall-clock log timestamp

@@ -1,0 +1,5 @@
+"""Suppression fixture: a noqa on a line with nothing to suppress."""
+
+
+def clean():
+    return 1  # repro: noqa[RPR601] -- nothing here to excuse

@@ -1,0 +1,144 @@
+"""Framework tests: suppressions, selection, rendering, loading, CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules, get_rule, run_lint
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SUPPRESS = FIXTURES / "suppress"
+
+
+class TestSuppressions:
+    def test_noqa_with_rationale_silences_the_finding(self):
+        result = run_lint([str(SUPPRESS / "suppressed.py")])
+        assert result.ok
+
+    def test_unused_suppression_warns_rpr000(self):
+        result = run_lint([str(SUPPRESS / "unused.py")])
+        [finding] = result.findings
+        assert finding.rule == "RPR000"
+        assert "unused suppression" in finding.message
+        assert result.exit_code == 1
+
+    def test_used_suppression_without_rationale_warns_rpr000(self):
+        result = run_lint([str(SUPPRESS / "norationale.py")])
+        [finding] = result.findings
+        assert finding.rule == "RPR000"
+        assert "rationale" in finding.message
+
+    def test_subset_runs_skip_unused_warnings(self):
+        # Under --select the RPR601 suppression in suppressed.py could
+        # look "unused" when RPR601 is not selected; it must not warn.
+        result = run_lint([str(SUPPRESS / "suppressed.py")], select=["RPR701"])
+        assert result.ok
+
+
+class TestSelection:
+    def test_family_prefix_expands(self):
+        result = run_lint([str(FIXTURES / "rpr601" / "bad.py")], select=["RPR6"])
+        assert {finding.rule for finding in result.findings} == {"RPR601"}
+
+    def test_ignore_removes_a_family(self):
+        result = run_lint(
+            [str(FIXTURES / "rpr601" / "bad.py")], ignore=["RPR6"]
+        )
+        assert result.ok
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            run_lint([str(FIXTURES / "rpr601" / "bad.py")], select=["NOPE"])
+
+
+class TestRegistry:
+    def test_rule_pack_metadata(self):
+        rules = all_rules()
+        # The contract: at least the six mandated families, stable ids.
+        for rule_id in (
+            "RPR101", "RPR102", "RPR201", "RPR301", "RPR302",
+            "RPR401", "RPR501", "RPR601", "RPR701",
+        ):
+            assert rule_id in rules
+            rule = rules[rule_id]
+            assert rule.rationale, f"{rule_id} must explain itself"
+            assert rule.severity in ("error", "warning")
+        assert get_rule("RPR401") is rules["RPR401"]
+        assert get_rule("RPR999") is None
+
+
+class TestRendering:
+    def test_text_findings_are_file_line_rule_message(self):
+        result = run_lint([str(FIXTURES / "rpr601" / "bad.py")])
+        line = result.render_text().splitlines()[0]
+        path, lineno, rest = line.split(":", 2)
+        assert path.endswith("bad.py")
+        assert int(lineno) > 0
+        assert rest.strip().startswith("RPR601 ")
+
+    def test_json_schema(self):
+        result = run_lint([str(FIXTURES / "rpr601" / "bad.py")])
+        document = json.loads(result.render_json())
+        assert set(document) == {"ok", "modules", "rules", "findings"}
+        assert document["ok"] is False
+        assert document["modules"] == 1
+        for finding in document["findings"]:
+            assert set(finding) >= {
+                "rule", "path", "line", "col", "severity", "message",
+            }
+            assert finding["rule"] == "RPR601"
+
+    def test_findings_sorted_by_path_then_line(self):
+        result = run_lint([str(FIXTURES / "rpr601" / "bad.py")])
+        keys = [(f.path, f.line) for f in result.findings]
+        assert keys == sorted(keys)
+
+
+class TestLoading:
+    def test_syntax_error_becomes_rpr001(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def nope(:\n", encoding="utf-8")
+        result = run_lint([str(bad)])
+        [finding] = result.findings
+        assert finding.rule == "RPR001"
+        assert result.exit_code == 1
+
+    def test_directories_expand_and_skip_caches(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text(
+            "def nope(:\n", encoding="utf-8"
+        )
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        result = run_lint([str(tmp_path)])
+        assert result.ok
+        assert result.modules == 1
+
+
+class TestCli:
+    def test_lint_command_reports_and_exits_nonzero(self, capsys):
+        code = main(["lint", str(FIXTURES / "rpr601" / "bad.py")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RPR601" in out
+
+    def test_lint_json_artifact(self, capsys):
+        code = main(
+            ["lint", str(FIXTURES / "rpr601" / "bad.py"), "--json"]
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert document["ok"] is False
+
+    def test_lint_explain(self, capsys):
+        assert main(["lint", "--explain", "RPR401"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("RPR401 ")
+        assert "WAL" in out
+
+    def test_lint_explain_unknown_rule(self, capsys):
+        assert main(["lint", "--explain", "RPR999"]) == 2
+
+    def test_lint_unknown_select_is_usage_error(self, capsys):
+        assert main(["lint", "--select", "NOPE"]) == 2

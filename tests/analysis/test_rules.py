@@ -1,0 +1,159 @@
+"""Per-rule corpus tests: each family must fire on its bad fixture and
+stay silent on the good one."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint(path: Path, *rules: str):
+    return run_lint([str(path)], select=list(rules) or None)
+
+
+def rule_ids(result) -> set:
+    return {finding.rule for finding in result.findings}
+
+
+def lines(result, rule: str) -> set:
+    return {
+        finding.line for finding in result.findings if finding.rule == rule
+    }
+
+
+class TestLockGuard:
+    def test_bad_flags_unlocked_write(self):
+        result = lint(FIXTURES / "rpr101" / "bad.py", "RPR101")
+        assert rule_ids(result) == {"RPR101"}
+        [finding] = result.findings
+        assert finding.detail["attribute"] == "value"
+        assert finding.detail["method"] == "reset"
+
+    def test_good_is_clean(self):
+        assert lint(FIXTURES / "rpr101" / "good.py", "RPR101").ok
+
+
+class TestLockOrder:
+    def test_bad_flags_cycle(self):
+        result = lint(FIXTURES / "rpr102" / "bad.py", "RPR102")
+        assert rule_ids(result) == {"RPR102"}
+        [finding] = result.findings
+        assert set(finding.detail["cycle"]) == {
+            "Transfer._source_lock",
+            "Transfer._target_lock",
+        }
+
+    def test_good_is_clean(self):
+        assert lint(FIXTURES / "rpr102" / "good.py", "RPR102").ok
+
+
+class TestAsyncBlocking:
+    def test_bad_flags_every_blocking_shape(self):
+        result = lint(FIXTURES / "rpr201" / "bad.py", "RPR201")
+        assert rule_ids(result) == {"RPR201"}
+        messages = " | ".join(f.message for f in result.findings)
+        assert "time.sleep" in messages
+        assert "subprocess.run" in messages
+        assert "work_queue.get" in messages
+        assert ".submit(...).result()" in messages
+        assert len(result.findings) == 4
+
+    def test_good_is_clean(self):
+        assert lint(FIXTURES / "rpr201" / "good.py", "RPR201").ok
+
+
+class TestWireVerbs:
+    def test_bad_flags_both_directions(self):
+        result = lint(FIXTURES / "rpr301" / "bad", "RPR301")
+        assert rule_ids(result) == {"RPR301"}
+        verbs = {finding.detail["verb"] for finding in result.findings}
+        assert verbs == {"flush", "stats"}
+        by_verb = {f.detail["verb"]: f for f in result.findings}
+        assert by_verb["flush"].path.endswith("client.py")
+        assert by_verb["stats"].path.endswith("service.py")
+
+    def test_good_is_clean(self):
+        assert lint(FIXTURES / "rpr301" / "good", "RPR301").ok
+
+    def test_sender_alone_is_not_cross_referenced(self):
+        # Without any handler module in the linted set there is nothing
+        # to drift from; partial lints must not spray false positives.
+        result = lint(FIXTURES / "rpr301" / "bad" / "client.py", "RPR301")
+        assert result.ok
+
+
+class TestErrorCodes:
+    def test_bad_flags_undeclared_code(self):
+        result = lint(FIXTURES / "rpr302" / "bad", "RPR302")
+        assert rule_ids(result) == {"RPR302"}
+        [finding] = result.findings
+        assert finding.detail["code"] == "mystery"
+
+    def test_good_is_clean(self):
+        assert lint(FIXTURES / "rpr302" / "good", "RPR302").ok
+
+
+class TestWalBeforeAck:
+    def test_bad_flags_unlogged_and_early_return(self):
+        result = lint(FIXTURES / "rpr401" / "bad.py", "RPR401")
+        assert rule_ids(result) == {"RPR401"}
+        methods = {finding.detail["method"] for finding in result.findings}
+        assert methods == {"apply", "apply_maybe"}
+
+    def test_good_and_recovery_are_clean(self):
+        assert lint(FIXTURES / "rpr401" / "good.py", "RPR401").ok
+
+
+class TestObsNames:
+    def test_bad_flags_each_kind(self):
+        result = lint(FIXTURES / "rpr501" / "bad", "RPR501")
+        assert rule_ids(result) == {"RPR501"}
+        kinds = {
+            finding.detail["kind"]: finding.detail["name"]
+            for finding in result.findings
+        }
+        assert kinds == {
+            "SPAN_NAMES": "reqest",
+            "METRIC_NAMES": "repro_requets_total",
+            "PHASE_KEYS": "walx",
+        }
+
+    def test_good_is_clean(self):
+        assert lint(FIXTURES / "rpr501" / "good", "RPR501").ok
+
+
+class TestWallClock:
+    def test_bad_flags_both_calls(self):
+        result = lint(FIXTURES / "rpr601" / "bad.py", "RPR601")
+        assert rule_ids(result) == {"RPR601"}
+        assert len(result.findings) == 2
+
+    def test_good_is_clean(self):
+        assert lint(FIXTURES / "rpr601" / "good.py", "RPR601").ok
+
+
+class TestBroadExcept:
+    def test_bad_flags_broad_and_bare(self):
+        result = lint(FIXTURES / "rpr701" / "bad.py", "RPR701")
+        assert rule_ids(result) == {"RPR701"}
+        assert len(result.findings) == 2
+        assert all(f.severity == "warning" for f in result.findings)
+
+    def test_good_specific_and_reraise_are_clean(self):
+        assert lint(FIXTURES / "rpr701" / "good.py", "RPR701").ok
+
+
+@pytest.mark.parametrize(
+    "family",
+    ["rpr101", "rpr102", "rpr201", "rpr301", "rpr302", "rpr401", "rpr501", "rpr601", "rpr701"],
+)
+def test_every_family_has_a_failing_fixture(family):
+    rule = family.upper()
+    result = lint(FIXTURES / family / "bad.py", rule) if (
+        FIXTURES / family / "bad.py"
+    ).exists() else lint(FIXTURES / family / "bad", rule)
+    assert not result.ok
+    assert rule_ids(result) == {rule}

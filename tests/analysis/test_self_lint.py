@@ -1,0 +1,30 @@
+"""The meta-test: the repo must satisfy its own invariant checker.
+
+This is the CI gate in test form -- ``repro lint src/repro`` exits 0,
+meaning every contract rule passes and every suppression in the tree
+both matches a real finding and carries a rationale (stale or
+unexplained suppressions surface as RPR000 and fail this test).
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import run_lint
+from repro.cli import main
+
+PACKAGE = Path(repro.__file__).parent
+
+
+def test_repo_source_is_lint_clean():
+    result = run_lint([str(PACKAGE)])
+    assert result.findings == [], result.render_text()
+    assert result.exit_code == 0
+    # Sanity: the run actually covered the tree and the full rule pack.
+    assert result.modules >= 90
+    assert len(result.rules) >= 9
+
+
+def test_cli_default_paths_lint_the_package(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
