@@ -138,6 +138,22 @@ def build_edgecut_workload():
     return graph, queries
 
 
+def wire_comparison_rows(graph, queries):
+    """Packed-vs-list wire bytes on this workload's shard payloads.
+
+    Measures the relations the router actually ships: per-query result
+    pair sets (the ``query`` verb's payload, which the process backend
+    always requests with ``enc: "packed"``).
+    """
+    from repro.bench.kernel_bench import run_wire_comparison
+    from repro.rpq import eval_rpq
+
+    subset = [query for query in queries if "+" in query or "*" in query][:4]
+    return run_wire_comparison(
+        {query: eval_rpq(graph, query) for query in subset}
+    )
+
+
 def main() -> int:
     from bench_common import environment_metadata
     from repro.bench.cluster_bench import (
@@ -148,6 +164,7 @@ def main() -> int:
         run_edge_cut_benchmark,
         run_restart_benchmark,
     )
+    from repro.bench.kernel_bench import format_wire_rows
 
     environment = environment_metadata()
     cpu_count = environment["cpu_count"]
@@ -221,6 +238,11 @@ def main() -> int:
     if restart_rows:
         table += "\n" + format_restart_rows(restart_rows)
         print(format_restart_rows(restart_rows))
+
+    wire_rows = wire_comparison_rows(graph, queries)
+    wire_table = format_wire_rows(wire_rows)
+    print(wire_table)
+    table += "\n" + wire_table
 
     def qps(shards: int, update_every: int) -> float:
         for row in rows:
@@ -326,6 +348,7 @@ def main() -> int:
         "backend_comparison": backend_comparison,
         "edge_cut": edge_cut,
         "restart": restart,
+        "wire_comparison": wire_rows,
     }
 
     status = 0

@@ -61,8 +61,28 @@ def build_workload():
     return graph, queries
 
 
+def kernel_and_wire_rows(graph, queries):
+    """PR-10 microbenches: kernel before/after + wire byte footprint.
+
+    The kernel rows time a closure-heavy subset of the server workload
+    under both eval kernels; the wire rows compare the list and packed
+    encodings on the same queries' result relations -- the exact
+    payloads the query verb ships when a client negotiates
+    ``enc: "packed"``.
+    """
+    from repro.bench.kernel_bench import run_kernel_comparison, run_wire_comparison
+    from repro.rpq import eval_rpq
+
+    subset = [query for query in queries if "+" in query or "*" in query][:4]
+    kernel_rows = run_kernel_comparison(graph, subset)
+    relations = {query: eval_rpq(graph, query) for query in subset}
+    wire_rows = run_wire_comparison(relations)
+    return kernel_rows, wire_rows
+
+
 def main() -> int:
     from bench_common import environment_metadata
+    from repro.bench.kernel_bench import format_kernel_rows, format_wire_rows
     from repro.bench.server_bench import format_benchmark_rows, run_server_benchmark
 
     graph, queries = build_workload()
@@ -81,6 +101,13 @@ def main() -> int:
     )
     table = format_benchmark_rows(rows)
     print(table)
+
+    kernel_rows, wire_rows = kernel_and_wire_rows(graph, queries)
+    kernel_table = format_kernel_rows(kernel_rows)
+    wire_table = format_wire_rows(wire_rows)
+    print(kernel_table)
+    print(wire_table)
+    table += "\n" + kernel_table + "\n" + wire_table
 
     qps = {(row["engine"], row["clients"]): row["qps"] for row in rows}
     comparisons = {
@@ -106,6 +133,8 @@ def main() -> int:
         },
         "rows": rows,
         "qps_comparison": comparisons,
+        "kernel_comparison": kernel_rows,
+        "wire_comparison": wire_rows,
     }
     OUTPUT_PATH.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -11,9 +11,14 @@ Shapes asserted:
 * the Shared_Data advantage grows along the synthetic degree sweep.
 """
 
-from bench_common import emit, record_rows
-from repro.bench.formatting import format_seconds, format_table
+import time
+
+from bench_common import SCALE, SEED, emit, record_rows
+from repro.bench.formatting import format_ratio, format_seconds, format_table
+from repro.core.batch_unit import join_pre_with_rtc, join_pre_with_rtc_bits
 from repro.core.engines import FullSharingEngine, RTCSharingEngine
+from repro.core.rtc import compute_rtc
+from repro.datasets.rmat import rmat_n
 
 
 def _phase_table(rows, title):
@@ -82,3 +87,62 @@ def test_fig11b_real_phases(benchmark, exp1_real_rows, advogato_graph):
     # Dense real datasets: RTC computes the shared data faster.
     for name in ("advogato", "youtube"):
         assert by_name[name]["shared_data_RTC"] < by_name[name]["shared_data_Full"]
+
+
+def test_fig11c_closure_join_kernel(benchmark):
+    """PR-10 before/after on the ``PreG ⋈ R+G`` phase in isolation.
+
+    Times the set closure join against the bitmap row-OR join on the
+    top-degree synthetic graph, with ``Pre_G = l1``-edges and the RTC of
+    the ``l0``-subgraph -- the exact shapes the RTC engine feeds the
+    phase.  Identity is asserted; the timing rows are recorded as the
+    fig11 kernel cell (the response-time gate itself lives in fig10c).
+    """
+    graph = rmat_n(6, scale=SCALE, seed=SEED + 6)
+    rtc = compute_rtc(graph.edges_with_label("l0"))
+    pre_pairs = set(graph.edges_with_label("l1"))
+
+    def best_of(measure, repeats=3):
+        best, value = float("inf"), None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            value = measure()
+            best = min(best, time.perf_counter() - started)
+        return best, value
+
+    sets_seconds, sets_joined = best_of(
+        lambda: join_pre_with_rtc(pre_pairs, rtc)
+    )
+    bits_seconds, bits_joined = best_of(
+        lambda: join_pre_with_rtc_bits(pre_pairs, rtc, graph.interner)
+    )
+    assert bits_joined.pairs == sets_joined
+
+    row = {
+        "dataset": "RMAT_6",
+        "phase": "pre_join",
+        "pairs": len(sets_joined),
+        "sets_seconds": sets_seconds,
+        "bits_seconds": bits_seconds,
+        "speedup": sets_seconds / max(bits_seconds, 1e-12),
+    }
+    record_rows("fig11c_kernel", [row])
+    emit(
+        "fig11c_kernel",
+        "Fig. 11(c): PreG ⋈ R+G before/after (set join vs bitmap join)\n"
+        + format_table(
+            ["dataset", "pairs", "sets", "bits", "speedup"],
+            [[
+                row["dataset"],
+                str(row["pairs"]),
+                format_seconds(row["sets_seconds"]),
+                format_seconds(row["bits_seconds"]),
+                format_ratio(row["speedup"]),
+            ]],
+        ),
+    )
+    benchmark.pedantic(
+        lambda: join_pre_with_rtc_bits(pre_pairs, rtc, graph.interner),
+        rounds=1,
+        iterations=1,
+    )

@@ -11,6 +11,8 @@ Families (one module per family):
 * ``RPR6xx`` :mod:`~repro.analysis.rules.timeapi` -- monotonic time.
 * ``RPR7xx`` :mod:`~repro.analysis.rules.handlers` -- exception
   hygiene.
+* ``RPR8xx`` :mod:`~repro.analysis.rules.pairsets` -- bit-parallel
+  kernel discipline.
 """
 
 from repro.analysis.rules import (  # noqa: F401 -- registration imports
@@ -19,6 +21,7 @@ from repro.analysis.rules import (  # noqa: F401 -- registration imports
     handlers,
     locks,
     obs_names,
+    pairsets,
     timeapi,
     wire,
 )

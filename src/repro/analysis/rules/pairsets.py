@@ -1,0 +1,129 @@
+"""RPR8xx -- bit-parallel kernel discipline.
+
+PR 10 moved the RPQ/RTC hot paths onto :mod:`repro.bitset`: pair
+relations travel as :class:`~repro.bitset.PairBitmap` rows (one big-int
+per source) and only materialise ``(source, target)`` tuples at the
+API boundary.  A ``set[tuple[...]]`` accumulator re-introduced inside
+``repro/rpq`` or ``repro/relalg`` silently reverts a hot path to
+per-pair hashing and tuple allocation -- it still answers correctly,
+so nothing but a profile would catch it.
+
+``RPR801`` flags pair-set construction in those two packages: the
+``pairs: set[tuple[...]] = ...`` accumulator pattern, set
+comprehensions yielding tuples, and ``set(...)``/``frozenset(...)``
+over a tuple-yielding comprehension.  Deliberate materialisation (the
+set-kernel ablation baseline, declared API surfaces) is fine --
+suppress with ``# repro: noqa[RPR801] -- <why tuples here>`` so the
+next reader knows the allocation is intentional, not a regression.
+
+Files are recognised by a ``rpq``/``relalg`` path *part* (directory
+name), so the rule works on fixture corpora as well as the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Rule, register_rule
+
+__all__ = ["PairSetRule"]
+
+_HOT_PACKAGES = {"rpq", "relalg"}
+
+
+def _names_type(node: ast.AST, name: str) -> bool:
+    """Does this annotation node name ``set``/``tuple`` (any casing)?"""
+    if isinstance(node, ast.Name):
+        return node.id.lower() == name
+    if isinstance(node, ast.Attribute):  # typing.Set / typing.Tuple
+        return node.attr.lower() == name
+    return False
+
+
+def _is_pair_set_annotation(annotation: ast.AST) -> bool:
+    """True for ``set[tuple[...]]`` (and ``frozenset``/``Set`` spellings)."""
+    if not isinstance(annotation, ast.Subscript):
+        return False
+    if not (
+        _names_type(annotation.value, "set")
+        or _names_type(annotation.value, "frozenset")
+    ):
+        return False
+    inner = annotation.slice
+    if isinstance(inner, ast.Subscript):
+        return _names_type(inner.value, "tuple")
+    return _names_type(inner, "tuple")
+
+
+def _yields_tuples(comprehension: ast.AST) -> bool:
+    """Does this comprehension/generator produce tuple elements?"""
+    elt = getattr(comprehension, "elt", None)
+    if isinstance(elt, ast.Tuple):
+        return True
+    return (
+        isinstance(elt, ast.Call)
+        and isinstance(elt.func, ast.Name)
+        and elt.func.id == "tuple"
+    )
+
+
+@register_rule
+class PairSetRule(Rule):
+    id = "RPR801"
+    name = "pair-set construction on a bitmap hot path"
+    rationale = (
+        "repro/rpq and repro/relalg hot paths carry pair relations as "
+        "PairBitmap rows (big-int per source, word-parallel union/"
+        "intersect); a set[tuple[...]] accumulator there reverts to "
+        "per-pair hashing and tuple allocation without failing any "
+        "correctness test.  Keep relations packed until the API "
+        "boundary, or suppress with `# repro: noqa[RPR801] -- <why "
+        "tuples here>` where materialisation is deliberate (the "
+        "set-kernel ablation baseline, declared output surfaces)."
+    )
+
+    def check(self, module) -> list:
+        if _HOT_PACKAGES.isdisjoint(module.path.parts):
+            return []
+        findings: list = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AnnAssign) and _is_pair_set_annotation(
+                node.annotation
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "set[tuple[...]] accumulator on a bitmap hot "
+                        "path; build a PairBitmap (repro.bitset) and "
+                        "materialise tuples only at the API boundary",
+                    )
+                )
+            elif isinstance(node, ast.SetComp) and _yields_tuples(node):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "set comprehension materialises vertex tuples "
+                        "on a bitmap hot path; keep the relation as "
+                        "PairBitmap rows instead",
+                    )
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in {"set", "frozenset"}
+                and len(node.args) == 1
+                and isinstance(node.args[0], (ast.GeneratorExp, ast.ListComp))
+                and _yields_tuples(node.args[0])
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"{node.func.id}() over a tuple generator "
+                        "materialises a pair set on a bitmap hot path; "
+                        "keep the relation as PairBitmap rows instead",
+                    )
+                )
+        return findings

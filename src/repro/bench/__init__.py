@@ -18,6 +18,13 @@ from repro.bench.harness import (
     run_rpq_set,
     run_workload,
 )
+from repro.bench.kernel_bench import (
+    closure_heavy,
+    format_kernel_rows,
+    format_wire_rows,
+    run_kernel_comparison,
+    run_wire_comparison,
+)
 
 __all__ = [
     "METHODS",
@@ -37,4 +44,9 @@ __all__ = [
     "format_seconds",
     "format_ratio",
     "banner",
+    "closure_heavy",
+    "run_kernel_comparison",
+    "run_wire_comparison",
+    "format_kernel_rows",
+    "format_wire_rows",
 ]

@@ -1,0 +1,88 @@
+"""Dense vertex interning -- the id space under every bitmap.
+
+Bitmaps index vertices by bit position, so every graph (and every wire
+payload) needs a mapping from its arbitrary hashable vertices to dense
+``int`` ids.  The contract that makes bitmaps safe to cache and
+persist:
+
+* ids are assigned in first-``intern`` order, starting at 0;
+* ids are **never reused or reassigned** -- removing every edge of a
+  vertex leaves its id in place, so bitmaps built before an update
+  still mean the same thing after it;
+* the interner round-trips as the plain vertex list in id order
+  (:meth:`VertexInterner.vertices` / the ``vertices=`` constructor
+  argument), which is how :mod:`repro.storage` snapshots persist it and
+  how packed wire payloads describe themselves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = ["VertexInterner"]
+
+
+class VertexInterner:
+    """Assign dense, stable ``int`` ids to hashable vertices.
+
+    >>> interner = VertexInterner()
+    >>> interner.intern("a"), interner.intern("b"), interner.intern("a")
+    (0, 1, 0)
+    >>> interner.vertex_of(1)
+    'b'
+    """
+
+    __slots__ = ("_ids", "_vertices")
+
+    def __init__(self, vertices: Iterable = ()) -> None:
+        self._ids: dict = {}
+        self._vertices: list = []
+        for vertex in vertices:
+            self.intern(vertex)
+
+    def intern(self, vertex: object) -> int:
+        """The id of ``vertex``, assigning the next dense id if new."""
+        vertex_id = self._ids.get(vertex)
+        if vertex_id is None:
+            vertex_id = len(self._vertices)
+            self._ids[vertex] = vertex_id
+            self._vertices.append(vertex)
+        return vertex_id
+
+    def id_of(self, vertex: object) -> int | None:
+        """The id of an already-interned vertex, else ``None``."""
+        return self._ids.get(vertex)
+
+    def vertex_of(self, vertex_id: int) -> object:
+        """The vertex an id denotes (raises ``IndexError`` when unknown)."""
+        return self._vertices[vertex_id]
+
+    def vertices(self) -> list:
+        """All interned vertices in id order (a copy; snapshot format)."""
+        return list(self._vertices)
+
+    def mask_of(self, vertices: Iterable) -> int:
+        """One bitmap with the bit of every *interned* vertex given set.
+
+        Vertices the interner has never seen are skipped (they cannot
+        appear in any bitmap built over this id space either).
+        """
+        ids = self._ids
+        mask = 0
+        for vertex in vertices:
+            vertex_id = ids.get(vertex)
+            if vertex_id is not None:
+                mask |= 1 << vertex_id
+        return mask
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._ids
+
+    def __iter__(self) -> Iterator:
+        return iter(self._vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VertexInterner({len(self._vertices)} vertices)"

@@ -306,6 +306,17 @@ class ShardBackend:
         """One streaming reachability probe against this shard."""
         raise NotImplementedError
 
+    @property
+    def shard_graph(self):
+        """The live shard multigraph when co-located, else ``None``.
+
+        The router's cut-relevant ``reaches`` fast path sweeps its
+        bitmap adjacency rows as a reachability prefilter; process
+        shards (graph in another address space) return ``None`` and the
+        router skips the prefilter rather than round-tripping.
+        """
+        return None
+
     def stats(self) -> dict:
         """The structured shard document (see class docstring)."""
         raise NotImplementedError
@@ -609,6 +620,11 @@ class InProcessBackend(ShardBackend):
 
     def reaches(self, body: str, source: object, target: object) -> bool:
         return self.replicas[0].db.reaches(body, source, target)
+
+    @property
+    def shard_graph(self):
+        """The primary replica's live multigraph (co-located, shareable)."""
+        return self.replicas[0].db.graph
 
     def checkpoint(self) -> dict:
         """Commit a shard checkpoint covering every replica's warm state.
@@ -1009,6 +1025,7 @@ class ProcessBackend(ShardBackend):
                 timeout=timeout,
                 pairs=want_pairs,
                 trace=self._wire_trace(trace),
+                enc="packed",
             )
         self._absorb_trace(trace, response)
         result = results[0]
@@ -1055,9 +1072,20 @@ class ProcessBackend(ShardBackend):
     def _remote_partial(self, text, boundary, frontier, timeout, trace=None):
         from repro.server import protocol
 
-        payload = {"query": text, "mode": "partial", "boundary": boundary}
+        payload = {
+            "query": text,
+            "mode": "partial",
+            "boundary": boundary,
+            # Ask the worker for packed rows; round answers on closure
+            # bodies are exactly the payloads the encoding collapses.
+            "enc": "packed",
+        }
         if frontier is not None:
-            payload["frontier"] = frontier
+            # Ship the dispatch frontier packed too (same hex-row form
+            # the worker answers with).
+            payload["frontier"] = protocol.rows_to_wire(
+                [tuple(triple) for triple in frontier], enc="packed"
+            )
         if timeout is not None:
             payload["timeout"] = timeout
         wire_trace = self._wire_trace(trace)

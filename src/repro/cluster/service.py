@@ -80,6 +80,7 @@ from repro.cluster.backends import (
     aggregate_scheduler_stats,
     merge_futures,
 )
+from repro.bitset import PairBitmap, VertexInterner, alphabet_reachable_mask
 from repro.cluster.partition import GraphPartition, partition_graph
 from repro.core.cache import make_key_function
 from repro.errors import (
@@ -694,7 +695,7 @@ class GraphCluster:
                 parent: Future = Future()
                 parent.set_running_or_notify_cancel()
                 parent.set_result(
-                    (set(pairs) if want_pairs else len(pairs), elapsed)
+                    (pairs.to_pairs() if want_pairs else pairs.count(), elapsed)
                 )
                 return parent
             if self._join_executor is None:
@@ -713,8 +714,9 @@ class GraphCluster:
                 # update that landed mid-join bumped the version.
                 if self._graph_version == version:
                     self._join_cache[text] = (version, pairs, elapsed)
-            # Hand out a copy -- the cached set must stay pristine.
-            return (set(pairs) if want_pairs else len(pairs), elapsed)
+            # Materialise a fresh tuple set -- the cached bitmap stays
+            # pristine, and counts-only callers never build tuples.
+            return (pairs.to_pairs() if want_pairs else pairs.count(), elapsed)
 
         return executor.submit(run)
 
@@ -729,7 +731,7 @@ class GraphCluster:
         timeout: float | None,
         version: int,
         trace: tuple | None = None,
-    ) -> tuple[set, float]:
+    ) -> tuple[PairBitmap, float]:
         """The semi-naive join-until-fixpoint over the cut-edge relation.
 
         Round 0 asks every contributing shard for its *initial* partial
@@ -776,7 +778,11 @@ class GraphCluster:
             if shard is not None:
                 boundary_by_shard.setdefault(shard, set()).add(source)
 
-        pairs: set = set()
+        # Accepted pairs accumulate as bitmap rows over a router-local
+        # interner: round unions are per-row ORs, and the join cache
+        # stores the bitmap (counts answer via bit_count, tuple sets
+        # materialise per caller).
+        pairs = PairBitmap(interner=VertexInterner())
         rounds_elapsed = 0.0
         round_number = 0
         expanded: set = set()    # cut expansion ran for this triple
@@ -821,7 +827,7 @@ class GraphCluster:
                 round_elapsed = 0.0
                 for shard, child in sorted(children.items()):
                     accepts, shard_rows, elapsed = child.result(timeout=budget)
-                    pairs.update(accepts)
+                    pairs.update_pairs(accepts)
                     rows.update(shard_rows)
                     round_elapsed = max(round_elapsed, elapsed)
                 rounds_elapsed += round_elapsed
@@ -881,7 +887,7 @@ class GraphCluster:
                 for triple in arrivals.rows:
                     start, vertex, state = triple
                     if state in accepting:
-                        pairs.add((start, vertex))
+                        pairs.add_pair(start, vertex)
                     if vertex in cut_sources and triple not in expanded:
                         to_expand.add(triple)
                     if triple in dispatched:
@@ -1118,20 +1124,24 @@ class GraphCluster:
         contain a path, so the probe routes there; unknown sources probe
         every shard (and come back False when the vertex exists
         nowhere).  When a cut edge carries one of the body's labels a
-        path may cross shards, so the probe falls back to a full
-        boundary-join evaluation of ``(body)+`` and tests membership --
-        correct, if not incremental.
+        path may cross shards; :meth:`_reaches_with_cuts` answers that
+        case with shard-local probes and bitmap prefilters before
+        resorting to any fan-out.
         """
         if self.partition.has_cuts:
             closure = f"({body})+"
             _key, labels, _nullable, _nfa = self._route_info(
                 closure, parse(closure)
             )
-            if any(
-                edge[1] in labels for edge in self.partition.cut_relation()
-            ):
-                pairs, _elapsed = self.submit(closure).result()
-                return (source, target) in pairs
+            relevant_cuts = [
+                edge
+                for edge in self.partition.cut_relation()
+                if edge[1] in labels
+            ]
+            if relevant_cuts:
+                return self._reaches_with_cuts(
+                    body, closure, labels, relevant_cuts, source, target
+                )
         shard = self.partition.shard_of(source)
         if shard is not None:
             return self._backends[shard].reaches(body, source, target)
@@ -1139,6 +1149,79 @@ class GraphCluster:
             backend.reaches(body, source, target)
             for backend in self._backends
         )
+
+    def _reaches_with_cuts(
+        self,
+        body: str,
+        closure: str,
+        labels: frozenset,
+        cuts: list[tuple],
+        source: object,
+        target: object,
+    ) -> bool:
+        """The cut-relevant membership probe, cheapest evidence first.
+
+        1. A shard subgraph is a subgraph of ``G``, so ``source``'s own
+           shard answering yes settles it without any fan-out.
+        2. A cross-shard path must *leave* through a cut edge whose
+           source is forward-reachable from ``source`` inside its shard,
+           and *arrive* through one whose target reaches ``target``
+           inside its shard (re-entries always land on cut targets).
+           Both tests are label-union sweeps of the shard graphs'
+           bitmap adjacency rows (:func:`alphabet_reachable_mask`) --
+           an over-approximation of the RPQ, hence sound to prune on.
+           Prefilters need the live shard graph, so process backends
+           (``shard_graph`` is None) skip them.
+        3. Only when neither side rules the pair out does the probe pay
+           for the full ``(body)+`` boundary-join evaluation (served
+           from the join cache when warm).
+        """
+        source_shard = self.partition.shard_of(source)
+        target_shard = self.partition.shard_of(target)
+        if source_shard is None or target_shard is None:
+            # Unknown endpoints: nothing can reach them; stay faithful
+            # to the membership semantics via the closure itself.
+            pairs, _elapsed = self.submit(closure).result()
+            return (source, target) in pairs
+        if self._backends[source_shard].reaches(body, source, target):
+            return True
+        shard_of = self.partition.shard_of
+        graph = self._backends[source_shard].shard_graph
+        if graph is not None:
+            mask = alphabet_reachable_mask(graph, labels, [source])
+            id_of = graph.interner.id_of
+            if not any(
+                cut_id is not None and mask >> cut_id & 1
+                for cut_source, _label, _cut_target in cuts
+                if shard_of(cut_source) == source_shard
+                for cut_id in (id_of(cut_source),)
+            ):
+                # No relevant cut edge is reachable from ``source``: a
+                # satisfying path could never leave the shard, and the
+                # shard itself already said no.
+                return False
+        graph = self._backends[target_shard].shard_graph
+        if graph is not None:
+            mask = alphabet_reachable_mask(
+                graph, labels, [target], reverse=True
+            )
+            id_of = graph.interner.id_of
+            if not any(
+                cut_id is not None and mask >> cut_id & 1
+                for _cut_source, _label, cut_target in cuts
+                if shard_of(cut_target) == target_shard
+                for cut_id in (id_of(cut_target),)
+            ):
+                # No cut-edge arrival can reach ``target`` in-shard: a
+                # cross-shard path cannot end at it.
+                return (
+                    source_shard == target_shard
+                    and self._backends[source_shard].reaches(
+                        body, source, target
+                    )
+                )
+        pairs, _elapsed = self.submit(closure).result()
+        return (source, target) in pairs
 
     # -- statistics ------------------------------------------------------
     def _shard_docs(self) -> list[dict]:

@@ -142,7 +142,11 @@ class ShardWorkerServer(QueryServer):
         if not isinstance(boundary, list):
             raise protocol.ProtocolError("'boundary' must be a vertex list")
         frontier = request.get("frontier")
-        if frontier is not None:
+        if isinstance(frontier, dict):
+            # Packed frontier: the router ships its dispatch rows as hex
+            # bitmaps too; the decoder is the ordinary polymorphic one.
+            frontier = protocol.wire_to_rows(frontier)
+        elif frontier is not None:
             if not isinstance(frontier, list) or not all(
                 isinstance(triple, list) and len(triple) == 3
                 for triple in frontier
@@ -151,6 +155,7 @@ class ShardWorkerServer(QueryServer):
                     "'frontier' must be a list of [start, vertex, state] triples"
                 )
             frontier = [tuple(triple) for triple in frontier]
+        enc = request.get("enc")
         timeout = request.get("timeout")
         # A propagated router trace joins here: the backend activates it
         # around the evaluation, the session records its ``partial``
@@ -171,8 +176,8 @@ class ShardWorkerServer(QueryServer):
         )
         accepts, rows, elapsed = await asyncio.wrap_future(future)
         payload = {
-            "accepts": protocol.pairs_to_wire(accepts),
-            "boundary": protocol.rows_to_wire(rows),
+            "accepts": protocol.pairs_to_wire(accepts, enc=enc),
+            "boundary": protocol.rows_to_wire(rows, enc=enc),
             "time": elapsed,
         }
         if tracer is None:

@@ -28,12 +28,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Iterable
 
+from repro.bitset.interner import VertexInterner
+from repro.bitset.pairbitmap import PairBitmap
 from repro.core.rtc import ReducedTransitiveClosure
 from repro.graph.multigraph import LabeledMultigraph
 from repro.rpq.counters import OpCounters
+from repro.rpq.evaluate import pick_kernel
 from repro.rpq.restricted import RestrictedEvaluator
 
-__all__ = ["BatchUnitOptions", "eval_batch_unit", "join_pre_with_rtc", "apply_post"]
+__all__ = [
+    "BatchUnitOptions",
+    "eval_batch_unit",
+    "join_pre_with_rtc",
+    "join_pre_with_rtc_bits",
+    "apply_post",
+    "apply_post_bits",
+]
 
 
 @dataclass(frozen=True)
@@ -120,9 +130,61 @@ def join_pre_with_rtc(
     return res_eq9
 
 
+def join_pre_with_rtc_bits(
+    pre_pairs: Iterable[tuple[object, object]],
+    rtc: ReducedTransitiveClosure,
+    interner: VertexInterner,
+    seed: Iterable[tuple[object, object]] = (),
+) -> PairBitmap:
+    """Bit-parallel Eq. (7)-(9): the RTC join as row ORs.
+
+    Identical relation to :func:`join_pre_with_rtc`, but every SCC's
+    member set and every ``closure[s_j]`` union is a memoised bitmap, so
+    one ``Pre_G`` pair contributes a single row-OR instead of a member
+    Cartesian walk.  All four of Algorithm 2's waste eliminations are
+    inherent (the per-``s_j`` mask *is* the deduped Eq. (8) union), which
+    is why this variant takes no :class:`BatchUnitOptions` or counters --
+    the instrumented ablations stay on the set join.  ``interner`` should
+    be the graph's so rows compose with its adjacency bitmaps.
+    """
+    scc_of = rtc.condensation.scc_of
+    members = rtc.condensation.members
+    closure = rtc.closure
+    intern = interner.intern
+
+    member_masks: dict[int, int] = {}
+    reach_masks: dict[int, int] = {}
+    if isinstance(seed, PairBitmap) and seed.interner is interner:
+        result = PairBitmap(dict(seed.rows), interner=interner)
+    else:
+        result = PairBitmap.from_pairs(seed, interner)
+    rows = result.rows
+    for vi, vj in pre_pairs:
+        sj = scc_of.get(vj)
+        if sj is None:
+            # vj is not in V_R: no path satisfying R starts at it.
+            continue
+        mask = reach_masks.get(sj)
+        if mask is None:
+            mask = 0
+            for sk in closure[sj]:
+                member_mask = member_masks.get(sk)
+                if member_mask is None:
+                    member_mask = 0
+                    for vk in members[sk]:
+                        member_mask |= 1 << intern(vk)
+                    member_masks[sk] = member_mask
+                mask |= member_mask
+            reach_masks[sj] = mask
+        if mask:
+            vi_id = intern(vi)
+            rows[vi_id] = rows.get(vi_id, 0) | mask
+    return result
+
+
 def apply_post(
     graph: LabeledMultigraph,
-    pairs: Iterable[tuple[object, object]],
+    pairs: Iterable[tuple[object, object]] | PairBitmap,
     post: RestrictedEvaluator | None,
     counters: OpCounters | None = None,
 ) -> set[tuple[object, object]]:
@@ -133,7 +195,12 @@ def apply_post(
     memoised per distinct middle vertex: ``EvalRestrictedRPQ(Post, v_k)``
     is evaluated once per ``v_k``, which both engines (Full and RTC) share
     so that the paper's "Remainder" phase is method-independent.
+
+    ``pairs`` may be a :class:`PairBitmap` (the bit-parallel join's
+    output); it materialises here, at the last step that needs tuples.
     """
+    if isinstance(pairs, PairBitmap):
+        pairs = pairs.pairs
     if post is None or post.is_epsilon:
         return set(pairs)
     ends_cache: dict[object, set] = {}
@@ -152,6 +219,47 @@ def apply_post(
     return result
 
 
+def apply_post_bits(
+    graph: LabeledMultigraph,
+    joined: PairBitmap,
+    post: RestrictedEvaluator | None,
+) -> PairBitmap:
+    """Bit-parallel lines 13-16: the Post join as per-row mask ORs.
+
+    Identical relation to :func:`apply_post`, but the memoised per-middle
+    -vertex expansion is a dst *bitmap* instead of a vertex set, so each
+    ``(v_i, v_k)`` pair costs one OR into ``v_i``'s result row rather
+    than ``|ends(v_k)|`` tuple insertions -- and with no postfix the
+    input bitmap passes through untouched (no materialisation at all).
+    Uncounted like :func:`join_pre_with_rtc_bits`; instrumented ablation
+    runs stay on the set join.
+    """
+    if post is None or post.is_epsilon:
+        return joined
+    interner = graph.interner
+    vertex_of = interner.vertex_of
+    intern = interner.intern
+    ends_masks: dict[int, int] = {}
+    result = PairBitmap(interner=interner)
+    rows = result.rows
+    for vi_id, mask in joined.rows.items():
+        out = 0
+        while mask:
+            low = mask & -mask
+            vk_id = low.bit_length() - 1
+            mask ^= low
+            ends_mask = ends_masks.get(vk_id)
+            if ends_mask is None:
+                ends_mask = 0
+                for vl in post.ends_from(graph, vertex_of(vk_id), None):
+                    ends_mask |= 1 << intern(vl)
+                ends_masks[vk_id] = ends_mask
+            out |= ends_mask
+        if out:
+            rows[vi_id] = out
+    return result
+
+
 def eval_batch_unit(
     graph: LabeledMultigraph,
     pre_pairs: set[tuple[object, object]],
@@ -160,15 +268,22 @@ def eval_batch_unit(
     post: RestrictedEvaluator | None,
     options: BatchUnitOptions = DEFAULT_OPTIONS,
     counters: OpCounters | None = None,
+    kernel: str = "auto",
 ) -> set[tuple[object, object]]:
     """Algorithm 2 end to end: ``(Pre . R{+,*} . Post)_G``.
 
     Parameters mirror the paper's signature ``EvalBatchUnit(Pre_G, R̄+_G,
     SCC, Type, Post)``; the RTC object carries both ``R̄+_G`` and ``SCC``.
+    ``kernel`` picks the join implementation
+    (:func:`repro.rpq.evaluate.pick_kernel`): the bitmap join ignores
+    ``options`` because its eliminations are structural.
     """
     if closure_type not in ("+", "*"):
         raise ValueError(f"closure type must be '+' or '*', got {closure_type!r}")
     seed = pre_pairs if closure_type == "*" else ()
+    if pick_kernel(kernel, counters):
+        joined = join_pre_with_rtc_bits(pre_pairs, rtc, graph.interner, seed=seed)
+        return apply_post_bits(graph, joined, post).pairs
     res_eq9 = join_pre_with_rtc(
         pre_pairs, rtc, seed=seed, options=options, counters=counters
     )

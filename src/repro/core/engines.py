@@ -25,11 +25,14 @@ from __future__ import annotations
 import time
 from collections import deque
 
+from repro.bitset.pairbitmap import PairBitmap
 from repro.core.batch_unit import (
     BatchUnitOptions,
     DEFAULT_OPTIONS,
     apply_post,
+    apply_post_bits,
     join_pre_with_rtc,
+    join_pre_with_rtc_bits,
 )
 from repro.core.cache import ClosureCache, RTCCache
 from repro.core.decompose import BatchUnit, decompose_clause
@@ -174,14 +177,30 @@ class _SharingEngine(RPQEngine):
 
     # -- shared skeleton (Algorithm 1) -----------------------------------
     def _evaluate_node(self, node: RegexNode) -> Pairs:
-        result: Pairs = set()
+        # A single-clause result passes through unchanged, so a batch
+        # unit's PairBitmap stays packed all the way to the caller (the
+        # common case: most queries are one DNF clause).  Unions across
+        # clauses stay bitmap-wise while both sides are bitmaps (same
+        # graph interner, same id space) and only materialise when a
+        # set-valued clause forces it.
+        result: Pairs | PairBitmap | None = None
         for clause in to_dnf(node, self.max_clauses):
             unit = decompose_clause(clause)
             if unit.type is None:
-                result |= self._eval_without_closure(unit.post, unit.post_labels)
+                part = self._eval_without_closure(unit.post, unit.post_labels)
             else:
-                result |= self._eval_batch_unit(unit)
-        return result
+                part = self._eval_batch_unit(unit)
+            if result is None:
+                result = part
+            elif isinstance(result, PairBitmap) and isinstance(part, PairBitmap):
+                result |= part
+            else:
+                if isinstance(result, PairBitmap):
+                    result = result.pairs
+                if isinstance(part, PairBitmap):
+                    part = part.pairs
+                result |= part
+        return set() if result is None else result
 
     def _eval_without_closure(self, post: RegexNode, labels: tuple) -> Pairs:
         """``EvalRPQwithoutKC`` (Algorithm 1 line 6)."""
@@ -329,9 +348,18 @@ class RTCSharingEngine(_SharingEngine):
         rtc = self.rtc_for(unit.r)
         pre_pairs = self._eval_pre(unit)
         post = self._post_evaluator(unit)
+        seed = pre_pairs if unit.type == "*" else ()
+        if self.counters is None:
+            # Bit-parallel pipeline: the waste eliminations are structural,
+            # so ablation runs (counters attached) keep the set pipeline.
+            with self.timer.measure(PHASE_PRE_JOIN):
+                joined = join_pre_with_rtc_bits(
+                    pre_pairs, rtc, self.graph.interner, seed=seed
+                )
+            with self.timer.measure(PHASE_REMAINDER):
+                return apply_post_bits(self.graph, joined, post)
         with self.timer.measure(PHASE_PRE_JOIN):
-            seed = pre_pairs if unit.type == "*" else ()
-            joined = join_pre_with_rtc(
+            joined_set = join_pre_with_rtc(
                 pre_pairs,
                 rtc,
                 seed=seed,
@@ -339,7 +367,7 @@ class RTCSharingEngine(_SharingEngine):
                 counters=self.counters,
             )
         with self.timer.measure(PHASE_REMAINDER):
-            return apply_post(self.graph, joined, post, self.counters)
+            return apply_post(self.graph, joined_set, post, self.counters)
 
     def shared_data_size(self) -> int:
         return self.rtc_cache.total_shared_pairs()

@@ -125,6 +125,20 @@ class ReducedTransitiveClosure:
                         result.add((source, target))
         return result
 
+    def expand_bits(self, interner=None):
+        """Theorem 1 as a :class:`~repro.bitset.PairBitmap`.
+
+        Same relation as :meth:`expand` but the member Cartesian
+        products are ORed row-wise, never enumerated pair by pair --
+        tuples materialise only if someone iterates the bitmap (the
+        lazy path :class:`repro.db.ResultSet` rides).  ``interner``
+        defaults to a private id space over ``V_R``; pass the graph's
+        to keep the rows composable with its adjacency bitmaps.
+        """
+        from repro.bitset.kernel import expand_rtc_bits
+
+        return expand_rtc_bits(self, interner=interner)
+
     @property
     def num_expanded_pairs(self) -> int:
         """``|R+_G|`` computed without materialising it (sum of products)."""

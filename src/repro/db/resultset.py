@@ -12,6 +12,11 @@ Execution may be deferred: a lazy ResultSet holds a thunk and only runs
 the engine when the pairs (or any statistic derived from them) are first
 touched, which lets ``execute_many`` build a batch of result handles
 cheaply and stream them.
+
+``pairs=`` also accepts a :class:`~repro.bitset.PairBitmap` carrying its
+interner: the bitmap is held as-is and vertex tuples materialise only on
+first touch, while :attr:`count` and ``len`` answer straight from
+``int.bit_count()`` -- counts-only consumers never build a tuple.
 """
 
 from __future__ import annotations
@@ -19,6 +24,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterator
+
+from repro.bitset.pairbitmap import PairBitmap
 
 __all__ = ["ExecutionStats", "ResultSet"]
 
@@ -58,7 +65,7 @@ class ResultSet:
         query: str,
         engine: str,
         *,
-        pairs: set | frozenset | None = None,
+        pairs: set | frozenset | PairBitmap | None = None,
         fetch: Callable[[], tuple[set, ExecutionStats]] | None = None,
         stats: ExecutionStats | None = None,
     ) -> None:
@@ -67,9 +74,12 @@ class ResultSet:
         self.query = query
         self.engine = engine
         self._fetch = fetch
-        self._pairs: frozenset | None = (
-            None if pairs is None else frozenset(pairs)
-        )
+        self._bitmap: PairBitmap | None = None
+        if isinstance(pairs, PairBitmap):
+            self._bitmap = pairs
+            self._pairs: frozenset | None = None
+        else:
+            self._pairs = None if pairs is None else frozenset(pairs)
         self._stats = stats if stats is not None else (
             ExecutionStats() if pairs is not None else None
         )
@@ -78,13 +88,18 @@ class ResultSet:
     @property
     def is_materialised(self) -> bool:
         """True once the engine has actually run (lazy sets start False)."""
-        return self._pairs is not None
+        return self._pairs is not None or self._bitmap is not None
 
     def _materialise(self) -> frozenset:
         if self._pairs is None:
-            pairs, self._stats = self._fetch()
-            self._pairs = frozenset(pairs)
-            self._fetch = None
+            if self._bitmap is not None:
+                self._pairs = frozenset(self._bitmap.pairs)
+            else:
+                pairs, self._stats = self._fetch()
+                if isinstance(pairs, PairBitmap):
+                    pairs = pairs.pairs
+                self._pairs = frozenset(pairs)
+                self._fetch = None
         return self._pairs
 
     # -- set-like surface ------------------------------------------------
@@ -101,17 +116,29 @@ class ResultSet:
         return iter(self.sorted_pairs())
 
     def __len__(self) -> int:
+        if self._pairs is None and self._bitmap is not None:
+            return self._bitmap.count()
         return len(self._materialise())
 
     def __contains__(self, pair: object) -> bool:
+        if self._pairs is None and self._bitmap is not None:
+            return (
+                isinstance(pair, tuple)
+                and len(pair) == 2
+                and self._bitmap.contains(pair[0], pair[1])
+            )
         return pair in self._materialise()
 
     def __bool__(self) -> bool:
+        if self._pairs is None and self._bitmap is not None:
+            return bool(self._bitmap)
         return bool(self._materialise())
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, ResultSet):
             return self.pairs == other.pairs
+        if isinstance(other, PairBitmap):
+            return self.pairs == frozenset(other.pairs)
         if isinstance(other, (set, frozenset)):
             return self.pairs == frozenset(other)
         return NotImplemented
@@ -124,7 +151,7 @@ class ResultSet:
             return f"ResultSet(query={self.query!r}, engine={self.engine!r}, deferred)"
         return (
             f"ResultSet(query={self.query!r}, engine={self.engine!r}, "
-            f"pairs={len(self._pairs)})"
+            f"pairs={len(self)})"
         )
 
     # -- statistics ------------------------------------------------------

@@ -17,6 +17,14 @@ used by the RPQ evaluators is O(1)-ish:
 * ``_by_label``: ``label -> set((source, target))`` -- whole-label scans used
   by the label-join evaluator and by workload statistics.
 
+Alongside the set indexes the graph maintains the bit-parallel kernel's
+view of the same adjacency: a :class:`~repro.bitset.VertexInterner`
+assigning every vertex a dense, never-reused int id, plus forward and
+reverse **bitmap adjacency rows** (``label -> src_id -> dst bitmap`` and
+``label -> dst_id -> src bitmap``, one Python big-int per row).  The
+rows are updated incrementally by :meth:`add_edge` / :meth:`remove_edge`
+so :mod:`repro.bitset.kernel` can sweep them without any rebuild step.
+
 Vertices may be any hashable object; the library and the paper use small
 integers throughout, which keeps the indexes compact.
 """
@@ -26,6 +34,7 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable, Iterator
 from typing import TypeVar
 
+from repro.bitset.interner import VertexInterner
 from repro.errors import GraphError, VertexNotFoundError
 
 Vertex = TypeVar("Vertex", bound=Hashable)
@@ -48,7 +57,16 @@ class LabeledMultigraph:
     3
     """
 
-    __slots__ = ("_out", "_in", "_by_label", "_vertices", "_num_edges")
+    __slots__ = (
+        "_out",
+        "_in",
+        "_by_label",
+        "_vertices",
+        "_num_edges",
+        "_interner",
+        "_fwd",
+        "_rev",
+    )
 
     def __init__(self) -> None:
         self._out: dict[object, dict[str, set[object]]] = {}
@@ -56,6 +74,10 @@ class LabeledMultigraph:
         self._by_label: dict[str, set[tuple[object, object]]] = {}
         self._vertices: set[object] = set()
         self._num_edges = 0
+        self._interner = VertexInterner()
+        # label -> src_id -> dst bitmap / label -> dst_id -> src bitmap
+        self._fwd: dict[str, dict[int, int]] = {}
+        self._rev: dict[str, dict[int, int]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -63,6 +85,7 @@ class LabeledMultigraph:
     def add_vertex(self, vertex: object) -> None:
         """Add an isolated vertex (a no-op if it already exists)."""
         self._vertices.add(vertex)
+        self._interner.intern(vertex)
 
     def add_edge(self, source: object, label: str, target: object) -> None:
         """Add the edge ``e(source, label, target)``.
@@ -84,6 +107,12 @@ class LabeledMultigraph:
         self._by_label.setdefault(label, set()).add((source, target))
         self._vertices.add(source)
         self._vertices.add(target)
+        source_id = self._interner.intern(source)
+        target_id = self._interner.intern(target)
+        fwd = self._fwd.setdefault(label, {})
+        fwd[source_id] = fwd.get(source_id, 0) | (1 << target_id)
+        rev = self._rev.setdefault(label, {})
+        rev[target_id] = rev.get(target_id, 0) | (1 << source_id)
         self._num_edges += 1
 
     def add_edges(self, edges: Iterable[tuple[object, str, object]]) -> None:
@@ -131,6 +160,24 @@ class LabeledMultigraph:
         by_label.discard((source, target))
         if not by_label:
             del self._by_label[label]
+        source_id = self._interner.id_of(source)
+        target_id = self._interner.id_of(target)
+        fwd = self._fwd[label]
+        remaining = fwd[source_id] & ~(1 << target_id)
+        if remaining:
+            fwd[source_id] = remaining
+        else:
+            del fwd[source_id]
+            if not fwd:
+                del self._fwd[label]
+        rev = self._rev[label]
+        remaining = rev[target_id] & ~(1 << source_id)
+        if remaining:
+            rev[target_id] = remaining
+        else:
+            del rev[target_id]
+            if not rev:
+                del self._rev[label]
         self._num_edges -= 1
 
     @classmethod
@@ -257,6 +304,38 @@ class LabeledMultigraph:
         if not self._vertices or not self._by_label:
             return 0.0
         return self._num_edges / (len(self._vertices) * len(self._by_label))
+
+    # ------------------------------------------------------------------
+    # bit-parallel kernel view
+    # ------------------------------------------------------------------
+    @property
+    def interner(self) -> VertexInterner:
+        """The graph's dense vertex-id space (ids stable across updates)."""
+        return self._interner
+
+    def seed_interner(self, vertices: Iterable[object]) -> None:
+        """Pre-assign ids in the given order (snapshot warm-start path).
+
+        Must run before edges are loaded so restored bitmaps and caches
+        keyed on ids stay meaningful; vertices are added to ``V`` as a
+        side effect, matching how snapshots record isolated vertices.
+        """
+        for vertex in vertices:
+            self.add_vertex(vertex)
+
+    _EMPTY_ROWS: dict = {}
+
+    def bit_rows(self, label: str) -> dict[int, int]:
+        """Read-only ``src_id -> dst bitmap`` rows for one label.
+
+        Hot-path accessor for :mod:`repro.bitset.kernel`; callers must
+        not mutate the returned mapping.
+        """
+        return self._fwd.get(label, self._EMPTY_ROWS)
+
+    def rev_bit_rows(self, label: str) -> dict[int, int]:
+        """Read-only ``dst_id -> src bitmap`` reverse rows for one label."""
+        return self._rev.get(label, self._EMPTY_ROWS)
 
     # ------------------------------------------------------------------
     # derived graphs

@@ -41,7 +41,7 @@ def pairs_relation(pairs, label: str = "R_G") -> Scan:
 
 def scc_relation(rtc: ReducedTransitiveClosure) -> Scan:
     """``SCC(V, S)`` -- vertex-to-SCC membership of ``G_R``."""
-    rows = {(vertex, scc_id) for vertex, scc_id in rtc.condensation.scc_of.items()}
+    rows = {(vertex, scc_id) for vertex, scc_id in rtc.condensation.scc_of.items()}  # repro: noqa[RPR801] -- Relation rows are the declared set-semantics surface of the algebra
     return Scan(Relation(("V", "S"), rows), "SCC")
 
 

@@ -37,7 +37,7 @@ class Relation:
         if len(set(columns)) != len(columns):
             raise ValueError(f"duplicate column names in {columns}")
         object.__setattr__(self, "columns", columns)
-        frozen = frozenset(tuple(row) for row in rows)
+        frozen = frozenset(tuple(row) for row in rows)  # repro: noqa[RPR801] -- Relation stores rows as a frozenset by contract (any arity, hashable)
         for row in frozen:
             if len(row) != len(columns):
                 raise ValueError(
@@ -103,7 +103,7 @@ class Relation:
         columns = tuple(columns)
         indexes = [self._index_of(column) for column in columns]
         return Relation(
-            columns, {tuple(row[i] for i in indexes) for row in self.rows}
+            columns, {tuple(row[i] for i in indexes) for row in self.rows}  # repro: noqa[RPR801] -- projection materialises rows per the Relation set-semantics contract
         )
 
     def rename(self, mapping: dict[str, str]) -> "Relation":

@@ -19,12 +19,14 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterable
 
+from repro.bitset.kernel import eval_rpq_dfa_bits
 from repro.graph.multigraph import LabeledMultigraph
 from repro.regex.ast import RegexNode
 from repro.regex.dfa import DFA, determinize
 from repro.regex.nfa import compile_nfa
 from repro.regex.parser import parse
 from repro.rpq.counters import OpCounters
+from repro.rpq.evaluate import pick_kernel
 
 __all__ = ["eval_rpq_dfa", "eval_dfa_from"]
 
@@ -43,7 +45,7 @@ def eval_dfa_from(
     delta = dfa.delta
     accepts = dfa.accepts
     results: set = set()
-    visited: set[tuple[object, int]] = {(start, dfa.start)}
+    visited: set[tuple[object, int]] = {(start, dfa.start)}  # repro: noqa[RPR801] -- (vertex, state) visited set of the set-kernel baseline, not a pair relation
     queue: deque[tuple[object, int]] = deque([(start, dfa.start)])
     if counters is not None:
         counters.traversal_starts += 1
@@ -79,17 +81,21 @@ def eval_rpq_dfa(
     query: str | RegexNode | DFA,
     starts: Iterable | None = None,
     counters: OpCounters | None = None,
+    kernel: str = "auto",
 ) -> set[tuple[object, object]]:
     """Evaluate an RPQ with a determinised automaton.
 
     Same contract as :func:`repro.rpq.evaluate.eval_rpq`: returns all
     ``(start, end)`` pairs, including reflexive pairs when the language
-    contains the empty word.
+    contains the empty word.  ``kernel`` routes between the set and
+    bitmap traversals (:func:`repro.rpq.evaluate.pick_kernel`).
     """
     if isinstance(query, DFA):
         dfa = query
     else:
         dfa = determinize(compile_nfa(parse(query)))
+    if pick_kernel(kernel, counters):
+        return eval_rpq_dfa_bits(graph, dfa, starts=starts)
 
     first_labels = set(dfa.delta[dfa.start])
     if starts is None:
@@ -102,7 +108,7 @@ def eval_rpq_dfa(
         traversal_starts = {v for v in starts if graph.has_vertex(v)}
         reflexive = traversal_starts
 
-    results: set[tuple[object, object]] = set()
+    results: set[tuple[object, object]] = set()  # repro: noqa[RPR801] -- set-kernel ablation baseline; counter-instrumented runs stay on tuples
     if dfa.start in dfa.accepts:
         for vertex in reflexive:
             results.add((vertex, vertex))

@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterable
 
+from repro.bitset.kernel import eval_rpq_bits
 from repro.errors import UnknownLabelError
 from repro.graph.multigraph import LabeledMultigraph
 from repro.regex.ast import RegexNode
@@ -38,7 +39,27 @@ __all__ = [
     "eval_rpq_from",
     "candidate_starts",
     "check_alphabet",
+    "pick_kernel",
 ]
+
+
+def pick_kernel(kernel: str, counters: OpCounters | None) -> bool:
+    """Resolve a ``kernel`` argument to "use the bitmap kernel?".
+
+    ``"auto"`` routes to the bit-parallel kernel exactly when no
+    :class:`OpCounters` is attached: the counters tally per-edge
+    traversal work that a word-parallel sweep never performs, so
+    instrumented runs (the paper's ablation figures) stay on the set
+    kernel while production paths get the fast one.  ``"bits"`` and
+    ``"sets"`` force a side, for identity tests and benchmarks.
+    """
+    if kernel == "auto":
+        return counters is None
+    if kernel == "bits":
+        return True
+    if kernel == "sets":
+        return False
+    raise ValueError(f"unknown kernel {kernel!r}; expected auto, bits, or sets")
 
 
 def check_alphabet(graph: LabeledMultigraph, nfa: LabelNFA) -> None:
@@ -83,7 +104,7 @@ def eval_rpq_from(
     delta = nfa.delta
     accepts = nfa.accepts
     results: set = set()
-    visited: set[tuple[object, int]] = set()
+    visited: set[tuple[object, int]] = set()  # repro: noqa[RPR801] -- (vertex, state) visited set of the set-kernel baseline, not a pair relation
     queue: deque[tuple[object, int]] = deque()
     for state in nfa.start:
         pair = (start, state)
@@ -128,6 +149,7 @@ def eval_rpq(
     starts: Iterable | None = None,
     counters: OpCounters | None = None,
     strict_labels: bool = False,
+    kernel: str = "auto",
 ) -> set[tuple[object, object]]:
     """Evaluate an RPQ: all ``(start, end)`` pairs of satisfying paths.
 
@@ -145,6 +167,9 @@ def eval_rpq(
     strict_labels:
         When true, raise :class:`UnknownLabelError` if the query uses a
         label missing from the graph.
+    kernel:
+        ``"auto"`` (bitmaps unless counters are attached), ``"bits"``,
+        or ``"sets"`` -- see :func:`pick_kernel`.
 
     Notes
     -----
@@ -158,13 +183,15 @@ def eval_rpq(
         nfa = compile_nfa(parse(query))
     if strict_labels:
         check_alphabet(graph, nfa)
+    if pick_kernel(kernel, counters):
+        return eval_rpq_bits(graph, nfa, starts=starts)
 
     if starts is None:
         traversal_starts: Iterable = candidate_starts(graph, nfa)
     else:
         traversal_starts = [vertex for vertex in starts if graph.has_vertex(vertex)]
 
-    results: set[tuple[object, object]] = set()
+    results: set[tuple[object, object]] = set()  # repro: noqa[RPR801] -- set-kernel ablation baseline; counter-instrumented runs stay on tuples
     if nfa.nullable:
         reflexive = graph.vertices() if starts is None else traversal_starts
         for vertex in reflexive:

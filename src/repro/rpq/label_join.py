@@ -21,8 +21,10 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.bitset.kernel import eval_label_sequence_bits
 from repro.graph.multigraph import LabeledMultigraph
 from repro.rpq.counters import OpCounters
+from repro.rpq.evaluate import pick_kernel
 
 __all__ = ["eval_label_sequence", "eval_labels_from"]
 
@@ -34,7 +36,7 @@ def _extend_right(
     counters: OpCounters | None,
 ) -> set[tuple[object, object]]:
     """Join on the right: ``{(s, t') | (s, t) in pairs, t -label-> t'}``."""
-    result: set[tuple[object, object]] = set()
+    result: set[tuple[object, object]] = set()  # repro: noqa[RPR801] -- set-kernel ablation baseline; counter-instrumented runs stay on tuples
     for source, middle in pairs:
         if counters is not None:
             counters.join_probes += 1
@@ -52,7 +54,7 @@ def _extend_left(
     counters: OpCounters | None,
 ) -> set[tuple[object, object]]:
     """Join on the left: ``{(s', t) | (s, t) in pairs, s' -label-> s}``."""
-    result: set[tuple[object, object]] = set()
+    result: set[tuple[object, object]] = set()  # repro: noqa[RPR801] -- set-kernel ablation baseline; counter-instrumented runs stay on tuples
     for middle, target in pairs:
         if counters is not None:
             counters.join_probes += 1
@@ -68,15 +70,20 @@ def eval_label_sequence(
     labels: Sequence[str],
     order: str = "rare-first",
     counters: OpCounters | None = None,
+    kernel: str = "auto",
 ) -> set[tuple[object, object]]:
     """All ``(start, end)`` pairs connected by the label sequence.
 
     ``order`` chooses the join strategy: ``"left-right"`` or
     ``"rare-first"`` (default).  An empty sequence denotes epsilon and
-    yields the reflexive pairs of all vertices.
+    yields the reflexive pairs of all vertices.  ``kernel`` routes
+    between tuple joins and bitmap row sweeps
+    (:func:`repro.rpq.evaluate.pick_kernel`); both honour ``order``.
     """
+    if pick_kernel(kernel, counters):
+        return eval_label_sequence_bits(graph, labels, order=order)
     if not labels:
-        return {(vertex, vertex) for vertex in graph.vertices()}
+        return {(vertex, vertex) for vertex in graph.vertices()}  # repro: noqa[RPR801] -- set-kernel reflexive pairs; the bits path returned above
     if order == "left-right":
         pairs = set(graph.edges_with_label(labels[0]))
         if counters is not None:

@@ -245,6 +245,7 @@ class Client:
         timeout: float | None = None,
         pairs: bool = True,
         trace: object = None,
+        enc: str | None = None,
     ) -> tuple[list[QueryResult], dict]:
         """The raw query round trip: ``(results, full_response)``.
 
@@ -252,13 +253,17 @@ class Client:
         ``True`` to originate a trace, an ``{"id", "parent"}`` dict to
         join one (how the cluster router propagates to shard workers).
         The caller reads the assembled span tree off
-        ``response.get("trace")``.
+        ``response.get("trace")``.  ``enc="packed"`` asks for the
+        packed-rows pair encoding; decoding is transparent, so callers
+        see ordinary pair sets either way.
         """
         payload: dict = {"op": "query", "queries": list(queries), "pairs": pairs}
         if timeout is not None:
             payload["timeout"] = timeout
         if trace is not None:
             payload["trace"] = trace
+        if enc is not None:
+            payload["enc"] = enc
         response = self._call(payload)
         results = []
         for entry in response["results"]:

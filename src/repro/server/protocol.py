@@ -23,6 +23,21 @@ Verbs
     restricted to its shard subgraph and responds with a ``partial``
     object (``accepts`` pairs, ``boundary`` triples, ``time``) instead
     of ``results``.  Router-facing servers do not expose this mode.
+
+    Requests may opt into the **packed-rows encoding** with
+    ``"enc": "packed"``: pair and triple payloads in the response are
+    then JSON objects ``{"enc": "packed", "vertices": [...],
+    "rows": {...}}`` instead of lists.  ``vertices`` is a local
+    interner table (vertex of index ``i`` at position ``i``); each
+    ``rows`` entry maps a source index (pairs) or
+    ``"<start index>:<state>"`` (partial triples) to a hex-encoded
+    bitmap over target/vertex indexes.  Decoders
+    (:func:`wire_to_pairs` / :func:`wire_to_rows`) are polymorphic, so
+    packed payloads are transparent to callers; servers that predate
+    the encoding simply keep answering with lists.  Packing shrinks
+    closure-heavy responses by an order of magnitude (one hex digit
+    carries four pairs) and is what the cluster router requests from
+    its shard workers for partial answers and counts-only fan-out.
 ``stats``
     Live server metrics (QPS, latency percentiles, batch sizes, queue
     depth, shared-cache hits) merged with the session's graph/engine
@@ -74,6 +89,8 @@ from __future__ import annotations
 
 import json
 
+from repro.bitset.interner import VertexInterner
+from repro.bitset.pairbitmap import PairBitmap
 from repro.errors import (
     AdmissionError,
     ClusterError,
@@ -231,36 +248,89 @@ def exception_from_payload(payload: dict) -> ServerError | RPQSyntaxError:
     return error
 
 
-def pairs_to_wire(pairs) -> list:
-    """Result pairs as a deterministically ordered list of 2-lists.
+def pairs_to_wire(pairs, enc: str | None = None) -> list | dict:
+    """Result pairs for the wire; ``enc="packed"`` emits bitmap rows.
 
-    Vertices may be ints or strings; ordering is by string form purely
-    for wire determinism (clients compare as sets).
+    The default (list) encoding is 2-lists in deterministic string
+    order.  The packed encoding is self-describing: a local ``vertices``
+    interner table plus hex dst bitmaps keyed by source index -- no
+    shared id space with the peer is assumed.  Vertices may be ints or
+    strings; ordering is by string form purely for wire determinism
+    (clients compare as sets).  ``pairs`` may be a set of tuples or a
+    :class:`~repro.bitset.PairBitmap`.
     """
-    return [
-        list(pair)
-        for pair in sorted(pairs, key=lambda p: (str(p[0]), str(p[1])))
-    ]
+    if isinstance(pairs, PairBitmap):
+        pairs = pairs.pairs
+    ordered = sorted(pairs, key=lambda p: (str(p[0]), str(p[1])))
+    if enc != "packed":
+        return [list(pair) for pair in ordered]
+    table = VertexInterner()
+    rows: dict[str, int] = {}
+    for source, target in ordered:
+        key = str(table.intern(source))
+        rows[key] = rows.get(key, 0) | (1 << table.intern(target))
+    return {
+        "enc": "packed",
+        "vertices": table.vertices(),
+        "rows": {key: format(mask, "x") for key, mask in rows.items()},
+    }
 
 
-def wire_to_pairs(wire: list) -> set:
-    """The client-side inverse of :func:`pairs_to_wire`."""
+def _unpack_mask(hex_mask: str):
+    mask = int(hex_mask, 16)
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def wire_to_pairs(wire: list | dict) -> set:
+    """The client-side inverse of :func:`pairs_to_wire` (both encodings)."""
+    if isinstance(wire, dict):
+        vertices = wire["vertices"]
+        pairs = set()
+        for key, hex_mask in wire["rows"].items():
+            source = vertices[int(key)]
+            for index in _unpack_mask(hex_mask):
+                pairs.add((source, vertices[index]))
+        return pairs
     return {(source, target) for source, target in wire}
 
 
-def rows_to_wire(rows) -> list:
-    """Three-column relation rows as deterministically ordered 3-lists.
+def rows_to_wire(rows, enc: str | None = None) -> list | dict:
+    """Partial-path triples for the wire; ``enc="packed"`` packs them.
 
-    Used for the partial-path triples of the ``mode: "partial"`` query
-    extension (``[start, vertex, state]``) -- same string-form ordering
-    contract as :func:`pairs_to_wire`.
+    Used for the ``[start, vertex, state]`` triples of the
+    ``mode: "partial"`` query extension -- same string-form ordering
+    contract as :func:`pairs_to_wire`.  Packed rows are keyed
+    ``"<start index>:<state>"`` with a hex bitmap over vertex indexes
+    (states are small automaton ints, kept verbatim in the key).
     """
-    return [
-        list(row)
-        for row in sorted(rows, key=lambda r: (str(r[0]), str(r[1]), str(r[2])))
-    ]
+    ordered = sorted(rows, key=lambda r: (str(r[0]), str(r[1]), str(r[2])))
+    if enc != "packed":
+        return [list(row) for row in ordered]
+    table = VertexInterner()
+    packed: dict[str, int] = {}
+    for start, vertex, state in ordered:
+        key = f"{table.intern(start)}:{int(state)}"
+        packed[key] = packed.get(key, 0) | (1 << table.intern(vertex))
+    return {
+        "enc": "packed",
+        "vertices": table.vertices(),
+        "rows": {key: format(mask, "x") for key, mask in packed.items()},
+    }
 
 
-def wire_to_rows(wire: list) -> set:
-    """The client-side inverse of :func:`rows_to_wire`."""
+def wire_to_rows(wire: list | dict) -> set:
+    """The client-side inverse of :func:`rows_to_wire` (both encodings)."""
+    if isinstance(wire, dict):
+        vertices = wire["vertices"]
+        rows = set()
+        for key, hex_mask in wire["rows"].items():
+            start_index, _, state = key.partition(":")
+            start = vertices[int(start_index)]
+            state = int(state)
+            for index in _unpack_mask(hex_mask):
+                rows.add((start, vertices[index], state))
+        return rows
     return {(first, second, third) for first, second, third in wire}

@@ -337,6 +337,9 @@ class QueryServer:
         if timeout is not None and not isinstance(timeout, (int, float)):
             raise ProtocolError("'timeout' must be a number of seconds")
         include_pairs = bool(request.get("pairs", True))
+        enc = request.get("enc")
+        if enc is not None and enc != "packed":
+            raise ProtocolError("'enc' must be \"packed\" when present")
 
         # Parse everything before admitting anything: a syntax error
         # rejects the request without consuming queue slots.
@@ -385,7 +388,7 @@ class QueryServer:
                 )
                 entry["time"] = elapsed
                 if include_pairs:
-                    entry["pairs"] = protocol.pairs_to_wire(payload)
+                    entry["pairs"] = protocol.pairs_to_wire(payload, enc=enc)
             results.append(entry)
         if tracer is None:
             return protocol.ok_response(request_id, results=results)

@@ -18,6 +18,16 @@ atomic, both named by the covering LSN so generations never collide):
     The isolated-vertex sidecar: a JSON list of vertices with no edges,
     which neither edge format can carry.
 
+``snapshot-<lsn>.interner.json``
+    The vertex-interner sidecar: the graph's vertices *in dense-id
+    order*, so a warm restart re-interns them before replaying edges and
+    every vertex keeps the id it had when the snapshot was taken.
+    Bitmaps are never persisted -- they rebuild from the edges -- but id
+    stability means cached artifacts keyed by ids (wire payload tables,
+    diagnostic dumps) stay comparable across restarts.  Older manifests
+    without the ``interner`` key load fine; ids are then assigned in
+    edge-replay order.
+
 Only JSON-representable vertices (``int``/``str``, not ``bool``) and
 ``str`` labels can be persisted at all; anything else raises
 :class:`~repro.errors.StorageError` *before* any file is touched.
@@ -104,9 +114,19 @@ def write_snapshot(graph: LabeledMultigraph, directory: str | Path, lsn: int) ->
 
     edges_name = f"snapshot-{int(lsn)}.edges"
     isolated_name = f"snapshot-{int(lsn)}.isolated.json"
+    interner_name = f"snapshot-{int(lsn)}.interner.json"
     atomic_write_text(directory / edges_name, edge_text)
     atomic_write_text(directory / isolated_name, json.dumps(isolated) + "\n")
-    return {"edges": edges_name, "edge_format": edge_format, "isolated": isolated_name}
+    atomic_write_text(
+        directory / interner_name,
+        json.dumps(list(graph.interner.vertices())) + "\n",
+    )
+    return {
+        "edges": edges_name,
+        "edge_format": edge_format,
+        "isolated": isolated_name,
+        "interner": interner_name,
+    }
 
 
 def read_snapshot(directory: str | Path, entry: dict) -> LabeledMultigraph:
@@ -118,6 +138,20 @@ def read_snapshot(directory: str | Path, entry: dict) -> LabeledMultigraph:
         raise StorageError(f"manifest names missing snapshot file {edges_path}")
 
     graph = LabeledMultigraph()
+    interner_name = entry.get("interner")
+    if interner_name:
+        interner_path = directory / interner_name
+        if not interner_path.exists():
+            raise StorageError(f"manifest names missing sidecar {interner_path}")
+        try:
+            interned = json.loads(interner_path.read_text(encoding="utf-8"))
+        except ValueError as error:
+            raise StorageError(
+                f"corrupt interner sidecar {interner_path}: {error}"
+            ) from error
+        # Re-intern in recorded (dense-id) order before any edge is
+        # replayed, so the warm graph's id space matches the writer's.
+        graph.seed_interner(interned)
     if edge_format == EDGE_LIST:
         with open(edges_path, "r", encoding="utf-8") as handle:
             for source, label, target in parse_edge_lines(handle):

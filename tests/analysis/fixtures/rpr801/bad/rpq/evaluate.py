@@ -1,0 +1,20 @@
+"""RPR801 bad fixture: pair-set construction inside an rpq/ path."""
+
+
+def evaluate(graph, label):
+    results: set[tuple[object, object]] = set()  # annotated accumulator
+    for source, target in graph.edges_with_label(label):
+        results.add((source, target))
+    return results
+
+
+def comprehension(pairs):
+    return {(target, source) for source, target in pairs}  # tuple SetComp
+
+
+def generator(rows):
+    return set((s, t) for s, t in rows)  # set() over a tuple generator
+
+
+def frozen(rows):
+    return frozenset(tuple(row) for row in rows)  # frozenset() of tuples

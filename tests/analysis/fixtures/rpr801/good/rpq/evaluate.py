@@ -1,0 +1,22 @@
+"""RPR801 good fixture: bitmap rows, boundary materialisation, rationales."""
+
+
+def evaluate(graph, label, interner):
+    rows: dict[int, int] = {}  # PairBitmap-style big-int rows: no findings
+    for source, target in graph.edges_with_label(label):
+        source_id = interner.intern(source)
+        rows[source_id] = rows.get(source_id, 0) | (1 << interner.intern(target))
+    return rows
+
+
+def boundary(bitmap):
+    pairs: set[tuple[object, object]] = bitmap.pairs  # repro: noqa[RPR801] -- declared API boundary: callers receive tuples
+    return pairs
+
+
+def not_pairs(vertices):
+    # A plain set of scalars is not a pair relation.
+    seen: set[object] = set()
+    for vertex in vertices:
+        seen.add(vertex)
+    return seen

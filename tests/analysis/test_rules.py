@@ -146,9 +146,26 @@ class TestBroadExcept:
         assert lint(FIXTURES / "rpr701" / "good.py", "RPR701").ok
 
 
+class TestPairSets:
+    def test_bad_flags_every_construction_shape(self):
+        result = lint(FIXTURES / "rpr801" / "bad", "RPR801")
+        assert rule_ids(result) == {"RPR801"}
+        # annotated accumulator, tuple SetComp, set() generator,
+        # frozenset() of tuple() calls
+        assert len(result.findings) == 4
+
+    def test_good_rows_boundary_noqa_and_scalars_are_clean(self):
+        assert lint(FIXTURES / "rpr801" / "good", "RPR801").ok
+
+    def test_outside_hot_packages_is_out_of_scope(self):
+        # The same constructions in a non-rpq/relalg path do not fire.
+        result = lint(FIXTURES / "rpr701" / "bad.py", "RPR801")
+        assert result.ok
+
+
 @pytest.mark.parametrize(
     "family",
-    ["rpr101", "rpr102", "rpr201", "rpr301", "rpr302", "rpr401", "rpr501", "rpr601", "rpr701"],
+    ["rpr101", "rpr102", "rpr201", "rpr301", "rpr302", "rpr401", "rpr501", "rpr601", "rpr701", "rpr801"],
 )
 def test_every_family_has_a_failing_fixture(family):
     rule = family.upper()

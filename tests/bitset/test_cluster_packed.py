@@ -1,0 +1,80 @@
+"""Cluster identity over the packed wire: thread and process backends.
+
+The backends always negotiate ``enc: "packed"`` (PR 10), so these are
+end-to-end identity gates for the packed encoding: an edge-cut cluster
+must answer the workload exactly like one session -- boundary-join
+queries included -- and the cut-relevant ``reaches`` fast path must
+agree with the single-session watcher, before and after updates.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import ClusterConfig, GraphCluster, partition_graph
+from repro.datasets.rmat import rmat_connected_graph
+from repro.db import GraphDB
+
+QUERIES = ["l0", "(l0)+", "l0.l1", "(l0|l1)+", "(l0.l1)+", "(l2)*"]
+
+
+def build_graph():
+    return rmat_connected_graph(5, 96, 3, seed=11)
+
+
+@pytest.fixture(params=["thread", "process"])
+def cluster(request):
+    cluster = GraphCluster(
+        partition_graph(build_graph(), 2, strategy="edge-cut"),
+        config=ClusterConfig(shards=2, workers=1, backend=request.param),
+    )
+    assert cluster.partition.has_cuts
+    yield cluster
+    cluster.stop()
+
+
+class TestPackedClusterIdentity:
+    def test_workload_matches_single_session(self, cluster):
+        db = GraphDB.open(build_graph())
+        for query in QUERIES:
+            pairs, _elapsed = cluster.submit(query).result(timeout=120)
+            assert set(pairs) == set(db.execute(query)), query
+
+    def test_reaches_matches_single_session(self, cluster):
+        db = GraphDB.open(build_graph())
+        rng = random.Random(11)
+        vertices = sorted(build_graph().vertices(), key=str)
+        for body in ["l0", "l0|l1"]:
+            db.watch(body)
+            cluster.watch(body)
+            for source in rng.sample(vertices, 8):
+                for target in rng.sample(vertices, 5):
+                    assert cluster.reaches(body, source, target) == db.reaches(
+                        body, source, target
+                    ), (body, source, target)
+
+    def test_identity_survives_a_cross_shard_update(self, cluster):
+        db = GraphDB.open(build_graph())
+        partition = cluster.partition
+        vertices = sorted(build_graph().vertices(), key=str)
+        edge = next(
+            (source, "l1", target)
+            for source in vertices
+            for target in vertices
+            if source != target
+            and partition.shard_of(source) != partition.shard_of(target)
+            and not build_graph().has_edge(source, "l1", target)
+        )
+        cluster.submit_update(add=[edge]).result(timeout=120)
+        db.update(add=[edge])
+        for query in ["(l1)+", "(l0|l1)+"]:
+            pairs, _elapsed = cluster.submit(query).result(timeout=120)
+            assert set(pairs) == set(db.execute(query)), query
+        db.watch("l1")
+        cluster.watch("l1")
+        rng = random.Random(12)
+        for source in rng.sample(vertices, 6):
+            for target in rng.sample(vertices, 4):
+                assert cluster.reaches("l1", source, target) == db.reaches(
+                    "l1", source, target
+                ), (source, target)

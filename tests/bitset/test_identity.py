@@ -1,0 +1,141 @@
+"""The kernel identity gate: bitmap evaluation == set evaluation.
+
+Every hot path PR 10 rewired (NFA product BFS, DFA product BFS, label
+joins, the RTC expansion) must answer *identically* on the forced
+``kernel="bits"`` and ``kernel="sets"`` routes -- over randomized R-MAT
+graphs, the paper's generated 10-query workloads, restricted start
+sets, and mid-run edge updates.  Any divergence is a kernel bug by
+definition; there is no tolerance.
+"""
+
+import random
+
+import pytest
+
+from repro.bitset import expand_rtc_bits
+from repro.core.rtc import compute_rtc
+from repro.datasets.rmat import rmat_graph
+from repro.graph.multigraph import LabeledMultigraph
+from repro.rpq import eval_rpq
+from repro.rpq.dfa_eval import eval_rpq_dfa
+from repro.rpq.label_join import eval_label_sequence
+from repro.workloads import generate_workload
+
+QUERIES = [
+    "l0",
+    "l0.l1",
+    "(l0)+",
+    "(l0)*",
+    "l0?",
+    "(l0|l1)+",
+    "(l0.l1)+",
+    "l2.(l0.l1)+",
+    "(l1|l2)+.l0",
+    "((l0|l1).l2)*",
+]
+
+
+def rmat(seed, scale=5, num_edges=120, num_labels=3):
+    return rmat_graph(scale, num_edges, num_labels, seed=seed)
+
+
+def both_kernels(evaluate):
+    """Run ``evaluate(kernel)`` on both routes and assert identity."""
+    bits = evaluate("bits")
+    sets = evaluate("sets")
+    assert bits == sets
+    return bits
+
+
+class TestQueryIdentity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_nfa_and_dfa_match_sets(self, seed, query):
+        graph = rmat(seed)
+        both_kernels(lambda kernel: eval_rpq(graph, query, kernel=kernel))
+        both_kernels(lambda kernel: eval_rpq_dfa(graph, query, kernel=kernel))
+
+    @pytest.mark.parametrize("query", ["(l0)+", "l0.l1", "(l0|l1)+", "l0?"])
+    def test_restricted_starts_match_sets(self, query):
+        graph = rmat(3)
+        rng = random.Random(3)
+        starts = rng.sample(sorted(graph.vertices(), key=str), 10) + [
+            "not-a-vertex"
+        ]
+        both_kernels(
+            lambda kernel: eval_rpq(graph, query, starts=starts, kernel=kernel)
+        )
+        both_kernels(
+            lambda kernel: eval_rpq_dfa(
+                graph, query, starts=starts, kernel=kernel
+            )
+        )
+
+    @pytest.mark.parametrize("order", ["left-right", "rare-first"])
+    @pytest.mark.parametrize(
+        "labels", [[], ["l0"], ["l0", "l1"], ["l2", "l0", "l1"], ["l1", "l1"]]
+    )
+    def test_label_sequences_match_sets(self, order, labels):
+        graph = rmat(4)
+        both_kernels(
+            lambda kernel: eval_label_sequence(
+                graph, labels, order=order, kernel=kernel
+            )
+        )
+
+    def test_auto_kernel_matches_forced_sets(self):
+        graph = rmat(5)
+        for query in QUERIES[:4]:
+            assert eval_rpq(graph, query) == eval_rpq(
+                graph, query, kernel="sets"
+            )
+
+    def test_unknown_kernel_is_rejected(self):
+        graph = rmat(5)
+        with pytest.raises(ValueError):
+            eval_rpq(graph, "l0", kernel="simd")
+
+
+class TestWorkloadIdentity:
+    def test_full_generated_workload(self):
+        """Paper-procedure workload: every 10-query set, both kernels."""
+        graph = rmat(6, num_edges=160)
+        for rpq_set in generate_workload(graph, num_sets=3, seed=6):
+            for query in rpq_set.queries:
+                both_kernels(
+                    lambda kernel: eval_rpq(graph, query, kernel=kernel)
+                )
+
+
+class TestUpdateIdentity:
+    def test_mid_run_updates_keep_identity(self):
+        graph = rmat(7)
+        rng = random.Random(7)
+        for round_number in range(3):
+            edges = sorted(graph.edges(), key=str)
+            for edge in rng.sample(edges, min(10, len(edges))):
+                graph.remove_edge(*edge)
+            vertices = sorted(graph.vertices(), key=str)
+            for _ in range(10):
+                source, target = rng.sample(vertices, 2)
+                label = rng.choice(["l0", "l1", "l2"])
+                if not graph.has_edge(source, label, target):
+                    graph.add_edge(source, label, target)
+            for query in QUERIES[: 5 + round_number]:
+                both_kernels(
+                    lambda kernel: eval_rpq(graph, query, kernel=kernel)
+                )
+
+
+class TestRTCExpansion:
+    @pytest.mark.parametrize("seed", [8, 9])
+    def test_expand_bits_matches_expand(self, seed):
+        graph = rmat(seed, num_edges=200)
+        rtc = compute_rtc(graph.edges_with_label("l0"))
+        expanded = expand_rtc_bits(rtc)
+        assert expanded.to_pairs(expanded.interner) == rtc.expand()
+
+    def test_expand_bits_via_method(self):
+        graph = rmat(10)
+        rtc = compute_rtc(graph.edges_with_label("l1"))
+        assert rtc.expand_bits().pairs == rtc.expand()
